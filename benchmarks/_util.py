@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the series it regenerates (the rows the paper's
+figure/table reports) and also appends them to ``results/`` as plain
+text, so EXPERIMENTS.md can quote measured numbers.
+
+Set ``REPRO_FULL_SCALE=1`` to extend sweeps to the paper's maximal
+scales (4,096 processes for Figures 9/10); default sweeps stay small
+enough for quick CI runs.
+"""
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+
+def scale_points(default: Sequence[int], full: Sequence[int]) -> List[int]:
+    return list(full if full_scale() else default)
+
+
+def write_result(name: str, lines: Iterable[str]) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n[{name}]")
+    print(text)
+    return path
+
+
+def fmt_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    widths = [max(10, len(h)) for h in header]
+    out = [
+        " | ".join(h.rjust(w) for h, w in zip(header, widths)),
+    ]
+    out.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        out.append(
+            " | ".join(str(c).rjust(w) for c, w in zip(row, widths))
+        )
+    return out

@@ -1,0 +1,78 @@
+"""Ablation: fan-in sensitivity (Section 6's tuning discussion).
+
+"High fan-ins can cause higher tool overheads, while lower fan-ins
+decrease overhead at the cost of extra computing resources." The bench
+quantifies both sides: modelled slowdown per fan-in, plus the measured
+tool-resource cost (number of tool processes and per-node event load)
+from real end-to-end runs of the distributed tool.
+"""
+import pytest
+
+from repro.core.detector import DistributedDeadlockDetector
+from repro.perf import stress_distributed_slowdown
+from repro.tbon import TbonTopology
+from repro.workloads import build_stress_trace
+
+from _util import fmt_table, write_result
+
+FAN_INS = (2, 4, 8, 16)
+P = 64
+
+
+def test_fanin_tradeoff(benchmark):
+    matched = build_stress_trace(16, iterations=20)
+
+    def run_all():
+        outcomes = {}
+        for fan_in in (2, 4, 8):
+            detector = DistributedDeadlockDetector(
+                matched, fan_in=fan_in, seed=0
+            )
+            outcomes[fan_in] = detector.run()
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for fan_in in FAN_INS:
+        topo = TbonTopology.build(P, fan_in)
+        slowdown = stress_distributed_slowdown(P, fan_in)
+        if fan_in in outcomes:
+            out = outcomes[fan_in]
+            msgs = out.messages_sent
+            peak = out.peak_window
+        else:
+            msgs = peak = "-"
+        rows.append(
+            [
+                fan_in,
+                f"{slowdown:.0f}x",
+                topo.num_tool_nodes,
+                f"{P / (P + topo.num_tool_nodes):.2f}",
+                msgs,
+                peak,
+            ]
+        )
+    lines = fmt_table(
+        [
+            "fan_in",
+            "model_slowdown(p=64)",
+            "tool_nodes(p=64)",
+            "app_core_share",
+            "tool_msgs(p=16)",
+            "peak_window",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "lower fan-in: less overhead, more tool resources — the paper "
+        "picks fan-in 4 for SPEC as the compromise"
+    )
+    write_result("ablation_fanin", lines)
+
+    # Monotone tradeoff in the model.
+    slow = [stress_distributed_slowdown(P, f) for f in FAN_INS]
+    assert slow == sorted(slow)
+    nodes = [TbonTopology.build(P, f).num_tool_nodes for f in FAN_INS]
+    assert nodes == sorted(nodes, reverse=True)

@@ -1,0 +1,75 @@
+"""Ablation: wait-for graph simplification (the paper's future work).
+
+Section 6 proposes propagating "aggregated and simplified wait-for
+information towards the root" to cut graph search time and output
+size. This bench measures the implemented aggregation on the wildcard
+case: plain DOT serialization time and byte size vs the aggregated
+writer, across scales.
+"""
+import time
+
+import pytest
+
+from repro.core.waitstate import analyze_trace
+from repro.wfg.dot import render_dot
+from repro.wfg.simplify import render_aggregated_dot, simplify
+from repro.workloads import build_wildcard_trace
+
+from _util import fmt_table, scale_points, write_result
+
+PROCESS_COUNTS = scale_points(
+    default=(64, 256, 512, 1024),
+    full=(64, 256, 512, 1024, 2048),
+)
+
+
+def test_simplify_ablation(benchmark):
+    rows = []
+    analyses = {
+        p: analyze_trace(build_wildcard_trace(p), generate_outputs=False)
+        for p in PROCESS_COUNTS
+    }
+
+    def render_largest_plain():
+        a = analyses[PROCESS_COUNTS[-1]]
+        return render_dot(a.graph, a.detection)
+
+    benchmark.pedantic(render_largest_plain, rounds=1, iterations=1)
+
+    for p in PROCESS_COUNTS:
+        analysis = analyses[p]
+        t0 = time.perf_counter()
+        plain = render_dot(analysis.graph, analysis.detection)
+        t1 = time.perf_counter()
+        agg = simplify(analysis.graph)
+        agg_dot = render_aggregated_dot(agg)
+        t2 = time.perf_counter()
+        rows.append(
+            [
+                p,
+                analysis.graph.arc_count(),
+                f"{len(plain):,}",
+                f"{(t1 - t0) * 1e3:.1f}ms",
+                agg.arc_count(),
+                f"{len(agg_dot):,}",
+                f"{(t2 - t1) * 1e3:.1f}ms",
+            ]
+        )
+        assert agg.arc_count() == 1  # the whole storm is one class arc
+        assert len(agg_dot) < len(plain) / 100
+
+    write_result(
+        "ablation_simplify",
+        fmt_table(
+            [
+                "procs",
+                "arcs",
+                "plain_bytes",
+                "plain_time",
+                "agg_arcs",
+                "agg_bytes",
+                "agg_time",
+            ],
+            rows,
+        ),
+    )

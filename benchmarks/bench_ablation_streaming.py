@@ -1,0 +1,68 @@
+"""Ablation: streamed/aggregated vs immediate tool communication.
+
+Section 4.2: matching traffic can stream through aggregated buffers,
+but the wait-state messages cannot — TBON nodes must wait for them
+before continuing, so they pay full per-message cost, "which impacts
+performance". The ablation compares three hypothetical designs in the
+model: everything streamed (a lower bound the paper says is
+unreachable for wait state), the paper's mixed design, and everything
+immediate (a naive implementation).
+"""
+import dataclasses
+
+import pytest
+
+from repro.perf import SIERRA, stress_distributed_slowdown
+
+from _util import fmt_table, write_result
+
+PROCESS_COUNTS = (16, 256, 4096)
+
+
+def _variant(streaming_factor: float, immediate_msg_cost: float):
+    return dataclasses.replace(
+        SIERRA,
+        streaming_factor=streaming_factor,
+        immediate_msg_cost=immediate_msg_cost,
+    )
+
+
+def test_streaming_ablation(benchmark):
+    paper = SIERRA
+    all_streamed = _variant(
+        SIERRA.streaming_factor,
+        SIERRA.immediate_msg_cost * SIERRA.streaming_factor,
+    )
+    all_immediate = _variant(1.0, SIERRA.immediate_msg_cost)
+
+    def sweep():
+        return {
+            "all_streamed(lower_bound)": [
+                stress_distributed_slowdown(p, 2, model=all_streamed)
+                for p in PROCESS_COUNTS
+            ],
+            "paper_mixed": [
+                stress_distributed_slowdown(p, 2, model=paper)
+                for p in PROCESS_COUNTS
+            ],
+            "all_immediate": [
+                stress_distributed_slowdown(p, 2, model=all_immediate)
+                for p in PROCESS_COUNTS
+            ],
+        }
+
+    data = benchmark(sweep)
+    rows = [
+        [name] + [f"{v:.1f}x" for v in series]
+        for name, series in data.items()
+    ]
+    write_result(
+        "ablation_streaming",
+        fmt_table(["design"] + [f"p={p}" for p in PROCESS_COUNTS], rows),
+    )
+    for i in range(len(PROCESS_COUNTS)):
+        assert (
+            data["all_streamed(lower_bound)"][i]
+            <= data["paper_mixed"][i]
+            <= data["all_immediate"][i]
+        )

@@ -1,0 +1,64 @@
+"""Ablation: detection frequency (Section 5's timeout design).
+
+MUST issues graph detection only after a configurable timeout "without
+loss of precision". The ablation runs the distributed tool with
+increasingly frequent mid-run detections on a deadlock-free stress
+trace and measures the added protocol traffic and the (unchanged)
+verdict — demonstrating why per-transition detection, as in Umpire's
+implicit search, is wasteful and the timeout design sound.
+"""
+import pytest
+
+from repro.core.detector import DistributedDeadlockDetector
+from repro.workloads import build_stress_trace
+
+from _util import fmt_table, write_result
+
+P, ITERATIONS = 8, 30
+
+
+def _run(num_detections: int):
+    matched = build_stress_trace(P, iterations=ITERATIONS)
+    detector = DistributedDeadlockDetector(
+        matched, fan_in=2, seed=0, op_gap=1e-5
+    )
+    span = 1e-5 * ITERATIONS * 4
+    times = [
+        span * (i + 1) / (num_detections + 1)
+        for i in range(num_detections)
+    ]
+    return detector.run(detect_at=times, detect_at_end=True)
+
+
+def test_timeout_frequency_ablation(benchmark):
+    def sweep():
+        return {n: _run(n) for n in (0, 2, 8, 24)}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = outcomes[0].messages_sent
+    rows = []
+    for n, out in sorted(outcomes.items()):
+        assert not out.has_deadlock  # precision never changes
+        rows.append(
+            [
+                n + 1,  # incl. the final quiescence detection
+                out.messages_sent,
+                f"+{100.0 * (out.messages_sent - baseline) / baseline:.1f}%",
+                len(out.detections),
+            ]
+        )
+    lines = fmt_table(
+        ["detections", "tool_msgs", "overhead_vs_1", "completed"], rows
+    )
+    lines.append("")
+    lines.append(
+        "verdict identical at every frequency (timeout design is "
+        "precision-free); traffic grows with detection count"
+    )
+    write_result("ablation_timeout", lines)
+
+    msgs = [out.messages_sent for _, out in sorted(outcomes.items())]
+    assert msgs == sorted(msgs)
+    # All runs converge to the same stable state.
+    states = {out.stable_state for out in outcomes.values()}
+    assert len(states) == 1

@@ -1,0 +1,130 @@
+"""Figure 9: stress-test slowdown, distributed vs centralized.
+
+Regenerates the full figure from the calibrated cost model (the
+measured quantity on Sierra was wall-clock slowdown, which the model
+reproduces in shape: constant-or-decreasing distributed series per
+fan-in, diverging centralized baseline with its ~8,000x projection at
+4,096 processes) and validates the model's protocol-level inputs by
+running the real distributed tool end to end on the same workload at a
+small scale, counting actual per-iteration tool events.
+"""
+import math
+
+import pytest
+
+from repro.core.detector import DistributedDeadlockDetector
+from repro.perf import stress_sweep
+from repro.perf.slowdown import StressTestConfig
+from repro.workloads import build_stress_trace
+
+from _util import fmt_table, scale_points, write_result
+
+PROCESS_COUNTS = scale_points(
+    default=(16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+    full=(16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+)
+
+
+def test_fig09_series(benchmark):
+    data = benchmark(stress_sweep, PROCESS_COUNTS)
+    header = ["procs"] + [k for k in data if k != "p"]
+    rows = []
+    for i, p in enumerate(PROCESS_COUNTS):
+        row = [p]
+        for key in header[1:]:
+            v = data[key][i]
+            row.append("-" if math.isnan(v) else f"{v:.1f}")
+        rows.append(row)
+    write_result("fig09_stress_slowdown", fmt_table(header, rows))
+
+    # Shape assertions: the paper's qualitative claims.
+    d2 = data["distributed_fanin_2"]
+    assert all(a >= b for a, b in zip(d2, d2[1:])), "fan-in 2 not flat"
+    cp = data["centralized_projected"]
+    assert cp[-1] > 50 * d2[-1], "centralized must diverge"
+
+
+def test_fig09_event_counts_validate_model(benchmark):
+    """The model assumes ~5 tool events per rank-iteration for p2p; the
+    real distributed tool must produce that count."""
+    p, iterations = 8, 40
+    matched = build_stress_trace(p, iterations=iterations)
+
+    def run():
+        detector = DistributedDeadlockDetector(matched, fan_in=4, seed=0)
+        return detector.run()
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    totals = {}
+    for stats in out.node_stats.values():
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    p2p_events = (
+        totals.get("NewOpMsg", 0)
+        + totals.get("PassSend", 0)
+        + totals.get("RecvActive", 0)
+        + totals.get("RecvActiveAck", 0)
+    )
+    per_rank_iter = p2p_events / (p * iterations)
+    cfg = StressTestConfig()
+    write_result(
+        "fig09_event_validation",
+        [
+            f"tool events per rank-iteration (measured): {per_rank_iter:.2f}",
+            f"model constant: {cfg.P2P_EVENTS_PER_ITER + 1:.2f} "
+            "(incl. the Wait newOp)",
+        ],
+    )
+    # NewOp(isend)+NewOp(recv)+NewOp(wait)+PassSend+RecvActive+Ack = 6
+    assert 5.5 <= per_rank_iter <= 6.8
+
+
+def test_fig09_replay_validates_model(benchmark):
+    """Independent check: the timed trace replay (dependency DAG +
+    FIFO tool servers) must reproduce the model's orderings and agree
+    within a factor of two at small scale."""
+    from repro.perf.replay import replay_slowdown
+    from repro.perf import (
+        stress_centralized_slowdown,
+        stress_distributed_slowdown,
+    )
+
+    def run():
+        out = {}
+        for p in (16, 32, 64):
+            matched = build_stress_trace(p, iterations=30)
+            out[p] = {
+                "replay_f2": replay_slowdown(matched, fan_in=2),
+                "replay_f4": replay_slowdown(matched, fan_in=4),
+                "replay_central": replay_slowdown(
+                    matched, fan_in=2, centralized=True
+                ),
+                "model_f2": stress_distributed_slowdown(p, 2),
+                "model_central": stress_centralized_slowdown(p),
+            }
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            p,
+            f"{v['replay_f2']:.0f}",
+            f"{v['model_f2']:.0f}",
+            f"{v['replay_f4']:.0f}",
+            f"{v['replay_central']:.0f}",
+            f"{v['model_central']:.0f}",
+        ]
+        for p, v in sorted(data.items())
+    ]
+    write_result(
+        "fig09_replay_validation",
+        fmt_table(
+            ["procs", "replay_f2", "model_f2", "replay_f4",
+             "replay_central", "model_central"],
+            rows,
+        ),
+    )
+    for p, v in data.items():
+        assert 0.5 <= v["replay_f2"] / v["model_f2"] <= 2.0
+        assert v["replay_f2"] < v["replay_f4"]
+        assert 0.5 <= v["replay_central"] / v["model_central"] <= 2.0

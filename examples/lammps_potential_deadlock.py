@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The 126.lammps scenario (paper Section 6, Figure 11).
+
+SPEC MPI2007's 126.lammps contains a potential send-send deadlock that
+never manifests on buffering MPI implementations. This example runs
+the structural proxy on the virtual runtime with buffering *enabled*
+(the run completes normally), then lets the distributed tool analyze
+the trace under the strict blocking semantics — which detects the
+potential deadlock and produces the HTML + DOT report MUST would log.
+
+Run:  python examples/lammps_potential_deadlock.py
+Artifacts: lammps_report.html, lammps_wfg.dot (current directory).
+"""
+from pathlib import Path
+
+from repro import BlockingSemantics, detect_deadlocks_distributed, run_programs
+from repro.workloads import lammps_skeleton_programs
+
+
+def main() -> None:
+    p = 12
+    print(f"running the lammps proxy on {p} ranks (buffered sends)...")
+    result = run_programs(
+        lammps_skeleton_programs(p),
+        semantics=BlockingSemantics.relaxed(),
+        seed=7,
+    )
+    print(f"  execution completed: {not result.deadlocked}")
+    print(f"  operations traced:   {result.trace.total_ops()}")
+
+    print("analyzing with the distributed tool (fan-in 4, strict b)...")
+    outcome = detect_deadlocks_distributed(result.matched, fan_in=4)
+    record = outcome.detection
+    print(f"  potential deadlock:  ranks {outcome.deadlocked}")
+    cycle = record.result.witness_cycle
+    print(f"  dependency cycle:    {' -> '.join(map(str, cycle))} -> "
+          f"{cycle[0]}")
+    for rank in outcome.deadlocked[:4]:
+        op = result.trace.op((rank, outcome.stable_state[rank]))
+        print(f"  rank {rank} would block in: {op.describe()}")
+
+    print("\ndetection-time breakdown (paper Figure 11(b) groups):")
+    for phase, seconds in record.timers.breakdown().items():
+        print(f"  {phase:20s} {seconds * 1e3:9.3f} ms")
+
+    Path("lammps_report.html").write_text(record.html_report)
+    Path("lammps_wfg.dot").write_text(record.dot_text)
+    print("\nwrote lammps_report.html and lammps_wfg.dot")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Offline analysis workflow: record -> save -> load -> triage.
+
+Traces captured on one machine (here: the virtual runtime; in a real
+deployment, any interception layer producing the same JSON schema) can
+be analyzed elsewhere. The triage combines:
+
+* the non-deadlock correctness checks (argument validation, request
+  leaks, lost messages);
+* the semantics-adaptation loop, which distinguishes *manifest*
+  deadlocks, *unsafe* programs (masked by buffering — the lammps
+  verdict), adaptation artifacts, and clean traces.
+
+Run:  python examples/offline_workflow.py
+"""
+import tempfile
+from pathlib import Path
+
+from repro import BlockingSemantics, run_programs
+from repro.checks import Severity, run_all_checks
+from repro.core.adaptation import analyze_with_adaptation
+from repro.mpi.serialize import load_trace, save_trace
+from repro.workloads import (
+    fig2b_programs,
+    lammps_skeleton_programs,
+    master_worker_programs,
+)
+
+SCENARIOS = {
+    "master-worker (healthy)": master_worker_programs(5),
+    "fig2b (send-send behind wildcards)": fig2b_programs(),
+    "lammps proxy (potential deadlock)": lammps_skeleton_programs(6),
+}
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+    print(f"trace directory: {workdir}\n")
+
+    for name, programs in SCENARIOS.items():
+        print(f"=== {name}")
+        result = run_programs(
+            programs, semantics=BlockingSemantics.relaxed(), seed=3
+        )
+        path = workdir / (name.split()[0] + ".json")
+        save_trace(result.matched, str(path))
+        print(f"  recorded {result.trace.total_ops()} ops -> {path.name} "
+              f"({path.stat().st_size:,} bytes)")
+
+        matched = load_trace(str(path))
+
+        findings = run_all_checks(matched)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        print(f"  checks: {len(findings)} finding(s), "
+              f"{len(errors)} error(s)")
+        for finding in findings[:3]:
+            print(f"    {finding.render()}")
+
+        triage = analyze_with_adaptation(matched)
+        print("  " + triage.summary().replace("\n", "\n  "))
+        if triage.final.has_deadlock:
+            cycle = triage.final.detection.witness_cycle
+            if cycle:
+                chain = " -> ".join(map(str, cycle))
+                print(f"  dependency cycle: {chain} -> {cycle[0]}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro: runtime MPI deadlock detection with distributed wait state tracking.
+
+A from-scratch reproduction of Hilbrich et al., "Distributed Wait State
+Tracking for Runtime MPI Deadlock Detection" (SC '13) — the scalable
+deadlock-detection architecture of the MUST tool — including every
+substrate it needs: a virtual MPI runtime, distributed point-to-point
+and collective matching, a simulated tree-based overlay network (TBON),
+the wait state transition system and its distributed implementation,
+AND/OR wait-for-graph deadlock detection with DOT/HTML reports, and a
+performance model that regenerates the paper's evaluation figures.
+
+Quickstart::
+
+    from repro import run_programs, analyze_trace
+
+    def worker(rank):
+        peer = 1 - rank.rank
+        yield rank.recv(source=peer)   # recv-recv deadlock (Fig. 2a)
+        yield rank.send(dest=peer)
+        yield rank.finalize()
+
+    result = run_programs([worker, worker])
+    analysis = analyze_trace(result.matched)
+    assert analysis.has_deadlock
+"""
+from repro.core import (
+    AdaptiveAnalysis,
+    Verdict,
+    analyze_with_adaptation,
+    DeadlockAnalysis,
+    DistributedDeadlockDetector,
+    DistributedOutcome,
+    TransitionSystem,
+    analyze_trace,
+    detect_deadlocks_distributed,
+)
+from repro.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    BlockingSemantics,
+    MatchedTrace,
+    OpKind,
+    Trace,
+)
+from repro.runtime import Rank, RunResult, run_programs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_SOURCE",
+    "AdaptiveAnalysis",
+    "Verdict",
+    "analyze_with_adaptation",
+    "ANY_TAG",
+    "PROC_NULL",
+    "BlockingSemantics",
+    "DeadlockAnalysis",
+    "DistributedDeadlockDetector",
+    "DistributedOutcome",
+    "MatchedTrace",
+    "OpKind",
+    "Rank",
+    "RunResult",
+    "Trace",
+    "TransitionSystem",
+    "analyze_trace",
+    "detect_deadlocks_distributed",
+    "run_programs",
+    "__version__",
+]

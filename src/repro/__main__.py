@@ -1,0 +1,6 @@
+"""``python -m repro`` entry point."""
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,17 @@
+"""Non-deadlock correctness checks (the MUST check-suite subset)."""
+from repro.checks.findings import CheckFinding, Severity
+from repro.checks.local import LocalChecker
+from repro.checks.trace_checks import (
+    check_lost_messages,
+    check_missing_finalize,
+    run_all_checks,
+)
+
+__all__ = [
+    "CheckFinding",
+    "LocalChecker",
+    "Severity",
+    "check_lost_messages",
+    "check_missing_finalize",
+    "run_all_checks",
+]

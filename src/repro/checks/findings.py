@@ -1,0 +1,40 @@
+"""Finding records for the non-deadlock correctness checks.
+
+MUST "provides a wide variety of automatic correctness checks" beyond
+deadlock detection (Introduction); this package implements the
+trace-level subset that needs no type/datatype model: argument
+validation, request-lifecycle checks, and message-leak checks.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mpi.ops import OpRef
+
+
+class Severity(enum.Enum):
+    """MUST-style finding severities."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class CheckFinding:
+    """One reported issue of a correctness check."""
+
+    check: str
+    severity: Severity
+    rank: int
+    message: str
+    op: Optional[OpRef] = None
+
+    def render(self) -> str:
+        where = f" at op {self.op}" if self.op is not None else ""
+        return (
+            f"[{self.severity.value.upper()}] {self.check}: rank "
+            f"{self.rank}{where}: {self.message}"
+        )

@@ -1,0 +1,95 @@
+"""Whole-trace correctness checks (post-matching).
+
+Checks that need the matched trace: lost messages (sends no receive
+ever consumed), never-resolved wildcard receives, and missing
+finalize. Complements :mod:`repro.checks.local`.
+"""
+from __future__ import annotations
+
+from typing import List
+
+from repro.checks.findings import CheckFinding, Severity
+from repro.checks.local import LocalChecker
+from repro.mpi.constants import PROC_NULL, OpKind
+from repro.mpi.trace import MatchedTrace
+
+# Sends that complete locally and may legitimately linger unmatched
+# for a short time; an unmatched one at trace end is still a leak.
+_BUFFERED_KINDS = frozenset({OpKind.BSEND, OpKind.IBSEND})
+
+
+def check_lost_messages(matched: MatchedTrace) -> List[CheckFinding]:
+    """Sends whose message no receive in the entire trace consumed."""
+    findings: List[CheckFinding] = []
+    for op in matched.trace:
+        if not op.is_send() or op.peer == PROC_NULL:
+            continue
+        if matched.match_of(op.ref) is None:
+            severity = (
+                Severity.WARNING
+                if op.kind in _BUFFERED_KINDS
+                else Severity.INFO
+            )
+            findings.append(
+                CheckFinding(
+                    check="lost-message",
+                    severity=severity,
+                    rank=op.rank,
+                    message=(
+                        f"{op.describe()} was never received "
+                        "(message leak; also keeps the send blocked "
+                        "under the strict semantics)"
+                    ),
+                    op=op.ref,
+                )
+            )
+    return findings
+
+
+def check_missing_finalize(matched: MatchedTrace) -> List[CheckFinding]:
+    """Processes whose trace does not end at MPI_Finalize.
+
+    For completed runs this is an MPI usage error; for hung runs it is
+    informational (the deadlock report carries the real diagnosis).
+    """
+    findings: List[CheckFinding] = []
+    trace = matched.trace
+    for rank in range(trace.num_processes):
+        length = trace.length(rank)
+        if length == 0:
+            findings.append(
+                CheckFinding(
+                    check="missing-finalize",
+                    severity=Severity.INFO,
+                    rank=rank,
+                    message="process issued no MPI operations",
+                )
+            )
+            continue
+        last = trace.op((rank, length - 1))
+        if not last.is_finalize():
+            findings.append(
+                CheckFinding(
+                    check="missing-finalize",
+                    severity=Severity.INFO,
+                    rank=rank,
+                    message=(
+                        f"trace ends at {last.describe()}, not "
+                        "MPI_Finalize (hung or aborted run)"
+                    ),
+                    op=last.ref,
+                )
+            )
+    return findings
+
+
+def run_all_checks(matched: MatchedTrace) -> List[CheckFinding]:
+    """Local per-op checks plus whole-trace checks, in rank order."""
+    checker = LocalChecker(matched.comms)
+    for rank in range(matched.trace.num_processes):
+        for op in matched.trace.sequence(rank):
+            checker.check_op(op)
+    findings = list(checker.findings)
+    findings.extend(check_lost_messages(matched))
+    findings.extend(check_missing_finalize(matched))
+    return findings

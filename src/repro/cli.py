@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``record``   run a named workload on the virtual runtime and save its
+             matched trace as JSON;
+``analyze``  run deadlock detection on a saved trace (distributed tool
+             by default; ``--centralized`` for the baseline,
+             ``--adapt`` for the unexpected-match adaptation loop) and
+             optionally write the HTML/DOT reports;
+``demo``     record + analyze a named workload in one step;
+``figures``  print the Figure 9 / Figure 12 model tables.
+
+Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
+gapgeofem, halo2d, persistent-ring.
+"""
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.adaptation import analyze_with_adaptation
+from repro.core.detector import DistributedDeadlockDetector
+from repro.core.waitstate import analyze_trace
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.serialize import load_trace, save_trace
+from repro.mpi.trace import MatchedTrace
+from repro.runtime import run_programs
+from repro.wfg.simplify import render_aggregated_dot, simplify
+
+
+def _persistent_ring_programs(p: int):
+    def ring(r):
+        right = (r.rank + 1) % r.size
+        left = (r.rank - 1) % r.size
+        sreq = yield r.send_init(right, tag=1)
+        rreq = yield r.recv_init(left, tag=1)
+        for _ in range(5):
+            yield from r.startall([sreq, rreq])
+            yield r.waitall([sreq, rreq])
+        yield r.request_free(sreq)
+        yield r.request_free(rreq)
+        yield r.finalize()
+
+    return [ring] * p
+
+
+def _workloads() -> Dict[str, Callable[[int], list]]:
+    from repro.workloads import (
+        fig2a_programs,
+        fig2b_programs,
+        fig4_programs,
+        gapgeofem_skeleton_programs,
+        halo2d_programs,
+        lammps_skeleton_programs,
+        stress_programs,
+        wildcard_deadlock_programs,
+    )
+
+    return {
+        "fig2a": lambda p: fig2a_programs(),
+        "fig2b": lambda p: fig2b_programs(),
+        "fig4": lambda p: fig4_programs(),
+        "stress": lambda p: stress_programs(p, iterations=20),
+        "wildcard": wildcard_deadlock_programs,
+        "lammps": lammps_skeleton_programs,
+        "gapgeofem": lambda p: gapgeofem_skeleton_programs(p, iterations=50),
+        "halo2d": lambda p: halo2d_programs(
+            max(2, int(math.sqrt(p))), max(2, int(math.sqrt(p)))
+        ),
+        "persistent-ring": _persistent_ring_programs,
+    }
+
+
+def _run_workload(name: str, ranks: int, seed: int) -> MatchedTrace:
+    factory = _workloads().get(name)
+    if factory is None:
+        raise SystemExit(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(sorted(_workloads()))}"
+        )
+    programs = factory(ranks)
+    result = run_programs(
+        programs, semantics=BlockingSemantics.relaxed(), seed=seed
+    )
+    state = "hung" if result.deadlocked else "completed"
+    print(
+        f"executed {name!r} on {len(programs)} virtual ranks: {state}, "
+        f"{result.trace.total_ops()} operations traced"
+    )
+    return result.matched
+
+
+def _analyze(matched: MatchedTrace, args: argparse.Namespace) -> int:
+    if getattr(args, "checks", False):
+        from repro.checks import run_all_checks
+
+        findings = run_all_checks(matched)
+        if findings:
+            print(f"correctness checks: {len(findings)} finding(s)")
+            for finding in findings:
+                print("  " + finding.render())
+        else:
+            print("correctness checks: clean")
+    if args.adapt:
+        adaptive = analyze_with_adaptation(matched, generate_outputs=True)
+        print(adaptive.summary())
+        analysis = adaptive.final
+        dot_text = analysis.dot_text
+        html = analysis.html_report
+        deadlocked = analysis.deadlocked
+        graph = analysis.graph
+    elif args.centralized:
+        analysis = analyze_trace(matched)
+        deadlocked = analysis.deadlocked
+        dot_text = analysis.dot_text
+        html = analysis.html_report
+        graph = analysis.graph
+        print(f"centralized verdict: deadlocked ranks {deadlocked or '()'}")
+    else:
+        detector = DistributedDeadlockDetector(
+            matched, fan_in=args.fan_in, seed=args.seed
+        )
+        outcome = detector.run()
+        record = outcome.detection
+        deadlocked = outcome.deadlocked
+        dot_text = record.dot_text
+        html = record.html_report
+        graph = record.graph
+        print(
+            f"distributed verdict (fan-in {args.fan_in}): deadlocked "
+            f"ranks {deadlocked or '()'}"
+        )
+        print(
+            f"tool messages: {outcome.messages_sent:,}; peak trace "
+            f"window: {outcome.peak_window}"
+        )
+        for phase, seconds in record.timers.breakdown().items():
+            print(f"  {phase:20s} {seconds * 1e3:9.3f} ms")
+    if deadlocked and graph is not None:
+        print(f"wait-for graph: {len(graph.nodes)} nodes, "
+              f"{graph.arc_count()} arcs")
+    if args.report and html:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"wrote {args.report}")
+    if args.dot and dot_text:
+        text = dot_text
+        if args.simplify and graph is not None:
+            text = render_aggregated_dot(simplify(graph))
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.dot}")
+    return 1 if deadlocked else 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    matched = _run_workload(args.workload, args.ranks, args.seed)
+    save_trace(matched, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    matched = load_trace(args.trace)
+    print(
+        f"loaded trace: {matched.trace.num_processes} processes, "
+        f"{matched.trace.total_ops()} operations"
+    )
+    return _analyze(matched, args)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    matched = _run_workload(args.workload, args.ranks, args.seed)
+    return _analyze(matched, args)
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.perf import spec_slowdown, stress_sweep
+    from repro.workloads.specmpi import (
+        EXCLUDED_FROM_AVERAGE,
+        SPEC_PROFILES,
+    )
+
+    ps = [16, 64, 256, 1024, 4096]
+    data = stress_sweep(ps)
+    print("Figure 9 — stress-test slowdown model")
+    keys = [k for k in data if k != "p"]
+    print(f"{'procs':>6} " + " ".join(f"{k:>22}" for k in keys))
+    for i, p in enumerate(ps):
+        cells = []
+        for k in keys:
+            v = data[k][i]
+            cells.append(f"{v:22.1f}" if v == v else f"{'-':>22}")
+        print(f"{p:6d} " + " ".join(cells))
+
+    print("\nFigure 12 — SPEC MPI2007 slowdown model (fan-in 4)")
+    scales = [128, 512, 2048]
+    print(f"{'application':>16} " + " ".join(f"p={p:>5}" for p in scales))
+    included = []
+    for name, profile in sorted(SPEC_PROFILES.items()):
+        series = [spec_slowdown(profile, p) for p in scales]
+        print(f"{name:>16} " + " ".join(f"{v:7.2f}" for v in series))
+        if name not in EXCLUDED_FROM_AVERAGE:
+            included.append(series[-1])
+    print(
+        f"\naverage at 2048 (excl. {', '.join(EXCLUDED_FROM_AVERAGE)}): "
+        f"{sum(included) / len(included):.2f}x (paper: 1.34x)"
+    )
+    return 0
+
+
+def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fan-in", type=int, default=4,
+                        help="TBON fan-in (default 4)")
+    parser.add_argument("--centralized", action="store_true",
+                        help="use the centralized baseline")
+    parser.add_argument("--adapt", action="store_true",
+                        help="run the unexpected-match adaptation loop")
+    parser.add_argument("--report", metavar="FILE",
+                        help="write the HTML report here")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="write the wait-for graph in DOT here")
+    parser.add_argument("--simplify", action="store_true",
+                        help="write the aggregated (simplified) DOT")
+    parser.add_argument("--checks", action="store_true",
+                        help="also run the non-deadlock correctness checks")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Runtime MPI deadlock detection with distributed "
+        "wait state tracking (SC '13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run a workload, save its trace")
+    rec.add_argument("workload")
+    rec.add_argument("-o", "--output", required=True)
+    rec.add_argument("-n", "--ranks", type=int, default=8)
+    rec.add_argument("--seed", type=int, default=0)
+    rec.set_defaults(func=_cmd_record)
+
+    ana = sub.add_parser("analyze", help="detect deadlocks in a trace")
+    ana.add_argument("trace")
+    _add_analysis_flags(ana)
+    ana.set_defaults(func=_cmd_analyze)
+
+    demo = sub.add_parser("demo", help="record + analyze a workload")
+    demo.add_argument("workload")
+    demo.add_argument("-n", "--ranks", type=int, default=8)
+    _add_analysis_flags(demo)
+    demo.set_defaults(func=_cmd_demo)
+
+    figs = sub.add_parser("figures", help="print the overhead models")
+    figs.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Semantics adaptation for unexpected matches (the paper's extension).
+
+Section 3.3: the strict blocking predicate can stall on traces whose
+point-to-point matching reflects implementation freedoms (e.g. a
+non-synchronizing reduce letting a later send match an earlier
+wildcard receive — Figure 4). The paper's conclusions plan to "extend
+our model such that it correctly adapts to point-to-point matches that
+we would otherwise not consider"; this module implements that loop:
+
+1. analyze with the strict ``b``;
+2. if the result contains *unexpected matches*, the strict verdict is
+   untrustworthy for this trace: re-analyze under the semantics of the
+   implementation that produced it (non-synchronizing collectives and
+   buffered standard sends — the freedoms that make unexpected matches
+   possible in the first place);
+3. classify the outcome:
+
+   * ``NO_DEADLOCK``   — the strict analysis already completes;
+   * ``DEADLOCK``      — a deadlock survives the adapted semantics
+     (it is real for the implementation that produced this trace);
+   * ``UNSAFE``        — the strict analysis deadlocks *without*
+     unexpected matches: the trace's execution completed only thanks
+     to MPI freedoms; the program can deadlock on other
+     implementations (the 126.lammps verdict);
+   * ``ADAPTED_CLEAN`` — the strict stall was an artifact of
+     unexpected matches; under the adapted semantics the trace
+     completes. The program still deserves a diagnostic (it relies on
+     non-synchronizing collectives), but no deadlock is reported.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.transition import UnexpectedMatch
+from repro.core.waitstate import DeadlockAnalysis, analyze_trace
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.trace import MatchedTrace
+
+
+class Verdict(enum.Enum):
+    NO_DEADLOCK = "no deadlock"
+    DEADLOCK = "deadlock"
+    UNSAFE = "unsafe (potential deadlock under strict MPI semantics)"
+    ADAPTED_CLEAN = "no deadlock after semantics adaptation"
+
+
+@dataclass(frozen=True)
+class AdaptationRound:
+    """One analysis pass of the adaptation ladder."""
+
+    description: str
+    semantics: BlockingSemantics
+    deadlocked: Tuple[int, ...]
+    unexpected: Tuple[UnexpectedMatch, ...]
+
+
+@dataclass
+class AdaptiveAnalysis:
+    """Outcome of the adaptive analysis loop."""
+
+    verdict: Verdict
+    final: DeadlockAnalysis
+    rounds: List[AdaptationRound] = field(default_factory=list)
+
+    @property
+    def adapted(self) -> bool:
+        return len(self.rounds) > 1
+
+    @property
+    def has_deadlock(self) -> bool:
+        return self.verdict is Verdict.DEADLOCK or (
+            self.verdict is Verdict.UNSAFE
+        )
+
+    def summary(self) -> str:
+        lines = [f"verdict: {self.verdict.value}"]
+        for r in self.rounds:
+            lines.append(
+                f"  [{r.description}] deadlocked={r.deadlocked or '()'} "
+                f"unexpected_matches={len(r.unexpected)}"
+            )
+        return "\n".join(lines)
+
+
+#: The adaptation ladder: the strict b, then the implementation-adapted
+#: b (the freedoms that can produce unexpected matches, together).
+_LADDER: Tuple[Tuple[str, BlockingSemantics], ...] = (
+    ("strict b", BlockingSemantics.strict()),
+    (
+        "implementation-adapted b (non-synchronizing collectives, "
+        "buffered standard sends)",
+        BlockingSemantics.relaxed(),
+    ),
+)
+
+
+def analyze_with_adaptation(
+    matched: MatchedTrace,
+    *,
+    generate_outputs: bool = False,
+) -> AdaptiveAnalysis:
+    """Run the adaptive analysis loop over ``matched``."""
+    rounds: List[AdaptationRound] = []
+    analysis: Optional[DeadlockAnalysis] = None
+    strict_analysis: Optional[DeadlockAnalysis] = None
+    for description, semantics in _LADDER:
+        analysis = analyze_trace(
+            matched,
+            semantics=semantics,
+            generate_outputs=generate_outputs,
+        )
+        if strict_analysis is None:
+            strict_analysis = analysis
+        rounds.append(
+            AdaptationRound(
+                description=description,
+                semantics=semantics,
+                deadlocked=analysis.deadlocked,
+                unexpected=tuple(analysis.unexpected_matches),
+            )
+        )
+        if not analysis.unexpected_matches:
+            break
+    assert analysis is not None and strict_analysis is not None
+
+    first = rounds[0]
+    if not first.deadlocked and not first.unexpected:
+        verdict = Verdict.NO_DEADLOCK
+        final = strict_analysis
+    elif first.deadlocked and not first.unexpected:
+        # Sound strict verdict: deadlock, or unsafe if the execution
+        # that produced this trace actually completed (the trace runs
+        # to Finalize everywhere — e.g. buffered send-send cycles).
+        verdict = Verdict.UNSAFE if _trace_completed(matched) else (
+            Verdict.DEADLOCK
+        )
+        final = strict_analysis
+    elif analysis.deadlocked:
+        # Even the adapted semantics deadlock: real for this trace.
+        verdict = Verdict.DEADLOCK
+        final = analysis
+    else:
+        verdict = Verdict.ADAPTED_CLEAN
+        final = analysis
+    return AdaptiveAnalysis(verdict=verdict, final=final, rounds=rounds)
+
+
+def _trace_completed(matched: MatchedTrace) -> bool:
+    """Did every process's recorded trace end at MPI_Finalize?"""
+    trace = matched.trace
+    for rank in range(trace.num_processes):
+        length = trace.length(rank)
+        if length == 0:
+            continue
+        if not trace.op((rank, length - 1)).is_finalize():
+            return False
+    return True

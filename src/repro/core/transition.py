@@ -1,0 +1,441 @@
+"""The wait state transition system ``T = (States, ->ws, L0)`` (Section 3).
+
+States are vectors ``(l_0, ..., l_{p-1})`` of per-process logical
+timestamps: ``l_i`` is the index of process *i*'s currently active
+operation. The transition relation is the smallest relation satisfying
+the paper's rules:
+
+(1) *nb*   — a non-blocking operation (``b(i,j) = False``) always advances;
+(2) *p2p*  — a send/receive/probe advances once its matching operation is
+             active (``l_k >= n``);
+(3) *coll* — a collective advances once every member of its complete
+             match set is active;
+(4) *any* / *all* — a completion operation advances once one (Waitany /
+             Waitsome) or all (Wait / Waitall) of its associated
+             non-blocking operations are matched with active partners.
+
+The system is confluent (independent transitions commute), so a unique
+terminal state exists; :meth:`TransitionSystem.run` computes it with an
+event-driven worklist, and :meth:`TransitionSystem.run_slow` is the
+naive reference fixpoint used to cross-check it in tests.
+
+A process is *blocked* in a state iff no rule advances it (Section
+3.2); the blocked set of any reachable state is valid input for
+graph-based deadlock detection.
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.mpi.blocking import BlockingSemantics, is_blocking
+from repro.mpi.constants import OpKind
+from repro.mpi.ops import Operation, OpRef
+from repro.mpi.trace import CollectiveMatch, MatchedTrace
+
+State = Tuple[int, ...]
+
+#: Transition labels as the paper writes them above the arrows.
+RULE_NB = "nb"
+RULE_P2P = "p2p"
+RULE_COLL = "coll"
+RULE_ANY = "any"
+RULE_ALL = "all"
+
+# Request-creating sends whose completion is always local (explicit user
+# buffering / ready mode): rule 4 treats them as satisfied without a
+# matched active partner.
+_LOCALLY_COMPLETING_SENDS = frozenset({OpKind.IBSEND, OpKind.IRSEND})
+
+
+@dataclass(frozen=True)
+class UnexpectedMatch:
+    """An unexpected match in the sense of Section 3.3.
+
+    In a terminal state, ``receive`` is an active wildcard receive,
+    ``candidate_send`` is an active send whose envelope could match it,
+    yet point-to-point matching paired the receive with
+    ``matched_send``, which is *not* active. The strict blocking
+    predicate is too conservative for this trace; the analysis should
+    re-run with semantics adapted to the MPI implementation's choices.
+    """
+
+    receive: OpRef
+    candidate_send: OpRef
+    matched_send: Optional[OpRef]
+
+
+class TransitionSystem:
+    """Executable form of the paper's transition system over one trace."""
+
+    def __init__(
+        self,
+        matched: MatchedTrace,
+        semantics: BlockingSemantics | None = None,
+    ) -> None:
+        self.matched = matched
+        self.trace = matched.trace
+        self.semantics = semantics or BlockingSemantics.strict()
+        self._p = self.trace.num_processes
+        self._lens = self.trace.lengths()
+
+    # ------------------------------------------------------------------
+    # basic state queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_processes(self) -> int:
+        return self._p
+
+    def initial_state(self) -> State:
+        return (0,) * self._p
+
+    def _check_state(self, state: Sequence[int]) -> None:
+        if len(state) != self._p:
+            raise ValueError("state arity does not match trace")
+        for i, l in enumerate(state):
+            if not (0 <= l <= self._lens[i]):
+                raise ValueError(
+                    f"timestamp {l} of process {i} outside [0, {self._lens[i]}]"
+                )
+
+    def finished(self, state: Sequence[int], i: int) -> bool:
+        """Process *i* has nothing further to analyze in this state.
+
+        Either it sits on its MPI_Finalize (the designated terminal
+        operation) or it consumed its entire *recorded* trace — the
+        latter occurs for trace prefixes/windows, where running off the
+        end means "need more events", never "blocked".
+        """
+        l = state[i]
+        if l >= self._lens[i]:
+            return True
+        op = self.trace.op((i, l))
+        return op.is_finalize()
+
+    # ------------------------------------------------------------------
+    # rule evaluation
+    # ------------------------------------------------------------------
+
+    def rule_label(self, state: Sequence[int], i: int) -> Optional[str]:
+        """The rule that advances process *i* in ``state``, if any."""
+        l = state[i]
+        if l >= self._lens[i]:
+            return None
+        op = self.trace.op((i, l))
+        if op.is_finalize():
+            return None
+        if not is_blocking(op, self.semantics):
+            return RULE_NB
+        if op.is_p2p():
+            match = self.matched.match_of((i, l))
+            if match is not None and state[match[0]] >= match[1]:
+                return RULE_P2P
+            return None
+        if op.is_collective():
+            if self._collective_satisfied(state, op):
+                return RULE_COLL
+            return None
+        if op.is_completion():
+            label = RULE_ALL if _needs_all(op) else RULE_ANY
+            if self._completion_satisfied(state, op):
+                return label
+            return None
+        return None
+
+    def can_advance(self, state: Sequence[int], i: int) -> bool:
+        return self.rule_label(state, i) is not None
+
+    def _collective_satisfied(self, state: Sequence[int], op: Operation) -> bool:
+        match = self.matched.collective_match(op.ref)
+        if self.semantics.collective_synchronizes(op.kind):
+            if match is None:
+                return False
+            return all(state[k] >= n for (k, n) in match.members)
+        # Relaxed analysis semantics (Section 3.3: adapt b to the MPI
+        # implementation's choices): rooted collectives synchronize only
+        # through the root.
+        return self._relaxed_collective_satisfied(state, op, match)
+
+    def _relaxed_collective_satisfied(
+        self,
+        state: Sequence[int],
+        op: Operation,
+        match: Optional[CollectiveMatch],
+    ) -> bool:
+        kind = op.kind
+        if kind in (OpKind.REDUCE, OpKind.GATHER):
+            if op.rank != op.root:
+                return True
+            if match is None:
+                return False
+            return all(state[k] >= n for (k, n) in match.members)
+        if kind in (OpKind.BCAST, OpKind.SCATTER):
+            if op.rank == op.root:
+                return True
+            members = self._wave_members(op.ref, match)
+            for (k, n) in members:
+                if k == op.root:
+                    return state[k] >= n
+            return False
+        # Everything else synchronizes the full group even when relaxed.
+        if match is None:
+            return False
+        return all(state[k] >= n for (k, n) in match.members)
+
+    def _wave_members(
+        self, ref: OpRef, match: Optional[CollectiveMatch]
+    ) -> Sequence[OpRef]:
+        if match is not None:
+            return tuple(match.members)
+        pending = self.matched.pending_collective_of(ref)
+        if pending is None:
+            return ()
+        return tuple(pending.arrived.values())
+
+    def _completion_target_satisfied(
+        self, state: Sequence[int], target: OpRef
+    ) -> bool:
+        top = self.trace.op(target)
+        if top.kind in _LOCALLY_COMPLETING_SENDS:
+            return True
+        if top.is_send() and self.semantics.send_buffers(top):
+            return True
+        match = self.matched.match_of(target)
+        if match is None:
+            return False
+        return state[match[0]] >= match[1]
+
+    def _completion_satisfied(self, state: Sequence[int], op: Operation) -> bool:
+        targets = self.matched.completion_targets(op.ref)
+        if not targets:
+            return True
+        if _needs_all(op):
+            return all(
+                self._completion_target_satisfied(state, t) for t in targets
+            )
+        return any(self._completion_target_satisfied(state, t) for t in targets)
+
+    # ------------------------------------------------------------------
+    # nondeterministic single-step interface (used by property tests)
+    # ------------------------------------------------------------------
+
+    def enabled_processes(self, state: Sequence[int]) -> List[int]:
+        self._check_state(state)
+        return [i for i in range(self._p) if self.can_advance(state, i)]
+
+    def step(self, state: Sequence[int], i: int) -> State:
+        if not self.can_advance(state, i):
+            raise ValueError(f"no rule advances process {i} in {state}")
+        new = list(state)
+        new[i] += 1
+        return tuple(new)
+
+    def is_terminal(self, state: Sequence[int]) -> bool:
+        return not self.enabled_processes(state)
+
+    def blocked_processes(self, state: Sequence[int]) -> Set[int]:
+        """Processes with no applicable rule that have not finished."""
+        self._check_state(state)
+        return {
+            i
+            for i in range(self._p)
+            if not self.finished(state, i) and not self.can_advance(state, i)
+        }
+
+    def finished_processes(self, state: Sequence[int]) -> Set[int]:
+        """Processes that produce no further operations in this trace.
+
+        For a complete trace these are terminated processes — they can
+        release no waiter, which the deadlock criterion must respect.
+        """
+        self._check_state(state)
+        return {i for i in range(self._p) if self.finished(state, i)}
+
+    # ------------------------------------------------------------------
+    # terminal-state computation
+    # ------------------------------------------------------------------
+
+    def run_slow(self, start: Sequence[int] | None = None) -> State:
+        """Naive fixpoint: repeatedly sweep all processes. O(p * steps)."""
+        state = list(start) if start is not None else [0] * self._p
+        self._check_state(state)
+        progress = True
+        while progress:
+            progress = False
+            for i in range(self._p):
+                while self.can_advance(state, i):
+                    state[i] += 1
+                    progress = True
+        return tuple(state)
+
+    def run(self, start: Sequence[int] | None = None) -> State:
+        """Event-driven computation of the unique terminal state.
+
+        Confluence (Section 3.1) guarantees any maximal rule application
+        order gives the same result, so a deterministic worklist order
+        is sound. Watches implement the monotone premises: a process
+        whose premise mentions ``l_k >= n`` re-checks when operation
+        ``(k, n)`` activates; complete collective matches keep a
+        counter of not-yet-active members.
+        """
+        state = list(start) if start is not None else [0] * self._p
+        self._check_state(state)
+
+        coll_remaining: Dict[int, int] = {}
+        coll_ranks: Dict[int, List[int]] = {}
+        for idx, match in enumerate(self.matched.collectives):
+            remaining = sum(
+                1 for (k, n) in match.members if state[k] < n
+            )
+            coll_remaining[idx] = remaining
+            coll_ranks[idx] = [k for (k, _n) in match.members]
+        coll_of_ref: Dict[OpRef, int] = {}
+        for idx, match in enumerate(self.matched.collectives):
+            for ref in match.members:
+                coll_of_ref[ref] = idx
+
+        watches: Dict[OpRef, List[int]] = {}
+        queue: deque[int] = deque(range(self._p))
+        queued = [True] * self._p
+
+        def enqueue(i: int) -> None:
+            if not queued[i]:
+                queued[i] = True
+                queue.append(i)
+
+        def on_activated(ref: OpRef) -> None:
+            # An operation became active (its process reached it).
+            for waiter in watches.pop(ref, ()):
+                enqueue(waiter)
+            idx = coll_of_ref.get(ref)
+            if idx is not None:
+                coll_remaining[idx] -= 1
+                if coll_remaining[idx] == 0:
+                    for k in coll_ranks[idx]:
+                        enqueue(k)
+
+        # No explicit initial-activation pass is needed: the collective
+        # counters above were initialized with `state[k] < n`, which
+        # already treats every op at or below the start timestamps as
+        # active, and no watches exist yet.
+        while queue:
+            i = queue.popleft()
+            queued[i] = False
+            while self.rule_label(state, i) is not None:
+                state[i] += 1
+                on_activated((i, state[i]))
+            self._register_watch(state, i, watches)
+        return tuple(state)
+
+    def _register_watch(
+        self,
+        state: Sequence[int],
+        i: int,
+        watches: Dict[OpRef, List[int]],
+    ) -> None:
+        """Register wake-up triggers for a currently stuck process."""
+        l = state[i]
+        if l >= self._lens[i]:
+            return
+        op = self.trace.op((i, l))
+        if op.is_finalize():
+            return
+        if op.is_p2p():
+            match = self.matched.match_of((i, l))
+            if match is not None and state[match[0]] < match[1]:
+                watches.setdefault(match, []).append(i)
+            return
+        if op.is_collective():
+            # Complete matches wake their members via the counter; for
+            # relaxed rooted collectives the root's activation matters.
+            if not self.semantics.collective_synchronizes(op.kind):
+                members = self._wave_members(
+                    (i, l), self.matched.collective_match((i, l))
+                )
+                for (k, n) in members:
+                    if state[k] < n:
+                        watches.setdefault((k, n), []).append(i)
+            return
+        if op.is_completion():
+            targets = self.matched.completion_targets((i, l))
+            for t in targets:
+                if self._completion_target_satisfied(state, t):
+                    continue
+                match = self.matched.match_of(t)
+                if match is not None and state[match[0]] < match[1]:
+                    watches.setdefault(match, []).append(i)
+                    if _needs_all(op):
+                        # One unsatisfied watched premise suffices for
+                        # AND; re-registration happens on re-check.
+                        return
+            return
+
+    # ------------------------------------------------------------------
+    # deadlock-level results
+    # ------------------------------------------------------------------
+
+    def terminal_state(self) -> State:
+        return self.run()
+
+    def deadlocked(self, terminal: Sequence[int] | None = None) -> bool:
+        """True iff some process could not reach MPI_Finalize/trace end."""
+        state = terminal if terminal is not None else self.run()
+        return bool(self.blocked_processes(state))
+
+    # ------------------------------------------------------------------
+    # unexpected matches (Section 3.3)
+    # ------------------------------------------------------------------
+
+    def find_unexpected_matches(
+        self, state: Sequence[int] | None = None
+    ) -> List[UnexpectedMatch]:
+        """Detect wildcard receives whose strict blocking is suspect.
+
+        For each wildcard receive active in ``state`` (default: the
+        terminal state), report every active send whose envelope could
+        match it while point-to-point matching paired the receive with a
+        send that is *not* active in the state.
+        """
+        if state is None:
+            state = self.run()
+        self._check_state(state)
+        # Active sends by destination for quick lookup.
+        active_sends: Dict[int, List[Operation]] = {}
+        for k in range(self._p):
+            l = state[k]
+            if l >= self._lens[k]:
+                continue
+            op = self.trace.op((k, l))
+            if op.is_send():
+                active_sends.setdefault(op.peer, []).append(op)  # type: ignore[arg-type]
+        result: List[UnexpectedMatch] = []
+        for i in range(self._p):
+            l = state[i]
+            if l >= self._lens[i]:
+                continue
+            recv = self.trace.op((i, l))
+            if not recv.is_wildcard_receive():
+                continue
+            matched_send = self.matched.match_of((i, l))
+            if matched_send is not None:
+                k, n = matched_send
+                if state[k] == n:
+                    continue  # the matched send is active: no surprise
+            for send in active_sends.get(i, ()):  # sends targeting rank i
+                if matched_send is not None and send.ref == matched_send:
+                    continue
+                if recv.envelope_matches_send(send):
+                    result.append(
+                        UnexpectedMatch(
+                            receive=(i, l),
+                            candidate_send=send.ref,
+                            matched_send=matched_send,
+                        )
+                    )
+        return result
+
+
+def _needs_all(op: Operation) -> bool:
+    return op.kind in (OpKind.WAIT, OpKind.WAITALL)

@@ -1,0 +1,362 @@
+"""Interior and root TBON nodes.
+
+Interior nodes are pure tree plumbing: they aggregate
+``collectiveReady`` and ``ackConsistentState`` upward (forwarding a
+wave's readiness only once *all* of their descendant participants
+contributed — the order-preserving aggregation of [12]), broadcast
+root messages downward, and relay wait-info replies upward.
+
+The root node (``WfgCheck`` in Figure 1(b)) completes collective
+matching tree-wide, drives the Section 5 detection protocol, resolves
+the gathered wait-for conditions into the AND/OR wait-for graph, runs
+the deadlock criterion, and renders DOT/HTML output. Detection-phase
+durations are split into the paper's activity groups: synchronization
+and WFG-gather times come from the simulated network clock, while
+graph build / deadlock check / output generation are measured
+computation times of the root itself.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.messages import (
+    AckConsistentState,
+    CollectiveAck,
+    CollectiveReady,
+    CollectiveWait,
+    P2PWait,
+    RankWaitInfo,
+    RequestConsistentState,
+    RequestWaits,
+    WaitInfoMsg,
+)
+from repro.core.waitfor import WaitForCondition, WaitTarget, intern_target
+from repro.mpi.communicator import CommRegistry
+from repro.perf.timers import (
+    PHASE_DEADLOCK_CHECK,
+    PHASE_GRAPH_BUILD,
+    PHASE_OUTPUT,
+    PHASE_SYNchronization,
+    PHASE_WFG_GATHER,
+    PhaseTimers,
+)
+from repro.tbon.aggregation import WaveAggregator, WaveContribution
+from repro.tbon.network import Network
+from repro.tbon.topology import TbonTopology
+from repro.util.errors import ProtocolError
+from repro.wfg.detect import DetectionResult, detect_deadlock
+from repro.wfg.dot import render_dot
+from repro.wfg.graph import WaitForGraph
+from repro.wfg.report import render_html_report
+
+
+class InteriorNode:
+    """A non-root, non-first-layer tree node: aggregate and relay."""
+
+    def __init__(
+        self, node_id: int, topology: TbonTopology, comms: CommRegistry
+    ) -> None:
+        self.node_id = node_id
+        self.topology = topology
+        self.comms = comms
+        self._agg = WaveAggregator()
+        self._subtree_ranks = set(topology.ranks_under(node_id))
+        self._first_layer_below = sum(
+            1 for n in topology.first_layer
+            if node_id in topology.path_to_root(n)
+        )
+        self._ack_counts: Dict[int, int] = {}
+        self._participant_cache: Dict[int, int] = {}
+        self.stats: Dict[str, int] = {}
+
+    def handle(self, msg: object, net: Network, src: int) -> None:
+        self.stats[type(msg).__name__] = self.stats.get(type(msg).__name__, 0) + 1
+        parent = self.topology.parent(self.node_id)
+        if isinstance(msg, CollectiveReady):
+            emitted = self._agg.add(
+                (msg.comm_id, msg.wave_index),
+                WaveContribution(count=msg.count, kind=msg.kind, root=msg.root),
+                expected=self._expected_participants(msg.comm_id),
+            )
+            if emitted is not None:
+                net.send(
+                    self.node_id,
+                    parent,
+                    CollectiveReady(
+                        comm_id=msg.comm_id,
+                        wave_index=msg.wave_index,
+                        kind=emitted.kind,
+                        root=emitted.root,
+                        count=emitted.count,
+                    ),
+                    CollectiveReady.wire_size,
+                )
+        elif isinstance(msg, AckConsistentState):
+            total = self._ack_counts.get(msg.detection_id, 0) + msg.count
+            self._ack_counts[msg.detection_id] = total
+            if total == self._first_layer_below:
+                del self._ack_counts[msg.detection_id]
+                net.send(
+                    self.node_id,
+                    parent,
+                    AckConsistentState(msg.detection_id, count=total),
+                    AckConsistentState.wire_size,
+                )
+            elif total > self._first_layer_below:
+                raise ProtocolError("over-counted consistent-state acks")
+        elif isinstance(msg, WaitInfoMsg):
+            net.send(self.node_id, parent, msg, msg.wire_size)
+        elif isinstance(
+            msg, (CollectiveAck, RequestConsistentState, RequestWaits)
+        ):
+            for child in self.topology.children(self.node_id):
+                net.send(self.node_id, child, msg, getattr(msg, "wire_size", 32))
+        else:
+            raise ProtocolError(
+                f"interior node {self.node_id} cannot handle "
+                f"{type(msg).__name__}"
+            )
+
+    def _expected_participants(self, comm_id: int) -> int:
+        """Participants of the communicator under this subtree."""
+        cached = self._participant_cache.get(comm_id)
+        if cached is None:
+            group = set(self.comms.get(comm_id).group)
+            cached = sum(1 for r in self._subtree_ranks if r in group)
+            self._participant_cache[comm_id] = cached
+        return cached
+
+
+@dataclass
+class DetectionRecord:
+    """One timeout-triggered detection run at the root."""
+
+    detection_id: int
+    requested_at: float
+    consistent_at: Optional[float] = None
+    gathered_at: Optional[float] = None
+    graph: Optional[WaitForGraph] = None
+    result: Optional[DetectionResult] = None
+    conditions: Dict[int, WaitForCondition] = field(default_factory=dict)
+    timers: PhaseTimers = field(default_factory=PhaseTimers)
+    dot_text: Optional[str] = None
+    html_report: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.result is not None
+
+    @property
+    def has_deadlock(self) -> bool:
+        return bool(self.result and self.result.has_deadlock)
+
+
+class RootNode:
+    """The TBON root: collective matching and graph-based detection."""
+
+    def __init__(
+        self,
+        node_id: int,
+        topology: TbonTopology,
+        comms: CommRegistry,
+        *,
+        generate_outputs: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self.topology = topology
+        self.comms = comms
+        self.generate_outputs = generate_outputs
+        self._agg = WaveAggregator()
+        self._detections: Dict[int, DetectionRecord] = {}
+        self._next_detection = 0
+        self._active_detection: Optional[int] = None
+        self._deferred_detections = 0
+        self._pending_acks: Dict[int, int] = {}
+        self._pending_waits: Dict[int, List[WaitInfoMsg]] = {}
+        self.completed_detections: List[DetectionRecord] = []
+        self.stats: Dict[str, int] = {}
+
+    # -- message handling --------------------------------------------------
+
+    def handle(self, msg: object, net: Network, src: int) -> None:
+        self.stats[type(msg).__name__] = self.stats.get(type(msg).__name__, 0) + 1
+        if isinstance(msg, CollectiveReady):
+            group_size = self.comms.get(msg.comm_id).size
+            emitted = self._agg.add(
+                (msg.comm_id, msg.wave_index),
+                WaveContribution(count=msg.count, kind=msg.kind, root=msg.root),
+                expected=group_size,
+            )
+            if emitted is not None:
+                self._broadcast(
+                    net, CollectiveAck(msg.comm_id, msg.wave_index)
+                )
+        elif isinstance(msg, AckConsistentState):
+            self._handle_ack(msg, net)
+        elif isinstance(msg, WaitInfoMsg):
+            self._handle_wait_info(msg, net)
+        else:
+            raise ProtocolError(
+                f"root cannot handle {type(msg).__name__}"
+            )
+
+    def _broadcast(self, net: Network, msg: object) -> None:
+        for child in self.topology.children(self.node_id):
+            net.send(self.node_id, child, msg, getattr(msg, "wire_size", 32))
+
+    # -- detection protocol ---------------------------------------------------
+
+    def start_detection(self, net: Network) -> int:
+        """Timeout fired: request a consistent state (Section 5).
+
+        Detections are strictly serialized, as in MUST (the next
+        timeout is armed only after a detection completes): a request
+        arriving while one is in flight is deferred and fires as soon
+        as the active one finishes.
+        """
+        if self._active_detection is not None:
+            self._deferred_detections += 1
+            return self._active_detection
+        detection_id = self._next_detection
+        self._next_detection += 1
+        self._active_detection = detection_id
+        record = DetectionRecord(
+            detection_id=detection_id, requested_at=net.now
+        )
+        self._detections[detection_id] = record
+        self._pending_acks[detection_id] = 0
+        self._pending_waits[detection_id] = []
+        self._broadcast(net, RequestConsistentState(detection_id))
+        return detection_id
+
+    def _handle_ack(self, msg: AckConsistentState, net: Network) -> None:
+        record = self._detections.get(msg.detection_id)
+        if record is None:
+            raise ProtocolError(f"ack for unknown detection {msg.detection_id}")
+        total = self._pending_acks[msg.detection_id] + msg.count
+        self._pending_acks[msg.detection_id] = total
+        expected = len(self.topology.first_layer)
+        if total < expected:
+            return
+        if total > expected:
+            raise ProtocolError("more consistent-state acks than nodes")
+        record.consistent_at = net.now
+        record.timers.add(
+            PHASE_SYNchronization, net.now - record.requested_at
+        )
+        self._broadcast(net, RequestWaits(msg.detection_id))
+
+    def _handle_wait_info(self, msg: WaitInfoMsg, net: Network) -> None:
+        record = self._detections.get(msg.detection_id)
+        if record is None:
+            raise ProtocolError(
+                f"wait info for unknown detection {msg.detection_id}"
+            )
+        waits = self._pending_waits[msg.detection_id]
+        waits.append(msg)
+        if len(waits) < len(self.topology.first_layer):
+            return
+        record.gathered_at = net.now
+        assert record.consistent_at is not None
+        record.timers.add(
+            PHASE_WFG_GATHER, net.now - record.consistent_at
+        )
+        self._finish_detection(record, waits)
+        del self._detections[msg.detection_id]
+        del self._pending_acks[msg.detection_id]
+        del self._pending_waits[msg.detection_id]
+        self._active_detection = None
+        if self._deferred_detections > 0:
+            self._deferred_detections -= 1
+            self.start_detection(net)
+
+    # -- WFG construction at the root -----------------------------------------
+
+    def _finish_detection(
+        self, record: DetectionRecord, waits: Sequence[WaitInfoMsg]
+    ) -> None:
+        with record.timers.phase(PHASE_GRAPH_BUILD):
+            conditions = self._resolve_conditions(waits)
+            finished = {
+                rank for msg in waits for rank in msg.finished
+            }
+            graph = WaitForGraph.from_conditions(
+                self.topology.num_ranks,
+                conditions.values(),
+                finished=finished,
+            )
+        with record.timers.phase(PHASE_DEADLOCK_CHECK):
+            result = detect_deadlock(graph)
+        record.graph = graph
+        record.result = result
+        record.conditions = conditions
+        if self.generate_outputs and result.has_deadlock:
+            with record.timers.phase(PHASE_OUTPUT):
+                record.dot_text = render_dot(graph, result)
+                record.html_report = render_html_report(
+                    graph, result, conditions, dot_text=record.dot_text
+                )
+        self.completed_detections.append(record)
+
+    def _resolve_conditions(
+        self, waits: Sequence[WaitInfoMsg]
+    ) -> Dict[int, WaitForCondition]:
+        """Expand collective waits rank-wise and build CNF conditions.
+
+        A rank blocked in wave W waits (AND) for every group member
+        whose own blocked operation is *not* W: under strict blocking
+        semantics nobody can have passed an incomplete wave, so
+        non-reporters of W provably have not activated it.
+        """
+        blocked_wave: Dict[int, Tuple[int, int]] = {}
+        infos: Dict[int, RankWaitInfo] = {}
+        for msg in waits:
+            for info in msg.infos:
+                infos[info.rank] = info
+                for entry in info.entries:
+                    if isinstance(entry, CollectiveWait):
+                        blocked_wave[info.rank] = (
+                            entry.comm_id, entry.wave_index
+                        )
+        conditions: Dict[int, WaitForCondition] = {}
+        for rank in sorted(infos):
+            info = infos[rank]
+            cond = WaitForCondition(
+                rank=rank,
+                op_ref=(rank, -1),
+                op_description=info.op_description,
+            )
+            or_clause: List[WaitTarget] = []
+            for entry in info.entries:
+                if isinstance(entry, CollectiveWait):
+                    wave = (entry.comm_id, entry.wave_index)
+                    group = self.comms.get(entry.comm_id).group
+                    for k in group:
+                        if k == rank or blocked_wave.get(k) == wave:
+                            continue
+                        cond.clauses.append(
+                            (intern_target(k, "has not activated the wave"),)
+                        )
+                elif isinstance(entry, P2PWait):
+                    targets = tuple(
+                        intern_target(t, entry.reason)
+                        for t in entry.or_targets
+                    )
+                    if info.or_semantics:
+                        or_clause.extend(targets)
+                    else:
+                        cond.clauses.append(targets)
+                else:
+                    raise ProtocolError(
+                        f"unknown wait entry {type(entry).__name__}"
+                    )
+            if info.or_semantics:
+                cond.clauses.append(tuple(or_clause))
+            conditions[rank] = cond
+        return conditions
+
+    # -- results ------------------------------------------------------------
+
+    def last_detection(self) -> Optional[DetectionRecord]:
+        return self.completed_detections[-1] if self.completed_detections else None

@@ -1,0 +1,102 @@
+"""Centralized wait state analysis — the Figure 1(a) baseline.
+
+One tool process receives all operations, runs the transition system
+to its terminal state, derives wait-for conditions, builds the
+wait-for graph, checks the deadlock criterion, and renders the report.
+This is both the scalability baseline of the evaluation and the
+reference oracle the distributed implementation is validated against.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.transition import State, TransitionSystem, UnexpectedMatch
+from repro.core.waitfor import WaitForCondition, wait_for_conditions
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.trace import MatchedTrace
+from repro.perf.timers import (
+    PHASE_DEADLOCK_CHECK,
+    PHASE_GRAPH_BUILD,
+    PHASE_OUTPUT,
+    PHASE_WFG_GATHER,
+    PhaseTimers,
+)
+from repro.wfg.detect import DetectionResult, detect_deadlock
+from repro.wfg.dot import render_dot
+from repro.wfg.graph import WaitForGraph
+from repro.wfg.report import render_html_report
+
+
+@dataclass
+class DeadlockAnalysis:
+    """Complete result of one deadlock analysis over a matched trace."""
+
+    terminal_state: State
+    blocked: Tuple[int, ...]
+    conditions: Dict[int, WaitForCondition]
+    graph: WaitForGraph
+    detection: DetectionResult
+    unexpected_matches: List[UnexpectedMatch]
+    timers: PhaseTimers
+    dot_text: Optional[str] = None
+    html_report: Optional[str] = None
+
+    @property
+    def has_deadlock(self) -> bool:
+        return self.detection.has_deadlock
+
+    @property
+    def deadlocked(self) -> Tuple[int, ...]:
+        return self.detection.deadlocked
+
+
+def analyze_trace(
+    matched: MatchedTrace,
+    *,
+    semantics: BlockingSemantics | None = None,
+    generate_outputs: bool = True,
+) -> DeadlockAnalysis:
+    """Run the full centralized analysis pipeline on ``matched``.
+
+    ``generate_outputs=False`` skips DOT/HTML rendering (the dominant
+    cost at scale — Figure 10(b)); detection results are unaffected.
+    """
+    timers = PhaseTimers()
+    ts = TransitionSystem(matched, semantics=semantics)
+    with timers.phase(PHASE_WFG_GATHER):
+        terminal = ts.run()
+        conditions = wait_for_conditions(ts, terminal)
+    with timers.phase(PHASE_GRAPH_BUILD):
+        graph = WaitForGraph.from_conditions(
+            ts.num_processes,
+            conditions.values(),
+            finished=ts.finished_processes(terminal),
+        )
+    with timers.phase(PHASE_DEADLOCK_CHECK):
+        detection = detect_deadlock(graph)
+    unexpected = ts.find_unexpected_matches(terminal)
+    dot_text = None
+    html_report = None
+    if generate_outputs:
+        with timers.phase(PHASE_OUTPUT):
+            if detection.has_deadlock:
+                dot_text = render_dot(graph, detection)
+                html_report = render_html_report(
+                    graph,
+                    detection,
+                    conditions,
+                    dot_text=dot_text,
+                    unexpected=unexpected,
+                )
+    return DeadlockAnalysis(
+        terminal_state=terminal,
+        blocked=tuple(sorted(conditions)),
+        conditions=conditions,
+        graph=graph,
+        detection=detection,
+        unexpected_matches=unexpected,
+        timers=timers,
+        dot_text=dot_text,
+        html_report=html_report,
+    )

@@ -1,0 +1,125 @@
+"""Centralized collective matching (``CollectiveMatch`` in Figure 1(a)).
+
+MPI orders collective calls per communicator: the *w*-th collective
+call of every group member on one communicator belongs to the same
+matching wave. The matcher assigns wave indices per (rank, comm) in
+issue order, verifies the MUST consistency checks (same operation
+kind, same root across a wave), and emits complete waves as
+:class:`~repro.mpi.trace.CollectiveMatch` and incomplete ones as
+:class:`~repro.mpi.trace.PendingCollective`.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.trace import (
+    CollectiveMatch,
+    MatchedTrace,
+    PendingCollective,
+    Trace,
+)
+from repro.util.errors import CollectiveMismatchError
+
+
+class _Wave:
+    __slots__ = ("kind", "root", "arrived")
+
+    def __init__(self) -> None:
+        self.kind = None
+        self.root = None
+        self.arrived: Dict[int, int] = {}
+
+
+def match_collectives(
+    trace: Trace, comms: CommRegistry
+) -> Tuple[List[CollectiveMatch], List[PendingCollective]]:
+    """Group collective operations into complete/pending waves."""
+    waves: Dict[int, List[_Wave]] = {}
+    counters: Dict[Tuple[int, int], int] = {}
+    for rank in range(trace.num_processes):
+        for op in trace.sequence(rank):
+            if not op.is_collective():
+                continue
+            key = (rank, op.comm_id)
+            index = counters.get(key, 0)
+            counters[key] = index + 1
+            comm_waves = waves.setdefault(op.comm_id, [])
+            while len(comm_waves) <= index:
+                comm_waves.append(_Wave())
+            wave = comm_waves[index]
+            if wave.kind is None:
+                wave.kind = op.kind
+                wave.root = op.root
+            elif wave.kind is not op.kind:
+                raise CollectiveMismatchError(
+                    f"wave {index} on comm {op.comm_id}: {op.describe()} "
+                    f"arrives where {wave.kind.value} expected"
+                )
+            elif wave.root != op.root:
+                raise CollectiveMismatchError(
+                    f"wave {index} on comm {op.comm_id}: root mismatch "
+                    f"({op.root} vs {wave.root})"
+                )
+            if rank in wave.arrived:
+                raise CollectiveMismatchError(
+                    f"rank {rank} participates twice in wave {index} on "
+                    f"comm {op.comm_id}"
+                )
+            wave.arrived[rank] = op.ts
+    complete: List[CollectiveMatch] = []
+    pending: List[PendingCollective] = []
+    for comm_id, comm_waves in waves.items():
+        group = comms.get(comm_id).group
+        for index, wave in enumerate(comm_waves):
+            if set(wave.arrived) == set(group):
+                complete.append(
+                    CollectiveMatch(
+                        comm_id=comm_id,
+                        members=frozenset(
+                            (r, ts) for r, ts in wave.arrived.items()
+                        ),
+                    )
+                )
+            else:
+                extra = set(wave.arrived) - set(group)
+                if extra:
+                    raise CollectiveMismatchError(
+                        f"ranks {sorted(extra)} joined wave {index} on comm "
+                        f"{comm_id} without being group members"
+                    )
+                pending.append(
+                    PendingCollective(
+                        comm_id=comm_id,
+                        index=index,
+                        arrived={
+                            r: (r, ts) for r, ts in wave.arrived.items()
+                        },
+                    )
+                )
+    return complete, pending
+
+
+def match_trace(trace: Trace, comms: CommRegistry) -> MatchedTrace:
+    """Full centralized matching: p2p + collectives + request table.
+
+    Produces the :class:`~repro.mpi.trace.MatchedTrace` the wait state
+    analysis consumes, from a raw trace alone.
+    """
+    from repro.matching.p2p import match_point_to_point
+
+    matched = MatchedTrace(trace, comms)
+    send_of, probe_match = match_point_to_point(trace)
+    for recv_ref, send_ref in send_of.items():
+        matched.add_p2p_match(send_ref, recv_ref)
+    for probe_ref, send_ref in probe_match.items():
+        matched.add_probe_match(probe_ref, send_ref)
+    complete, pending = match_collectives(trace, comms)
+    for match in complete:
+        matched.add_collective_match(match)
+    for pend in pending:
+        matched.add_pending_collective(pend)
+    for op in trace:
+        if op.request is not None:
+            matched.register_request(op.rank, op.request, op.ref)
+    return matched

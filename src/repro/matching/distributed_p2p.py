@@ -1,0 +1,142 @@
+"""Distributed point-to-point matching at a first-layer node [13].
+
+Matching is receiver-located: send information travels (as
+:class:`~repro.core.messages.PassSend`, intralayer) to the node that
+hosts the destination rank; that node pairs sends with its hosted
+receives. Wildcard receives are resolved with the matching decision
+the MPI implementation made at runtime (``observed_peer`` on the
+operation — the "additional status update" of Section 4.1); a wildcard
+receive that never completed in the application run stays unmatched.
+
+MPI's non-overtaking rule is preserved: per (communicator, source,
+destination) channel, sends are consumed in send order by the
+tag-compatible receives in their posted order.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import PassSend
+from repro.mpi.constants import ANY_TAG
+from repro.mpi.ops import Operation, OpRef
+
+
+@dataclass
+class _StoredSend:
+    info: PassSend
+    consumed: bool = False
+
+
+@dataclass
+class _PostedRecv:
+    ref: OpRef
+    comm_id: int
+    #: Resolved source: explicit peer or the runtime-observed wildcard
+    #: decision; None when the wildcard never resolved (unmatchable).
+    source: Optional[int]
+    tag: int
+    is_probe: bool
+    matched: bool = False
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """A pairing produced by the matcher."""
+
+    recv_ref: OpRef
+    send: PassSend
+    is_probe: bool
+
+
+class NodeP2PMatcher:
+    """Receiver-side matching structures of one first-layer node."""
+
+    def __init__(self) -> None:
+        #: (comm, src, dst) -> sends in arrival order.
+        self._sends: Dict[Tuple[int, int, int], List[_StoredSend]] = {}
+        #: (comm, dst) -> posted receives/probes in issue order.
+        self._recvs: Dict[Tuple[int, int], List[_PostedRecv]] = {}
+
+    # -- receives -----------------------------------------------------------
+
+    def post_receive(self, op: Operation) -> Optional[MatchEvent]:
+        """Register a hosted receive/probe; return its match if found."""
+        source = op.effective_source()
+        posted = _PostedRecv(
+            ref=op.ref,
+            comm_id=op.comm_id,
+            source=source,
+            tag=op.tag,
+            is_probe=op.is_probe(),
+        )
+        event = self._match_posted(posted)
+        if event is None or posted.is_probe:
+            # Probes stay posted only if unmatched; matched probes are
+            # complete (they never consume), unmatched directed probes
+            # wait for a send to arrive.
+            if event is None:
+                self._recvs.setdefault(
+                    (op.comm_id, op.rank), []
+                ).append(posted)
+        return event
+
+    def _match_posted(self, posted: _PostedRecv) -> Optional[MatchEvent]:
+        if posted.source is None:
+            return None  # unresolved wildcard: never matches
+        key = (posted.comm_id, posted.source, posted.ref[0])
+        for stored in self._sends.get(key, ()):
+            if stored.consumed:
+                continue
+            if posted.tag != ANY_TAG and posted.tag != stored.info.tag:
+                continue
+            if not posted.is_probe:
+                stored.consumed = True
+            posted.matched = True
+            return MatchEvent(
+                recv_ref=posted.ref, send=stored.info, is_probe=posted.is_probe
+            )
+        return None
+
+    # -- sends ----------------------------------------------------------------
+
+    def store_send(self, info: PassSend) -> List[MatchEvent]:
+        """handlePassSend: match against posted receives, else store.
+
+        Returns all pairings this arrival produces (possibly several
+        probes plus one consuming receive).
+        """
+        events: List[MatchEvent] = []
+        stored = _StoredSend(info=info)
+        posted_list = self._recvs.get((info.comm_id, info.dest), [])
+        for posted in posted_list:
+            if posted.matched or posted.source != info.send_rank:
+                continue
+            if posted.tag != ANY_TAG and posted.tag != info.tag:
+                continue
+            posted.matched = True
+            events.append(
+                MatchEvent(
+                    recv_ref=posted.ref, send=info, is_probe=posted.is_probe
+                )
+            )
+            if not posted.is_probe:
+                stored.consumed = True
+                break  # the message is consumed; later receives wait
+        key = (info.comm_id, info.send_rank, info.dest)
+        self._sends.setdefault(key, []).append(stored)
+        if len(posted_list) > 32:
+            self._recvs[(info.comm_id, info.dest)] = [
+                p for p in posted_list if not p.matched
+            ]
+        return events
+
+    def pending_receive_count(self) -> int:
+        return sum(
+            1 for lst in self._recvs.values() for p in lst if not p.matched
+        )
+
+    def stored_send_count(self) -> int:
+        return sum(
+            1 for lst in self._sends.values() for s in lst if not s.consumed
+        )

@@ -1,0 +1,116 @@
+"""Centralized point-to-point matching (``P2PMatch`` in Figure 1(a)).
+
+Reconstructs the send/receive pairing from a raw trace: per
+(communicator, source, destination) channel, sends are consumed in
+issue order by tag-compatible receives in their issue order; wildcard
+receives resolve their source from the runtime-observed decision
+(``observed_peer``). Probes match without consuming.
+
+This is the reference matcher — the distributed, receiver-located
+matcher of :mod:`repro.matching.distributed_p2p` must produce the
+identical pairing for any delivery schedule, which the property suite
+checks.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.mpi.constants import ANY_TAG, PROC_NULL
+from repro.mpi.ops import Operation, OpRef
+from repro.mpi.trace import Trace
+from repro.util.errors import TraceError
+
+
+class _Channel:
+    """Unconsumed sends of one (comm, src, dst) channel, in order."""
+
+    def __init__(self) -> None:
+        self.sends: List[Operation] = []
+        self.next_unconsumed = 0
+
+    def add(self, op: Operation) -> None:
+        self.sends.append(op)
+
+    def take(self, tag: int) -> Optional[Operation]:
+        """Consume the earliest send compatible with ``tag``."""
+        for idx in range(self.next_unconsumed, len(self.sends)):
+            send = self.sends[idx]
+            if send is None:
+                continue
+            if tag == ANY_TAG or tag == send.tag:
+                self.sends[idx] = None  # type: ignore[call-overload]
+                while (
+                    self.next_unconsumed < len(self.sends)
+                    and self.sends[self.next_unconsumed] is None
+                ):
+                    self.next_unconsumed += 1
+                return send
+        return None
+
+    def peek(self, tag: int) -> Optional[Operation]:
+        for idx in range(self.next_unconsumed, len(self.sends)):
+            send = self.sends[idx]
+            if send is None:
+                continue
+            if tag == ANY_TAG or tag == send.tag:
+                return send
+        return None
+
+
+def match_point_to_point(
+    trace: Trace,
+) -> Tuple[Dict[OpRef, OpRef], Dict[OpRef, OpRef]]:
+    """Compute ``(send_of_recv, probe_match)`` for a raw trace.
+
+    Operations are replayed in a global order consistent with each
+    process's issue order (round-robin interleaving); because channel
+    consumption is commutative across different channels and ordered
+    within one, any such order yields the same pairing.
+    """
+    channels: Dict[Tuple[int, int, int], _Channel] = {}
+    send_of: Dict[OpRef, OpRef] = {}
+    probe_match: Dict[OpRef, OpRef] = {}
+    deferred: List[Operation] = []
+
+    def channel(comm: int, src: int, dst: int) -> _Channel:
+        key = (comm, src, dst)
+        ch = channels.get(key)
+        if ch is None:
+            ch = _Channel()
+            channels[key] = ch
+        return ch
+
+    # Pass 1: enqueue all sends (their availability for matching does
+    # not depend on receive order — only consumption order does).
+    for op in trace:
+        if op.is_send() and op.peer is not None and op.peer >= 0:
+            channel(op.comm_id, op.rank, op.peer).add(op)
+
+    # Pass 2: resolve receives/probes per process in issue order. Within
+    # one (src, dst, comm) channel the receive order equals issue order
+    # of the destination process, so per-process sequential resolution
+    # is exact.
+    for rank in range(trace.num_processes):
+        for op in trace.sequence(rank):
+            if not (op.is_recv() or op.is_probe()):
+                continue
+            if op.peer == PROC_NULL:
+                continue
+            source = op.effective_source()
+            if source is None:
+                continue  # unresolved wildcard: stays unmatched
+            ch = channel(op.comm_id, source, op.rank)
+            if op.is_probe():
+                send = ch.peek(op.tag)
+                if send is not None:
+                    probe_match[op.ref] = send.ref
+                continue
+            send = ch.take(op.tag)
+            if send is None:
+                raise TraceError(
+                    f"{op.describe()} observed source {source} but no "
+                    "unconsumed matching send exists in the trace"
+                )
+            send_of[op.ref] = send.ref
+    del deferred
+    return send_of, probe_match

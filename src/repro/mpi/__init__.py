@@ -1,0 +1,33 @@
+"""MPI model: operations, communicators, traces, blocking predicate."""
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    WORLD_COMM_ID,
+    OpKind,
+)
+from repro.mpi.blocking import BlockingSemantics, is_blocking
+from repro.mpi.communicator import Communicator, CommRegistry
+from repro.mpi.ops import Operation, OpRef, make_op
+from repro.mpi.serialize import load_trace, save_trace
+from repro.mpi.trace import CollectiveMatch, MatchedTrace, Trace
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "WORLD_COMM_ID",
+    "OpKind",
+    "BlockingSemantics",
+    "is_blocking",
+    "Communicator",
+    "CommRegistry",
+    "Operation",
+    "OpRef",
+    "make_op",
+    "CollectiveMatch",
+    "load_trace",
+    "save_trace",
+    "MatchedTrace",
+    "Trace",
+]

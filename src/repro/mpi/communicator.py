@@ -1,0 +1,128 @@
+"""Communicator model: process groups and communicator identities.
+
+The analyses only need two facts about a communicator: its identity (to
+separate matching contexts) and its process group (to know which ranks
+participate in a collective). Creation collectives (``MPI_Comm_dup``,
+``MPI_Comm_split``, ``MPI_Comm_create``) are themselves matched as
+collectives over the *parent* group, as Section 3.1 prescribes.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.mpi.constants import WORLD_COMM_ID
+
+
+@dataclass(frozen=True)
+class Communicator:
+    """An immutable communicator: identity plus ordered process group."""
+
+    comm_id: int
+    #: World ranks of the group members, in local-rank order.
+    group: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.group)) != len(self.group):
+            raise ValueError("communicator group contains duplicate ranks")
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    def local_rank(self, world_rank: int) -> int:
+        """Translate a world rank to this communicator's local rank."""
+        try:
+            return self.group.index(world_rank)
+        except ValueError:
+            raise KeyError(
+                f"rank {world_rank} is not in communicator {self.comm_id}"
+            ) from None
+
+    def world_rank(self, local_rank: int) -> int:
+        """Translate a local rank to the world rank."""
+        return self.group[local_rank]
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self.group
+
+
+class CommRegistry:
+    """Registry of communicators known to a run of the tool.
+
+    Both the virtual runtime and the tool sides use one registry: the
+    runtime assigns ids when creation collectives complete, and the tool
+    reconstructs the same ids deterministically because creation
+    collectives are matched in a defined order per parent communicator.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        if world_size <= 0:
+            raise ValueError("world size must be positive")
+        self._comms: Dict[int, Communicator] = {}
+        self._next_id = WORLD_COMM_ID + 1
+        world = Communicator(WORLD_COMM_ID, tuple(range(world_size)))
+        self._comms[WORLD_COMM_ID] = world
+
+    @property
+    def world(self) -> Communicator:
+        return self._comms[WORLD_COMM_ID]
+
+    @property
+    def world_size(self) -> int:
+        return self.world.size
+
+    def get(self, comm_id: int) -> Communicator:
+        try:
+            return self._comms[comm_id]
+        except KeyError:
+            raise KeyError(f"unknown communicator id {comm_id}") from None
+
+    def __contains__(self, comm_id: int) -> bool:
+        return comm_id in self._comms
+
+    def create(self, group: Iterable[int]) -> Communicator:
+        """Register a new communicator over ``group`` and return it."""
+        comm = Communicator(self._next_id, tuple(group))
+        for rank in comm.group:
+            if not (0 <= rank < self.world_size):
+                raise ValueError(f"rank {rank} outside world")
+        self._comms[comm.comm_id] = comm
+        self._next_id += 1
+        return comm
+
+    def dup(self, comm_id: int) -> Communicator:
+        """Duplicate an existing communicator (``MPI_Comm_dup``)."""
+        return self.create(self.get(comm_id).group)
+
+    def split(
+        self, comm_id: int, colors: Dict[int, Optional[int]]
+    ) -> Dict[int, Optional[Communicator]]:
+        """Split ``comm_id`` by color (``MPI_Comm_split``).
+
+        ``colors`` maps every member world rank to its color (``None``
+        meaning ``MPI_UNDEFINED``). Returns the new communicator of each
+        rank (``None`` for undefined colors). Within a color, members are
+        ordered by their key; like MPI we use the world rank as the key
+        (callers wanting custom keys can pre-sort).
+        """
+        parent = self.get(comm_id)
+        missing = set(parent.group) - set(colors)
+        if missing:
+            raise ValueError(f"split missing colors for ranks {sorted(missing)}")
+        by_color: Dict[int, list] = {}
+        for rank in parent.group:
+            color = colors[rank]
+            if color is not None:
+                by_color.setdefault(color, []).append(rank)
+        result: Dict[int, Optional[Communicator]] = {
+            rank: None for rank in parent.group
+        }
+        for color in sorted(by_color):
+            comm = self.create(sorted(by_color[color]))
+            for rank in comm.group:
+                result[rank] = comm
+        return result
+
+    def all_ids(self) -> Tuple[int, ...]:
+        return tuple(self._comms)

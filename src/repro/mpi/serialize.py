@@ -1,0 +1,192 @@
+"""Trace (de)serialization: record once, analyze anywhere.
+
+Matched traces serialize to a versioned JSON document so runs recorded
+by the virtual runtime (or, in principle, a real PMPI interception
+layer producing the same schema) can be stored, shipped, and analyzed
+offline. The format is intentionally plain: one object per operation
+with only the fields deadlock analysis consumes.
+"""
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import OpKind, WORLD_COMM_ID
+from repro.mpi.ops import Operation
+from repro.mpi.trace import (
+    CollectiveMatch,
+    MatchedTrace,
+    PendingCollective,
+    Trace,
+)
+from repro.util.errors import TraceError
+
+FORMAT_VERSION = 1
+
+_KIND_BY_NAME = {kind.name: kind for kind in OpKind}
+
+
+def _op_to_dict(op: Operation) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"kind": op.kind.name}
+    if op.comm_id != WORLD_COMM_ID:
+        out["comm"] = op.comm_id
+    for attr, key in (
+        ("peer", "peer"),
+        ("root", "root"),
+        ("request", "request"),
+        ("observed_peer", "obs_peer"),
+        ("observed_tag", "obs_tag"),
+        ("sendrecv_group", "srg"),
+    ):
+        value = getattr(op, attr)
+        if value is not None:
+            out[key] = value
+    if op.tag:
+        out["tag"] = op.tag
+    if op.requests:
+        out["requests"] = list(op.requests)
+    if op.completed_indices:
+        out["completed"] = list(op.completed_indices)
+    if op.test_flag:
+        out["flag"] = True
+    if op.nbytes:
+        out["nbytes"] = op.nbytes
+    if op.location:
+        out["location"] = op.location
+    return out
+
+
+def _op_from_dict(rank: int, ts: int, data: Dict[str, Any]) -> Operation:
+    try:
+        kind = _KIND_BY_NAME[data["kind"]]
+    except KeyError:
+        raise TraceError(f"unknown operation kind {data.get('kind')!r}")
+    return Operation(
+        kind=kind,
+        rank=rank,
+        ts=ts,
+        comm_id=data.get("comm", WORLD_COMM_ID),
+        peer=data.get("peer"),
+        tag=data.get("tag", 0),
+        root=data.get("root"),
+        request=data.get("request"),
+        requests=tuple(data.get("requests", ())),
+        observed_peer=data.get("obs_peer"),
+        observed_tag=data.get("obs_tag"),
+        completed_indices=tuple(data.get("completed", ())),
+        test_flag=data.get("flag", False),
+        nbytes=data.get("nbytes", 0),
+        sendrecv_group=data.get("srg"),
+        location=data.get("location", ""),
+    )
+
+
+def matched_trace_to_dict(matched: MatchedTrace) -> Dict[str, Any]:
+    """Serialize a matched trace to a JSON-compatible dict."""
+    trace = matched.trace
+    comms: List[Dict[str, Any]] = []
+    for comm_id in matched.comms.all_ids():
+        if comm_id == WORLD_COMM_ID:
+            continue
+        comm = matched.comms.get(comm_id)
+        comms.append({"id": comm.comm_id, "group": list(comm.group)})
+    return {
+        "format": FORMAT_VERSION,
+        "num_processes": trace.num_processes,
+        "communicators": comms,
+        "ranks": [
+            [_op_to_dict(op) for op in trace.sequence(rank)]
+            for rank in range(trace.num_processes)
+        ],
+        "p2p_matches": [
+            [list(send), list(recv)]
+            for recv, send in sorted(matched.send_of.items())
+        ],
+        "probe_matches": [
+            [list(probe), list(send)]
+            for probe, send in sorted(matched.probe_match.items())
+        ],
+        "collectives": [
+            {"comm": m.comm_id, "members": sorted(map(list, m.members))}
+            for m in matched.collectives
+        ],
+        "pending_collectives": [
+            {
+                "comm": p.comm_id,
+                "index": p.index,
+                "arrived": {str(r): list(ref) for r, ref in p.arrived.items()},
+            }
+            for p in matched.pending_collectives
+        ],
+        "requests": [
+            [rank, req, list(creator)]
+            for (rank, req), creator in sorted(matched.request_op.items())
+        ],
+    }
+
+
+def matched_trace_from_dict(data: Dict[str, Any]) -> MatchedTrace:
+    """Reconstruct a matched trace; validates internal consistency."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    num = data["num_processes"]
+    sequences = [
+        [
+            _op_from_dict(rank, ts, op_data)
+            for ts, op_data in enumerate(data["ranks"][rank])
+        ]
+        for rank in range(num)
+    ]
+    trace = Trace(sequences)
+    comms = CommRegistry(num)
+    for entry in sorted(data.get("communicators", ()), key=lambda e: e["id"]):
+        comm = comms.create(entry["group"])
+        if comm.comm_id != entry["id"]:
+            raise TraceError(
+                f"communicator ids must be dense and ordered; got "
+                f"{entry['id']}, expected {comm.comm_id}"
+            )
+    matched = MatchedTrace(trace, comms)
+    for send, recv in data.get("p2p_matches", ()):
+        matched.add_p2p_match(tuple(send), tuple(recv))
+    for probe, send in data.get("probe_matches", ()):
+        matched.add_probe_match(tuple(probe), tuple(send))
+    for entry in data.get("collectives", ()):
+        matched.add_collective_match(
+            CollectiveMatch(
+                comm_id=entry["comm"],
+                members=frozenset(tuple(m) for m in entry["members"]),
+            )
+        )
+    for entry in data.get("pending_collectives", ()):
+        matched.add_pending_collective(
+            PendingCollective(
+                comm_id=entry["comm"],
+                index=entry["index"],
+                arrived={
+                    int(r): tuple(ref)
+                    for r, ref in entry["arrived"].items()
+                },
+            )
+        )
+    for rank, req, creator in data.get("requests", ()):
+        matched.register_request(rank, req, tuple(creator))
+    matched.validate()
+    return matched
+
+
+def save_trace(matched: MatchedTrace, path: str) -> None:
+    """Write a matched trace to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(matched_trace_to_dict(matched), handle)
+
+
+def load_trace(path: str) -> MatchedTrace:
+    """Read a matched trace from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return matched_trace_from_dict(json.load(handle))

@@ -1,0 +1,207 @@
+"""Traces and matched traces.
+
+A :class:`Trace` is the family ``t(i) = o_{i,0}, ..., o_{i,m_i}`` of
+per-process operation sequences; a :class:`MatchedTrace` additionally
+carries the output of point-to-point and collective matching, i.e. the
+exact input of the wait state transition system of Section 3.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.ops import Operation, OpRef
+
+
+class Trace:
+    """The per-process operation sequences of one (partial) execution."""
+
+    def __init__(self, sequences: Iterable[Iterable[Operation]]) -> None:
+        self._seqs: List[List[Operation]] = [list(s) for s in sequences]
+        for rank, seq in enumerate(self._seqs):
+            for ts, op in enumerate(seq):
+                if op.rank != rank or op.ts != ts:
+                    raise ValueError(
+                        f"operation {op.describe()} filed at position "
+                        f"({rank}, {ts})"
+                    )
+
+    @property
+    def num_processes(self) -> int:
+        return len(self._seqs)
+
+    def length(self, rank: int) -> int:
+        """``m_i + 1``: the number of operations of process ``rank``."""
+        return len(self._seqs[rank])
+
+    def lengths(self) -> Tuple[int, ...]:
+        return tuple(len(s) for s in self._seqs)
+
+    def sequence(self, rank: int) -> Tuple[Operation, ...]:
+        return tuple(self._seqs[rank])
+
+    def op(self, ref: OpRef) -> Operation:
+        rank, ts = ref
+        return self._seqs[rank][ts]
+
+    def has_op(self, ref: OpRef) -> bool:
+        rank, ts = ref
+        return 0 <= rank < len(self._seqs) and 0 <= ts < len(self._seqs[rank])
+
+    def __iter__(self) -> Iterator[Operation]:
+        for seq in self._seqs:
+            yield from seq
+
+    def total_ops(self) -> int:
+        return sum(len(s) for s in self._seqs)
+
+
+@dataclass(frozen=True)
+class CollectiveMatch:
+    """A complete set ``C`` of matching collective operations (rule 3)."""
+
+    comm_id: int
+    #: One participating operation per group member.
+    members: FrozenSet[OpRef]
+
+    def __contains__(self, ref: OpRef) -> bool:
+        return ref in self.members
+
+
+@dataclass
+class PendingCollective:
+    """An *incomplete* collective wave: some group members never arrived.
+
+    Rule (3) needs only complete matches, but wait-for reporting uses
+    pending waves to say precisely *which* ranks a collective blocks on.
+    """
+
+    comm_id: int
+    index: int
+    arrived: Dict[int, OpRef] = field(default_factory=dict)
+
+
+@dataclass
+class MatchedTrace:
+    """A trace together with its matching information.
+
+    ``send_of`` / ``recv_of`` encode the bijection between matched sends
+    and receives; ``probe_match`` maps each probe to the send it
+    observed (probes do not consume the send — rule 2's "only differs
+    ... since it does not receive a message"); ``collective_of`` maps
+    every participating op to its complete match set, which only exists
+    once the set is complete; ``request_op`` resolves request ids to the
+    non-blocking operation that created them.
+
+    Unmatched operations (possible in deadlocked traces) simply have no
+    entry.
+    """
+
+    trace: Trace
+    comms: CommRegistry
+    send_of: Dict[OpRef, OpRef] = field(default_factory=dict)
+    recv_of: Dict[OpRef, OpRef] = field(default_factory=dict)
+    probe_match: Dict[OpRef, OpRef] = field(default_factory=dict)
+    collectives: List[CollectiveMatch] = field(default_factory=list)
+    pending_collectives: List[PendingCollective] = field(default_factory=list)
+    request_op: Dict[Tuple[int, int], OpRef] = field(default_factory=dict)
+    _coll_index: Dict[OpRef, CollectiveMatch] = field(default_factory=dict)
+    _pending_index: Dict[OpRef, PendingCollective] = field(default_factory=dict)
+
+    def add_p2p_match(self, send: OpRef, recv: OpRef) -> None:
+        """Record that send ``send`` matches receive ``recv``."""
+        if recv in self.send_of or send in self.recv_of:
+            raise ValueError(
+                f"duplicate p2p match: send {send} / recv {recv}"
+            )
+        self.send_of[recv] = send
+        self.recv_of[send] = recv
+
+    def add_probe_match(self, probe: OpRef, send: OpRef) -> None:
+        if probe in self.probe_match:
+            raise ValueError(f"duplicate probe match for {probe}")
+        self.probe_match[probe] = send
+
+    def add_collective_match(self, match: CollectiveMatch) -> None:
+        self.collectives.append(match)
+        for ref in match.members:
+            if ref in self._coll_index:
+                raise ValueError(f"operation {ref} in two collective matches")
+            self._coll_index[ref] = match
+
+    def add_pending_collective(self, pending: PendingCollective) -> None:
+        self.pending_collectives.append(pending)
+        for ref in pending.arrived.values():
+            if ref in self._coll_index or ref in self._pending_index:
+                raise ValueError(f"operation {ref} already in a wave")
+            self._pending_index[ref] = pending
+
+    def pending_collective_of(self, ref: OpRef) -> Optional[PendingCollective]:
+        return self._pending_index.get(ref)
+
+    def register_request(self, rank: int, request: int, creator: OpRef) -> None:
+        key = (rank, request)
+        if key in self.request_op:
+            raise ValueError(f"request {request} of rank {rank} reused")
+        self.request_op[key] = creator
+
+    # -- queries the transition system needs ----------------------------
+
+    def match_of(self, ref: OpRef) -> Optional[OpRef]:
+        """Matching partner of a send/receive, or the send a probe saw."""
+        op = self.trace.op(ref)
+        if op.is_send():
+            return self.recv_of.get(ref)
+        if op.is_recv():
+            return self.send_of.get(ref)
+        if op.is_probe():
+            return self.probe_match.get(ref)
+        raise ValueError(f"{op.describe()} has no p2p match partner")
+
+    def collective_match(self, ref: OpRef) -> Optional[CollectiveMatch]:
+        return self._coll_index.get(ref)
+
+    def request_creator(self, rank: int, request: int) -> OpRef:
+        try:
+            return self.request_op[(rank, request)]
+        except KeyError:
+            raise KeyError(
+                f"request {request} of rank {rank} has no creator in trace"
+            ) from None
+
+    def completion_targets(self, ref: OpRef) -> Tuple[OpRef, ...]:
+        """The non-blocking ops ``o_{i,j_0}..o_{i,j_x}`` a completion uses."""
+        op = self.trace.op(ref)
+        if not op.is_completion():
+            raise ValueError(f"{op.describe()} is not a completion")
+        return tuple(
+            self.request_creator(op.rank, req) for req in op.requests
+        )
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and the matchers)."""
+        for recv_ref, send_ref in self.send_of.items():
+            send = self.trace.op(send_ref)
+            recv = self.trace.op(recv_ref)
+            if not recv.envelope_matches_send(send):
+                raise ValueError(
+                    f"recorded match {send.describe()} -> {recv.describe()}"
+                    " violates envelope matching"
+                )
+        for match in self.collectives:
+            comm = self.comms.get(match.comm_id)
+            ranks = sorted(r for r, _ in match.members)
+            if ranks != sorted(comm.group):
+                raise ValueError(
+                    f"collective match on comm {match.comm_id} has ranks"
+                    f" {ranks}, expected {sorted(comm.group)}"
+                )
+            kinds = {self.trace.op(ref).kind for ref in match.members}
+            if len(kinds) != 1:
+                raise ValueError(
+                    f"collective match mixes operation kinds {kinds}"
+                )
+        for (rank, _req), creator in self.request_op.items():
+            if creator[0] != rank:
+                raise ValueError("request creator recorded on wrong rank")

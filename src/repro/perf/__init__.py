@@ -1,0 +1,38 @@
+"""Performance model: cost constants, placement, slowdown formulas."""
+from repro.perf.costmodel import SIERRA, CostModel
+from repro.perf.placement import Placement
+from repro.perf.replay import (
+    ReplayResult,
+    replay_reference,
+    replay_slowdown,
+    replay_with_tool,
+)
+from repro.perf.slowdown import (
+    AppProfile,
+    StressTestConfig,
+    spec_slowdown,
+    stress_centralized_slowdown,
+    stress_distributed_slowdown,
+    stress_reference_iteration,
+    stress_sweep,
+)
+from repro.perf.timers import ALL_PHASES, PhaseTimers
+
+__all__ = [
+    "ALL_PHASES",
+    "ReplayResult",
+    "replay_reference",
+    "replay_slowdown",
+    "replay_with_tool",
+    "AppProfile",
+    "CostModel",
+    "PhaseTimers",
+    "Placement",
+    "SIERRA",
+    "StressTestConfig",
+    "spec_slowdown",
+    "stress_centralized_slowdown",
+    "stress_distributed_slowdown",
+    "stress_reference_iteration",
+    "stress_sweep",
+]

@@ -1,0 +1,107 @@
+"""Cost constants and primitive time formulas of the performance model.
+
+The paper's slowdown results (Figures 9 and 12) were measured on
+Sierra; we regenerate their *shape* from a queueing-style model with
+explicitly documented constants. The model captures the mechanisms the
+paper names:
+
+* latency-bound applications stress the tool because every MPI call
+  produces tool events (Section 6, stress test design);
+* wait-state messages use immediate (non-aggregated) communication
+  (Section 4.2), so they pay full per-message cost, while matching
+  traffic streams through aggregated buffers at a fraction of it;
+* a first-layer node serves ``fan_in`` ranks; the centralized tool is
+  a single node serving all ``p`` ranks — its service time grows
+  linearly with ``p`` and dominates the application's own rate
+  (Figure 9's diverging baseline);
+* reference runs slow down at scale as the intra-/inter-node
+  communication mix shifts (Section 6), which *reduces* relative tool
+  overhead.
+
+Constants are calibrated so the 16-process fan-in-2 stress-test
+slowdown lands near the paper's ~70x and decays toward ~45x at 4,096;
+EXPERIMENTS.md reports the generated series against the paper's.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perf.placement import Placement
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency/processing constants (seconds, bytes)."""
+
+    #: Intra-node (shared memory) small-message latency.
+    intra_latency: float = 0.45e-6
+    #: Inter-node (QDR InfiniBand) small-message latency.
+    inter_latency: float = 1.7e-6
+    #: Per-byte transfer cost (≈3.2 GB/s QDR effective bandwidth).
+    per_byte: float = 1.0 / 3.2e9
+    #: Tool-node processing cost per wait-state/matching event. Pure
+    #: tool-side CPU cost; MUST's handlers run in an interpreted event
+    #: framework (GTI), hence microseconds per event.
+    tool_event_cost: float = 5.2e-6
+    #: Per-message cost for immediate (non-aggregatable) tool messages —
+    #: the wait-state traffic of Section 4.2.
+    immediate_msg_cost: float = 1.9e-6
+    #: Relative cost of streamed/aggregated matching traffic: many
+    #: events share one buffer, so the per-event wire cost shrinks.
+    streaming_factor: float = 0.15
+    #: Application compute time between MPI calls in the stress test
+    #: (communication-bound: almost nothing).
+    stress_compute: float = 0.2e-6
+    #: Overlap factor for barrier rounds: consecutive dissemination
+    #: rounds pipeline on real interconnects, so the end-to-end barrier
+    #: is below the sum of round latencies.
+    barrier_overlap: float = 0.45
+
+    placement: Placement = Placement()
+
+    def p2p_latency(self, src: int, dst: int, nbytes: int = 4) -> float:
+        base = (
+            self.intra_latency
+            if self.placement.same_host(src, dst)
+            else self.inter_latency
+        )
+        return base + nbytes * self.per_byte
+
+    def mixed_latency(self, internode_fraction: float, nbytes: int = 4) -> float:
+        """Latency under an intra/inter mix (for aggregate formulas)."""
+        lat = (
+            (1.0 - internode_fraction) * self.intra_latency
+            + internode_fraction * self.inter_latency
+        )
+        return lat + nbytes * self.per_byte
+
+    def barrier_time(self, num_ranks: int) -> float:
+        """Dissemination barrier: ceil(log2 p) rounds.
+
+        Rounds with distance < cores-per-node run at intra-node speed;
+        wider rounds cross the network.
+        """
+        if num_ranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(num_ranks))
+        total = 0.0
+        for k in range(rounds):
+            distance = 1 << k
+            lat = (
+                self.intra_latency
+                if distance < self.placement.cores_per_node
+                else self.inter_latency
+            )
+            total += lat
+        return total * self.barrier_overlap
+
+    def reduction_time(self, num_ranks: int, nbytes: int = 8) -> float:
+        """Binomial-tree reduction/broadcast estimate."""
+        return self.barrier_time(num_ranks) + nbytes * self.per_byte * max(
+            1, math.ceil(math.log2(max(num_ranks, 2)))
+        )
+
+
+#: The default, Sierra-calibrated model used by the benches.
+SIERRA = CostModel()

@@ -1,0 +1,43 @@
+"""Cluster placement model (LLNL Sierra-like).
+
+Sierra nodes have two 6-core Xeon 5660 processors (12 cores) and a QDR
+InfiniBand interconnect. Ranks are placed consecutively, 12 per node;
+tool processes occupy additional cores/nodes. The placement determines
+which communication is intra-node (shared-memory speed) vs inter-node
+(network speed) — the effect behind the paper's observation that tool
+overhead *decreases* at scale: reference runs shift toward inter-node
+communication while tool costs stay constant.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Consecutive rank placement with ``cores_per_node`` per host."""
+
+    cores_per_node: int = 12
+
+    def host_of(self, rank: int) -> int:
+        return rank // self.cores_per_node
+
+    def same_host(self, a: int, b: int) -> bool:
+        return self.host_of(a) == self.host_of(b)
+
+    def hosts_for(self, num_ranks: int) -> int:
+        return -(-num_ranks // self.cores_per_node)
+
+    def internode_fraction_ring(self, num_ranks: int) -> float:
+        """Fraction of ring-neighbour pairs that cross hosts.
+
+        The cyclic-exchange stress test communicates with rank+1 and
+        rank-1; with consecutive placement only the pairs straddling a
+        host boundary (and the wrap-around pair) are inter-node.
+        """
+        if num_ranks <= 1:
+            return 0.0
+        if num_ranks <= self.cores_per_node:
+            return 0.0
+        boundary_pairs = self.hosts_for(num_ranks)
+        return min(1.0, boundary_pairs / num_ranks)

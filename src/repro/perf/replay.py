@@ -1,0 +1,286 @@
+"""Timed trace replay: an executable check on the Figure 9 model.
+
+The analytic slowdown model (:mod:`repro.perf.slowdown`) reduces the
+tool's effect to a service-rate formula. This module validates that
+reduction by *replaying* a matched trace on a simple timed machine:
+
+* **Reference replay** computes each operation's completion time from
+  the trace's real dependency structure (per-rank program order,
+  matched rendezvous, collective barriers) under the cost model's
+  latencies — a longest-path computation over the dependency DAG.
+* **Tool-coupled replay** adds one tool server per first-layer node:
+  every operation enqueues an event on its rank's host, hosts process
+  events FIFO at ``tool_event_cost`` (plus immediate-message cost for
+  handshakes crossing hosts), and a bounded per-rank event queue
+  back-pressures the application — an operation cannot issue until the
+  host has drained the rank's events ``queue_depth`` calls back.
+
+``replay_slowdown`` returns tool-makespan / reference-makespan. It is
+an app-level abstraction (it does not re-run the protocol machinery —
+the correctness path does that), so agreement with the analytic model
+within tens of percent, with the same trends, is the validation
+target; EXPERIMENTS.md reports both.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.constants import OpKind
+from repro.mpi.ops import Operation
+from repro.mpi.trace import MatchedTrace
+from repro.perf.costmodel import SIERRA, CostModel
+from repro.tbon.topology import TbonTopology
+from repro.util.errors import TraceError
+
+
+@dataclass
+class ReplayResult:
+    """Timings of one replay pass."""
+
+    makespan: float
+    per_rank_finish: Tuple[float, ...]
+
+
+def _completion_times(
+    matched: MatchedTrace,
+    model: CostModel,
+    *,
+    issue_gate: Optional[List[List[float]]] = None,
+    compute_gap: float | None = None,
+) -> ReplayResult:
+    """Longest-path completion times over the trace dependency DAG.
+
+    ``issue_gate[rank][ts]`` (optional) is an extra lower bound on the
+    *issue* time of each operation — the tool back-pressure hook.
+    Relaxed-run semantics are used (buffered standard sends), matching
+    how the traces driving the overhead study were produced.
+    """
+    trace = matched.trace
+    p = trace.num_processes
+    gap = model.stress_compute if compute_gap is None else compute_gap
+    semantics = BlockingSemantics.relaxed()
+    completion: List[List[Optional[float]]] = [
+        [None] * trace.length(rank) for rank in range(p)
+    ]
+
+    def issue_time(rank: int, ts: int) -> Optional[float]:
+        prev = completion[rank][ts - 1] if ts > 0 else 0.0
+        if prev is None:
+            return None
+        start = prev + gap
+        if issue_gate is not None:
+            start = max(start, issue_gate[rank][ts])
+        return start
+
+    def try_complete(op: Operation) -> Optional[float]:
+        rank, ts = op.rank, op.ts
+        start = issue_time(rank, ts)
+        if start is None:
+            return None
+        kind = op.kind
+        if op.is_send():
+            if semantics.send_buffers(op) or kind in (
+                OpKind.BSEND, OpKind.IBSEND, OpKind.RSEND, OpKind.IRSEND,
+            ) or not op.is_p2p() or (op.peer is not None and op.peer < 0):
+                return start
+            if kind in (OpKind.ISEND, OpKind.ISSEND, OpKind.PSTART_SEND):
+                return start  # request creation is local
+            # Blocking rendezvous: wait for the matched receive's issue.
+            match = matched.match_of(op.ref)
+            if match is None:
+                raise TraceError(f"replaying unmatched send {op.describe()}")
+            partner_issue = issue_time(*match)
+            if partner_issue is None:
+                return None
+            return max(start, partner_issue) + model.p2p_latency(
+                rank, op.peer, op.nbytes  # type: ignore[arg-type]
+            )
+        if op.is_recv() or op.is_probe():
+            if kind in (OpKind.IRECV, OpKind.PSTART_RECV, OpKind.IPROBE):
+                return start
+            if op.peer is not None and op.peer < 0 and op.peer != -1:
+                return start  # PROC_NULL
+            match = matched.match_of(op.ref)
+            if match is None:
+                raise TraceError(f"replaying unmatched {op.describe()}")
+            sender_issue = issue_time(*match)
+            if sender_issue is None:
+                return None
+            src = match[0]
+            return max(start, sender_issue + model.p2p_latency(
+                src, rank, op.nbytes
+            ))
+        if op.is_collective() or op.is_finalize():
+            if op.is_finalize():
+                return start
+            match = matched.collective_match(op.ref)
+            if match is None:
+                raise TraceError(
+                    f"replaying incomplete collective {op.describe()}"
+                )
+            latest = start
+            for (k, n) in match.members:
+                member_issue = issue_time(k, n)
+                if member_issue is None:
+                    return None
+                latest = max(latest, member_issue)
+            comm = matched.comms.get(op.comm_id)
+            return latest + model.barrier_time(comm.size)
+        if op.is_completion():
+            latest = start
+            for target in matched.completion_targets(op.ref):
+                top = trace.op(target)
+                if top.is_send():
+                    match = matched.match_of(target)
+                    if match is None:
+                        # Buffered/eager: locally complete.
+                        continue
+                    partner_issue = issue_time(*match)
+                    if partner_issue is None:
+                        return None
+                    latest = max(latest, partner_issue)
+                else:
+                    match = matched.match_of(target)
+                    if match is None:
+                        raise TraceError(
+                            f"replaying unmatched {top.describe()}"
+                        )
+                    sender_issue = issue_time(*match)
+                    if sender_issue is None:
+                        return None
+                    latest = max(
+                        latest,
+                        sender_issue + model.p2p_latency(
+                            match[0], rank, top.nbytes
+                        ),
+                    )
+            return latest
+        return start  # local management calls
+
+    # Fixpoint sweeps: each sweep resolves at least one more op.
+    remaining = trace.total_ops()
+    while remaining:
+        progressed = 0
+        for rank in range(p):
+            for ts in range(trace.length(rank)):
+                if completion[rank][ts] is not None:
+                    continue
+                value = try_complete(trace.op((rank, ts)))
+                if value is None:
+                    break  # later ops of this rank depend on this one
+                completion[rank][ts] = value
+                progressed += 1
+        if progressed == 0:
+            raise TraceError(
+                "timed replay made no progress (deadlocked trace?)"
+            )
+        remaining -= progressed
+    finishes = tuple(
+        completion[rank][-1] if completion[rank] else 0.0
+        for rank in range(p)
+    )
+    return ReplayResult(
+        makespan=max(finishes, default=0.0), per_rank_finish=finishes
+    )
+
+
+def replay_reference(
+    matched: MatchedTrace, model: CostModel = SIERRA
+) -> ReplayResult:
+    """Reference-run replay (no tool attached)."""
+    return _completion_times(matched, model)
+
+
+def replay_with_tool(
+    matched: MatchedTrace,
+    fan_in: int,
+    model: CostModel = SIERRA,
+    *,
+    queue_depth: int = 4,
+    centralized: bool = False,
+) -> ReplayResult:
+    """Tool-coupled replay: FIFO tool servers + bounded event queues.
+
+    Two passes: the reference pass fixes each operation's *uncoupled*
+    issue order; the tool pass then serializes the per-host event work
+    and feeds the resulting drain times back as issue gates. One
+    feedback round captures the dominant effect (the steady-state
+    service-rate limit) without iterating to a fixpoint.
+    """
+    trace = matched.trace
+    p = trace.num_processes
+    if centralized:
+        host_of = {rank: 0 for rank in range(p)}
+        events_per_op = 2.0
+        event_cost = 0.8e-6
+    else:
+        topo = TbonTopology.build(p, fan_in)
+        host_of = {rank: topo.host_of_rank(rank) for rank in range(p)}
+        events_per_op = 2.0
+        event_cost = model.tool_event_cost
+
+    # Serialize tool work per host, in each host's event-arrival order.
+    # The per-op event arrival times use a monotone per-rank
+    # approximation of the uncoupled pass: the rank's finish time
+    # spread uniformly across its ops (sufficient for event ordering).
+    base = _completion_times(matched, model)
+    events: Dict[int, List[Tuple[float, int, int]]] = {}
+    times: List[List[float]] = [
+        [0.0] * trace.length(rank) for rank in range(p)
+    ]
+    for rank in range(p):
+        n = trace.length(rank)
+        finish = base.per_rank_finish[rank]
+        for ts in range(n):
+            times[rank][ts] = finish * (ts + 1) / max(n, 1)
+    for rank in range(p):
+        for ts in range(trace.length(rank)):
+            host = host_of[rank]
+            op = trace.op((rank, ts))
+            cost = events_per_op * event_cost
+            if not centralized and op.is_p2p() and op.peer is not None:
+                if op.peer >= 0 and host_of.get(op.peer) != host:
+                    cost += model.immediate_msg_cost
+            events.setdefault(host, []).append((times[rank][ts], rank, ts))
+    drain: Dict[Tuple[int, int], float] = {}
+    for host, host_events in events.items():
+        host_events.sort()
+        clock = 0.0
+        for arrival, rank, ts in host_events:
+            op = trace.op((rank, ts))
+            cost = events_per_op * event_cost
+            if not centralized and op.is_p2p() and op.peer is not None:
+                if op.peer >= 0 and host_of.get(op.peer) != host:
+                    cost += model.immediate_msg_cost
+            clock = max(clock, arrival) + cost
+            drain[(rank, ts)] = clock
+
+    # Back-pressure gates: op ts may not issue before the host drained
+    # the rank's event from queue_depth calls earlier.
+    gates: List[List[float]] = [
+        [0.0] * trace.length(rank) for rank in range(p)
+    ]
+    for rank in range(p):
+        for ts in range(trace.length(rank)):
+            if ts >= queue_depth:
+                gates[rank][ts] = drain[(rank, ts - queue_depth)]
+    return _completion_times(matched, model, issue_gate=gates)
+
+
+def replay_slowdown(
+    matched: MatchedTrace,
+    fan_in: int,
+    model: CostModel = SIERRA,
+    *,
+    centralized: bool = False,
+) -> float:
+    """Tool-coupled / reference makespan ratio for one trace."""
+    ref = replay_reference(matched, model)
+    tool = replay_with_tool(
+        matched, fan_in, model, centralized=centralized
+    )
+    if ref.makespan <= 0:
+        return 1.0
+    return max(1.0, tool.makespan / ref.makespan)

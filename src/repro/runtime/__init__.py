@@ -1,0 +1,15 @@
+"""Virtual MPI runtime: rank programs, matching semantics, execution."""
+from repro.runtime.engine import Engine, RankProgram, RunResult, run_programs
+from repro.runtime.program import Call, Rank, Status
+from repro.runtime.scheduler import Scheduler
+
+__all__ = [
+    "Call",
+    "Engine",
+    "Rank",
+    "RankProgram",
+    "RunResult",
+    "Scheduler",
+    "Status",
+    "run_programs",
+]

@@ -1,0 +1,38 @@
+"""Deterministic rank schedulers for the virtual MPI runtime.
+
+The engine is a cooperative scheduler over rank coroutines; the policy
+here decides which runnable rank steps next. Seeded-random scheduling
+gives adversarial-but-reproducible interleavings — property tests run
+many seeds to cover interleavings the way a real cluster run covers
+exactly one.
+"""
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+class Scheduler:
+    """Chooses the next runnable rank. Policies: random, round_robin."""
+
+    def __init__(self, policy: str = "random", seed: int = 0) -> None:
+        if policy not in ("random", "round_robin"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._rr_next = 0
+
+    def pick(self, runnable: List[int]) -> int:
+        """Pick and remove one rank from ``runnable``."""
+        if not runnable:
+            raise ValueError("no runnable ranks")
+        if self.policy == "random":
+            idx = self._rng.randrange(len(runnable))
+        else:
+            # Round-robin: the smallest rank >= the rotating cursor.
+            ge = [i for i, r in enumerate(runnable) if r >= self._rr_next]
+            idx = min(ge, key=lambda i: runnable[i]) if ge else min(
+                range(len(runnable)), key=lambda i: runnable[i]
+            )
+            self._rr_next = runnable[idx] + 1
+        return runnable.pop(idx)

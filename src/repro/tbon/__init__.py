@@ -1,0 +1,19 @@
+"""TBON substrate: topology, channels, discrete-event network."""
+from repro.tbon.aggregation import WaveAggregator, WaveContribution
+from repro.tbon.network import (
+    LatencyModel,
+    Network,
+    fixed_latency,
+    jittered_latency,
+)
+from repro.tbon.topology import TbonTopology
+
+__all__ = [
+    "LatencyModel",
+    "Network",
+    "TbonTopology",
+    "WaveAggregator",
+    "WaveContribution",
+    "fixed_latency",
+    "jittered_latency",
+]

@@ -1,0 +1,97 @@
+"""Order-preserving aggregation helpers for TBON tree flows [12].
+
+Collective matching and the ``collectiveReady`` wait-state flow both
+reduce per-wave contributions up the tree: an interior node forwards a
+wave's message only once *all* of its descendant participants have
+contributed. :class:`WaveAggregator` implements that per-key counting
+together with the consistency checks (operation kind and root must
+agree across every contribution — mismatches are MUST usage errors).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.mpi.constants import OpKind
+from repro.util.errors import CollectiveMismatchError
+
+
+@dataclass
+class WaveContribution:
+    """An aggregated contribution for one wave from one subtree."""
+
+    count: int
+    kind: OpKind
+    root: Optional[int]
+
+
+@dataclass
+class _WaveSlot:
+    expected: int
+    count: int = 0
+    kind: Optional[OpKind] = None
+    root: Optional[int] = None
+    emitted: bool = False
+
+
+class WaveAggregator:
+    """Per-key reduction with completeness threshold.
+
+    ``expected`` is the number of descendant participants this node is
+    responsible for (statically known from topology and group layout);
+    :meth:`add` returns the aggregate exactly once, when the count
+    reaches the threshold.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[Hashable, _WaveSlot] = {}
+
+    def add(
+        self,
+        key: Hashable,
+        contribution: WaveContribution,
+        expected: int,
+    ) -> Optional[WaveContribution]:
+        if expected <= 0:
+            raise ValueError("expected participant count must be positive")
+        if contribution.count <= 0:
+            raise ValueError("contribution must cover at least one rank")
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = _WaveSlot(expected=expected)
+            self._slots[key] = slot
+        if slot.expected != expected:
+            raise CollectiveMismatchError(
+                f"wave {key}: inconsistent expected participant count"
+            )
+        if slot.kind is None:
+            slot.kind = contribution.kind
+            slot.root = contribution.root
+        else:
+            if slot.kind is not contribution.kind:
+                raise CollectiveMismatchError(
+                    f"wave {key}: {contribution.kind.value} aggregated "
+                    f"where {slot.kind.value} expected"
+                )
+            if slot.root != contribution.root:
+                raise CollectiveMismatchError(
+                    f"wave {key}: root mismatch "
+                    f"({contribution.root} vs {slot.root})"
+                )
+        slot.count += contribution.count
+        if slot.count > slot.expected:
+            raise CollectiveMismatchError(
+                f"wave {key}: more contributions ({slot.count}) than "
+                f"participants ({slot.expected})"
+            )
+        if slot.count == slot.expected and not slot.emitted:
+            slot.emitted = True
+            return WaveContribution(
+                count=slot.count, kind=slot.kind, root=slot.root
+            )
+        return None
+
+    def pending_keys(self) -> Tuple[Hashable, ...]:
+        return tuple(
+            key for key, slot in self._slots.items() if not slot.emitted
+        )

@@ -1,0 +1,177 @@
+"""Discrete-event simulation of the TBON's message transport.
+
+GTI's transport guarantees the distributed algorithm relies on are:
+(1) channels are non-overtaking — per (source, destination) pair,
+messages are handled in send order; and (2) every message eventually
+arrives. The simulator provides exactly these guarantees while
+otherwise delivering adversarially: per-message latency comes from a
+pluggable model (deterministic constants for the cost studies, seeded
+random jitter for protocol stress tests), and each node processes one
+message at a time with a configurable per-message cost.
+
+Handlers run inside the simulation: a node's ``handle`` may call
+:meth:`Network.send`, and time advances only through the event queue —
+there is no wall-clock dependence anywhere.
+"""
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+
+class Node(Protocol):
+    """Anything attachable to the network."""
+
+    node_id: int
+
+    def handle(self, msg: object, net: "Network", src: int) -> None:
+        ...
+
+
+class LatencyModel(Protocol):
+    def __call__(self, src: int, dst: int, size: int) -> float:
+        ...
+
+
+def fixed_latency(seconds: float = 1e-6) -> LatencyModel:
+    """Constant link latency (useful for unit tests)."""
+
+    def model(src: int, dst: int, size: int) -> float:
+        return seconds
+
+    return model
+
+
+def jittered_latency(
+    seed: int, base: float = 1e-6, jitter: float = 5e-6
+) -> LatencyModel:
+    """Seeded-random latency: adversarial cross-channel interleavings.
+
+    Per-channel FIFO is still enforced by the network itself, so this
+    only perturbs the relative order of *different* channels — exactly
+    the freedom a real network has.
+    """
+    rng = random.Random(seed)
+
+    def model(src: int, dst: int, size: int) -> float:
+        return base + rng.random() * jitter
+
+    return model
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    kind: str = "deliver"
+    src: int = -1
+    dst: int = -1
+    msg: object = None
+    callback: Optional[Callable[[], None]] = None
+
+
+class Network:
+    """The event queue, channels, and node registry."""
+
+    def __init__(
+        self,
+        latency_model: LatencyModel | None = None,
+        *,
+        node_cost: float = 0.0,
+        max_events: int = 200_000_000,
+    ) -> None:
+        self._latency = latency_model or fixed_latency()
+        self._node_cost = node_cost
+        self._max_events = max_events
+        self._nodes: Dict[int, Node] = {}
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        #: Non-overtaking enforcement: earliest admissible delivery time
+        #: per (src, dst) channel.
+        self._channel_front: Dict[Tuple[int, int], float] = {}
+        #: Node busy-until times (one message processed at a time).
+        self._busy_until: Dict[int, float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def attach(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} attached twice")
+        self._nodes[node.node_id] = node
+
+    def send(self, src: int, dst: int, msg: object, size: int = 64) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` over the FIFO channel."""
+        if dst not in self._nodes:
+            raise KeyError(f"send to unattached node {dst}")
+        latency = self._latency(src, dst, size)
+        if latency < 0:
+            raise ValueError("negative latency")
+        arrival = self._now + latency
+        key = (src, dst)
+        front = self._channel_front.get(key, 0.0)
+        arrival = max(arrival, front)
+        # Strictly increase the channel front so same-instant messages
+        # still dequeue in send order (seq breaks exact ties).
+        self._channel_front[key] = arrival
+        heapq.heappush(
+            self._queue,
+            _Event(time=arrival, seq=next(self._seq), src=src, dst=dst,
+                   msg=msg),
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(
+            self._queue,
+            _Event(time=time, seq=next(self._seq), kind="call",
+                   callback=callback),
+        )
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        self.call_at(self._now + delay, callback)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (optionally up to simulated time ``until``).
+
+        Returns the simulated time when the queue drained (or ``until``).
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return self._now
+            event = heapq.heappop(self._queue)
+            processed += 1
+            if processed > self._max_events:
+                raise RuntimeError(
+                    f"network exceeded {self._max_events} events"
+                )
+            self._now = max(self._now, event.time)
+            if event.kind == "call":
+                assert event.callback is not None
+                event.callback()
+                continue
+            node = self._nodes[event.dst]
+            if self._node_cost > 0.0:
+                # Serialize processing on the node: handling starts when
+                # the node is free and occupies it for node_cost.
+                start = max(self._now, self._busy_until.get(event.dst, 0.0))
+                self._busy_until[event.dst] = start + self._node_cost
+                self._now = max(self._now, start)
+            node.handle(event.msg, self, event.src)
+        return self._now
+
+    def idle(self) -> bool:
+        return not self._queue

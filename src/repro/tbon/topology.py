@@ -1,0 +1,141 @@
+"""Tree-Based Overlay Network topology.
+
+The tool runs in a TBON over the application: layer 0 are the ``p``
+application processes, layer 1 the first tool layer (one node per
+``fan_in`` application processes — these run distributed p2p matching
+and wait state tracking), higher layers aggregate towards a single
+root (which matches collectives tree-wide and runs the centralized
+graph detection).
+
+Node identifiers are integers: application ranks are ``0..p-1`` and
+tool nodes continue the numbering upward layer by layer, so channel
+keys and placement tables stay simple.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TbonTopology:
+    """An immutable TBON layout."""
+
+    num_ranks: int
+    fan_in: int
+    #: layers[0] = application ranks; layers[-1] = (root,).
+    layers: Tuple[Tuple[int, ...], ...]
+    parent_of: Dict[int, int] = field(hash=False)
+    children_of: Dict[int, Tuple[int, ...]] = field(hash=False)
+
+    @classmethod
+    def build(cls, num_ranks: int, fan_in: int) -> "TbonTopology":
+        if num_ranks <= 0:
+            raise ValueError("need at least one application rank")
+        if fan_in < 2:
+            raise ValueError("fan-in must be at least 2")
+        layers: List[Tuple[int, ...]] = [tuple(range(num_ranks))]
+        parent: Dict[int, int] = {}
+        children: Dict[int, Tuple[int, ...]] = {}
+        next_id = num_ranks
+        current = layers[0]
+        while len(current) > 1 or len(layers) == 1:
+            upper: List[int] = []
+            for start in range(0, len(current), fan_in):
+                group = current[start:start + fan_in]
+                node = next_id
+                next_id += 1
+                upper.append(node)
+                children[node] = tuple(group)
+                for child in group:
+                    parent[child] = node
+            layers.append(tuple(upper))
+            current = tuple(upper)
+            if len(current) == 1:
+                break
+        if len(layers) == 2:
+            # Always give the tree a dedicated root above the first tool
+            # layer: first-layer nodes run wait-state tracking, the root
+            # runs collective matching and graph detection — distinct
+            # roles even when a single first-layer node would suffice.
+            root = next_id
+            children[root] = (current[0],)
+            parent[current[0]] = root
+            layers.append((root,))
+        return cls(
+            num_ranks=num_ranks,
+            fan_in=fan_in,
+            layers=tuple(layers),
+            parent_of=parent,
+            children_of=children,
+        )
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return self.layers[-1][0]
+
+    @property
+    def first_layer(self) -> Tuple[int, ...]:
+        """The tool nodes that receive application events directly."""
+        return self.layers[1]
+
+    @property
+    def tool_nodes(self) -> Tuple[int, ...]:
+        nodes: List[int] = []
+        for layer in self.layers[1:]:
+            nodes.extend(layer)
+        return tuple(nodes)
+
+    @property
+    def num_tool_nodes(self) -> int:
+        return sum(len(layer) for layer in self.layers[1:])
+
+    def parent(self, node: int) -> int:
+        try:
+            return self.parent_of[node]
+        except KeyError:
+            raise KeyError(f"node {node} has no parent (root?)") from None
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        return self.children_of.get(node, ())
+
+    def layer_of(self, node: int) -> int:
+        for idx, layer in enumerate(self.layers):
+            if node in layer:
+                return idx
+        raise KeyError(f"unknown node {node}")
+
+    def host_of_rank(self, rank: int) -> int:
+        """The first-layer tool node that hosts application rank ``rank``."""
+        if not (0 <= rank < self.num_ranks):
+            raise KeyError(f"rank {rank} outside application")
+        return self.parent_of[rank]
+
+    def ranks_of_host(self, node: int) -> Tuple[int, ...]:
+        """Application ranks reporting to first-layer node ``node``."""
+        if node not in self.layers[1]:
+            raise KeyError(f"node {node} is not in the first tool layer")
+        return self.children_of[node]
+
+    def ranks_under(self, node: int) -> Tuple[int, ...]:
+        """All application ranks in the subtree rooted at ``node``."""
+        if node < self.num_ranks:
+            return (node,)
+        out: List[int] = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            for child in self.children_of.get(n, ()):
+                if child < self.num_ranks:
+                    out.append(child)
+                else:
+                    stack.append(child)
+        return tuple(sorted(out))
+
+    def path_to_root(self, node: int) -> Tuple[int, ...]:
+        path = [node]
+        while path[-1] != self.root:
+            path.append(self.parent_of[path[-1]])
+        return tuple(path)

@@ -1,0 +1,20 @@
+"""Shared utilities: errors, deterministic RNG helpers."""
+from repro.util.errors import (
+    CollectiveMismatchError,
+    MpiUsageError,
+    ProtocolError,
+    ReproError,
+    ResourceLimitError,
+    RuntimeHang,
+    TraceError,
+)
+
+__all__ = [
+    "CollectiveMismatchError",
+    "MpiUsageError",
+    "ProtocolError",
+    "ReproError",
+    "ResourceLimitError",
+    "RuntimeHang",
+    "TraceError",
+]

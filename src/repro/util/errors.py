@@ -1,0 +1,35 @@
+"""Exception hierarchy of the reproduction library."""
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class MpiUsageError(ReproError):
+    """An application used MPI incorrectly (MUST would report this)."""
+
+
+class CollectiveMismatchError(MpiUsageError):
+    """Mismatched collective operations within one matching wave."""
+
+
+class TraceError(ReproError):
+    """A trace or matched trace is internally inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """A tool-internal protocol invariant was violated (a tool bug)."""
+
+
+class ResourceLimitError(ReproError):
+    """A configured resource limit was exceeded.
+
+    Mirrors the paper's 128.GAPgeofem case, where trace windows exceed
+    available main memory: the tool detects and reports the condition
+    rather than crashing.
+    """
+
+
+class RuntimeHang(ReproError):
+    """The virtual MPI runtime detected that the application hung."""

@@ -1,0 +1,19 @@
+"""Wait-for graphs: construction, deadlock criterion, DOT/HTML output."""
+from repro.wfg.detect import DetectionResult, detect_deadlock
+from repro.wfg.dot import render_dot
+from repro.wfg.graph import WaitForGraph, WfgNode
+from repro.wfg.report import render_html_report
+from repro.wfg.simplify import AggregatedWfg, RankSet, render_aggregated_dot, simplify
+
+__all__ = [
+    "AggregatedWfg",
+    "DetectionResult",
+    "RankSet",
+    "WaitForGraph",
+    "WfgNode",
+    "detect_deadlock",
+    "render_aggregated_dot",
+    "render_dot",
+    "render_html_report",
+    "simplify",
+]

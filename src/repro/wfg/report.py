@@ -1,0 +1,103 @@
+"""HTML deadlock reports, mirroring MUST's output artifact.
+
+When a deadlock is detected, MUST logs it in an HTML report and emits
+a DOT wait-for graph (Section 5). The report lists the deadlocked
+processes, their active MPI calls, the wait-for conditions, a witness
+dependency cycle, and any unexpected matches the analysis flagged.
+"""
+from __future__ import annotations
+
+import html
+import io
+from typing import Mapping, Optional, Sequence
+
+from repro.core.transition import UnexpectedMatch
+from repro.core.waitfor import WaitForCondition
+from repro.wfg.detect import DetectionResult
+from repro.wfg.graph import WaitForGraph
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em; }
+h1 { color: #8b0000; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
+th { background: #eee; }
+.dead { background: #ffe0e0; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+.ok { color: #006400; }
+"""
+
+
+def render_html_report(
+    graph: WaitForGraph,
+    result: DetectionResult,
+    conditions: Mapping[int, WaitForCondition],
+    *,
+    dot_text: Optional[str] = None,
+    unexpected: Sequence[UnexpectedMatch] = (),
+    title: str = "MUST-style deadlock report",
+) -> str:
+    """Produce the HTML report text for one detection run."""
+    out = io.StringIO()
+    out.write("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">")
+    out.write(f"<title>{html.escape(title)}</title>")
+    out.write(f"<style>{_STYLE}</style></head><body>\n")
+    if result.has_deadlock:
+        out.write(f"<h1>Deadlock detected: {len(result.deadlocked)} "
+                  "process(es) cannot proceed</h1>\n")
+    else:
+        out.write("<h1 class=\"ok\">No deadlock in the analyzed state</h1>\n")
+
+    if result.witness_cycle:
+        chain = " &rarr; ".join(str(r) for r in result.witness_cycle)
+        out.write(f"<p>Dependency cycle: <b>{chain} &rarr; "
+                  f"{result.witness_cycle[0]}</b></p>\n")
+
+    out.write("<h2>Blocked processes</h2>\n")
+    out.write("<table><tr><th>Rank</th><th>Active MPI call</th>"
+              "<th>Waits for</th><th>Status</th></tr>\n")
+    dead = set(result.deadlocked)
+    for rank in sorted(conditions):
+        cond = conditions[rank]
+        cls = " class=\"dead\"" if rank in dead else ""
+        waits = _render_condition(cond)
+        status = "deadlocked" if rank in dead else "blocked (releasable)"
+        out.write(
+            f"<tr{cls}><td>{rank}</td>"
+            f"<td><code>{html.escape(cond.op_description)}</code></td>"
+            f"<td>{waits}</td><td>{status}</td></tr>\n"
+        )
+    out.write("</table>\n")
+
+    if unexpected:
+        out.write("<h2>Unexpected matches (Section 3.3)</h2>\n<ul>\n")
+        for um in unexpected:
+            out.write(
+                "<li>wildcard receive at "
+                f"<code>{um.receive}</code> could match active send at "
+                f"<code>{um.candidate_send}</code> but was matched with "
+                f"<code>{um.matched_send}</code>; consider re-running "
+                "with implementation-adapted blocking semantics</li>\n"
+            )
+        out.write("</ul>\n")
+
+    out.write(f"<p>Wait-for graph: {len(graph.nodes)} node(s), "
+              f"{graph.arc_count()} arc(s).</p>\n")
+    if dot_text is not None:
+        out.write("<h2>Wait-for graph (DOT)</h2>\n")
+        out.write(f"<pre>{html.escape(dot_text)}</pre>\n")
+    out.write("</body></html>\n")
+    return out.getvalue()
+
+
+def _render_condition(cond: WaitForCondition) -> str:
+    parts = []
+    for clause in cond.clauses:
+        if not clause:
+            parts.append("<i>unsatisfiable (no possible partner)</i>")
+        elif len(clause) == 1:
+            parts.append(f"rank {clause[0].rank}")
+        else:
+            ranks = ", ".join(str(t.rank) for t in clause)
+            parts.append(f"any of [{ranks}]")
+    return " AND ".join(parts) if parts else "<i>nothing (tool anomaly)</i>"

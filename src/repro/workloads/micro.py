@@ -1,0 +1,131 @@
+"""The paper's micro examples: Figures 2(a), 2(b), and 4.
+
+Each example is provided as rank programs for the virtual runtime, so
+tests and examples can execute them under both strict and relaxed MPI
+semantics and compare detector verdicts with ground truth.
+"""
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.mpi.constants import ANY_SOURCE
+from repro.runtime.engine import RankProgram
+from repro.runtime.program import Call, Rank
+
+
+def fig2a_programs() -> List[RankProgram]:
+    """Figure 2(a): the classic recv-recv deadlock (always manifests).
+
+    Process 0: Recv(from 1); Send(to 1) — Process 1: Recv(from 0);
+    Send(to 0).
+    """
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        peer = 1 - rank.rank
+        yield rank.recv(source=peer)
+        yield rank.send(dest=peer)
+        yield rank.finalize()
+
+    return [worker, worker]
+
+
+def fig2b_programs() -> List[RankProgram]:
+    """Figure 2(b): send-send deadlock behind wildcards and a barrier.
+
+    Manifests only if standard sends do not buffer; the strict analysis
+    must detect it even when the execution completed.
+    """
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        if rank.rank == 0:
+            yield rank.send(dest=1)
+        elif rank.rank == 1:
+            yield rank.recv(source=ANY_SOURCE)
+            yield rank.recv(source=ANY_SOURCE)
+        else:
+            yield rank.send(dest=1)
+        yield rank.barrier()
+        yield rank.send(dest=(rank.rank + 1) % 3)
+        yield rank.recv(source=(rank.rank - 1) % 3)
+        yield rank.finalize()
+
+    return [worker, worker, worker]
+
+
+def fig4_programs() -> List[RankProgram]:
+    """Figure 4: the unexpected-match scenario.
+
+    Process 0: Send(to 1); Reduce — Process 1: Recv(ANY); Reduce;
+    Recv(ANY) — Process 2: Reduce; Send(to 1). If the reduce does not
+    synchronize (relaxed semantics, non-root ranks), process 2's send
+    may match process 1's *first* wildcard receive; the strict analysis
+    then cannot advance past its initial state and must flag the
+    unexpected match rather than report a spurious deadlock as fact.
+    """
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        if rank.rank == 0:
+            yield rank.send(dest=1)
+            yield rank.reduce(root=1)
+        elif rank.rank == 1:
+            yield rank.recv(source=ANY_SOURCE)
+            yield rank.reduce(root=1)
+            yield rank.recv(source=ANY_SOURCE)
+        else:
+            yield rank.reduce(root=1)
+            yield rank.send(dest=1)
+        yield rank.finalize()
+
+    return [worker, worker, worker]
+
+
+def head_to_head_sendrecv_programs(n: int = 2) -> List[RankProgram]:
+    """A safe head-to-head exchange via MPI_Sendrecv (footnote 1)."""
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        peer = (rank.rank + 1) % rank.size if rank.rank % 2 == 0 else (
+            rank.rank - 1
+        ) % rank.size
+        yield from rank.sendrecv(dest=peer, source=peer)
+        yield rank.finalize()
+
+    if n % 2 != 0:
+        raise ValueError("head-to-head exchange needs an even rank count")
+    return [worker] * n
+
+
+def waitall_deadlock_programs() -> List[RankProgram]:
+    """A completion-operation deadlock (rule 4): Waitall on an Irecv
+    whose sender never sends, with a second completable Irecv."""
+
+    def p0(rank: Rank) -> Iterator[Call]:
+        r1 = yield rank.irecv(source=1, tag=1)
+        r2 = yield rank.irecv(source=1, tag=2)
+        yield rank.waitall([r1, r2])
+        yield rank.finalize()
+
+    def p1(rank: Rank) -> Iterator[Call]:
+        yield rank.send(dest=0, tag=1)
+        # tag=2 is never sent: p0's Waitall blocks forever.
+        yield rank.recv(source=0)
+        yield rank.finalize()
+
+    return [p0, p1]
+
+
+def waitany_survivor_programs() -> List[RankProgram]:
+    """Waitany completes via one request although the other never can."""
+
+    def p0(rank: Rank) -> Iterator[Call]:
+        r1 = yield rank.irecv(source=1, tag=1)
+        r2 = yield rank.irecv(source=1, tag=2)
+        idx, _status = yield rank.waitany([r1, r2])
+        yield rank.send(dest=1, tag=9)
+        yield rank.finalize()
+
+    def p1(rank: Rank) -> Iterator[Call]:
+        yield rank.send(dest=0, tag=2)
+        yield rank.recv(source=0, tag=9)
+        yield rank.finalize()
+
+    return [p0, p1]

@@ -1,0 +1,310 @@
+"""Seeded random MPI program generation for property testing.
+
+Programs are straight-line per rank (no control flow depending on
+results), so the *trace* of a run is schedule-independent and the same
+program set can be executed under strict and relaxed semantics for
+oracle comparisons.
+
+:func:`safe_program_set` builds deadlock-free programs by
+construction: every communication event gets a global logical time;
+each rank's operations are ordered by that time. A blocking operation
+at time *t* only waits for operations at time *t*, and all operations
+before *t* complete inductively — the classic happens-before argument,
+valid even under the strict blocking semantics (rendezvous sends,
+synchronizing collectives).
+
+:func:`mutate_program_set` then damages a safe set — dropping sends,
+swapping adjacent operations — producing "maybe-deadlocking" inputs
+whose ground truth comes from executing them on the virtual runtime.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.runtime.engine import RankProgram
+from repro.runtime.program import Call, Rank
+
+
+@dataclass(frozen=True)
+class _Action:
+    """One scripted action of a rank program."""
+
+    kind: str  # send/ssend/bsend/isend/recv/wildcard_recv/irecv/wait/
+    #           waitall/barrier/allreduce/reduce/bcast/probe/iprobe/noop
+    peer: Optional[int] = None
+    tag: int = 0
+    root: Optional[int] = None
+    #: Indices (into the rank's action list) of the request-creating
+    #: actions a completion waits on.
+    wait_on: Tuple[int, ...] = ()
+    nbytes: int = 8
+
+
+@dataclass
+class GeneratedPrograms:
+    """A scripted program set plus generation metadata."""
+
+    scripts: List[List[_Action]]
+    safe_by_construction: bool
+    uses_wildcards: bool
+    seed: int
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.scripts)
+
+    def programs(self) -> List[RankProgram]:
+        return [_script_to_program(script) for script in self.scripts]
+
+    def total_actions(self) -> int:
+        return sum(len(s) for s in self.scripts)
+
+
+def _script_to_program(script: Sequence[_Action]) -> RankProgram:
+    def program(rank: Rank) -> Iterator[Call]:
+        requests: dict = {}
+        for idx, action in enumerate(script):
+            kind = action.kind
+            if kind == "send":
+                yield rank.send(action.peer, tag=action.tag,
+                                nbytes=action.nbytes)
+            elif kind == "ssend":
+                yield rank.ssend(action.peer, tag=action.tag,
+                                 nbytes=action.nbytes)
+            elif kind == "bsend":
+                yield rank.bsend(action.peer, tag=action.tag,
+                                 nbytes=action.nbytes)
+            elif kind == "isend":
+                requests[idx] = yield rank.isend(
+                    action.peer, tag=action.tag, nbytes=action.nbytes
+                )
+            elif kind == "recv":
+                yield rank.recv(source=action.peer, tag=action.tag)
+            elif kind == "wildcard_recv":
+                yield rank.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            elif kind == "irecv":
+                requests[idx] = yield rank.irecv(
+                    source=action.peer, tag=action.tag
+                )
+            elif kind == "wildcard_irecv":
+                requests[idx] = yield rank.irecv(
+                    source=ANY_SOURCE, tag=ANY_TAG
+                )
+            elif kind == "wait":
+                yield rank.wait(requests[action.wait_on[0]])
+            elif kind == "waitall":
+                yield rank.waitall(
+                    [requests[i] for i in action.wait_on]
+                )
+            elif kind == "waitany":
+                yield rank.waitany(
+                    [requests[i] for i in action.wait_on]
+                )
+            elif kind == "barrier":
+                yield rank.barrier()
+            elif kind == "allreduce":
+                yield rank.allreduce()
+            elif kind == "reduce":
+                yield rank.reduce(root=action.root or 0)
+            elif kind == "bcast":
+                yield rank.bcast(root=action.root or 0)
+            elif kind == "probe":
+                yield rank.probe(source=action.peer, tag=action.tag)
+            elif kind == "iprobe":
+                yield rank.iprobe(source=action.peer, tag=action.tag)
+            elif kind == "noop":
+                pass
+            else:
+                raise ValueError(f"unknown scripted action {kind}")
+        yield rank.finalize()
+
+    return program
+
+
+def safe_program_set(
+    p: int,
+    events: int,
+    seed: int,
+    *,
+    allow_wildcards: bool = False,
+    allow_collectives: bool = True,
+    allow_nonblocking: bool = True,
+) -> GeneratedPrograms:
+    """Generate a deadlock-free program set (see module docstring)."""
+    if p < 2:
+        raise ValueError("need at least two ranks")
+    rng = random.Random(seed)
+    scripts: List[List[_Action]] = [[] for _ in range(p)]
+    #: Per rank: indices of isend/irecv actions with no completion yet.
+    open_requests: List[List[int]] = [[] for _ in range(p)]
+    uses_wildcards = False
+
+    def flush_requests(rank: int) -> None:
+        """Complete all open requests of ``rank`` with one Waitall."""
+        if open_requests[rank]:
+            scripts[rank].append(
+                _Action("waitall", wait_on=tuple(open_requests[rank]))
+            )
+            open_requests[rank].clear()
+
+    for _event in range(events):
+        roll = rng.random()
+        if allow_collectives and roll < 0.12:
+            # A global event: everyone participates (after completing
+            # their open requests so Wait* stays well-ordered).
+            kind = rng.choice(["barrier", "allreduce", "reduce", "bcast"])
+            root = rng.randrange(p) if kind in ("reduce", "bcast") else None
+            for rank in range(p):
+                flush_requests(rank)
+                scripts[rank].append(_Action(kind, root=root))
+            continue
+        src = rng.randrange(p)
+        dst = rng.randrange(p - 1)
+        if dst >= src:
+            dst += 1
+        tag = rng.randrange(4)
+        nbytes = rng.choice([8, 64, 1024])
+        wildcard = allow_wildcards and rng.random() < 0.3
+        nonblocking_send = allow_nonblocking and rng.random() < 0.5
+        nonblocking_recv = allow_nonblocking and rng.random() < 0.3
+        # Sender side.
+        if nonblocking_send:
+            idx = len(scripts[src])
+            scripts[src].append(_Action("isend", peer=dst, tag=tag,
+                                        nbytes=nbytes))
+            open_requests[src].append(idx)
+            if rng.random() < 0.5:
+                flush_requests(src)
+        else:
+            kind = rng.choice(["send", "ssend", "bsend"])
+            scripts[src].append(_Action(kind, peer=dst, tag=tag,
+                                        nbytes=nbytes))
+        # Receiver side. A wildcard receive must still be safe: the
+        # happens-before order guarantees the intended message is
+        # available, but an *earlier unmatched* message could also be
+        # pending — safety (no hang) is preserved either way because
+        # every generated receive has at least one available message;
+        # matching may differ from intent, so wildcard program sets are
+        # only used where the oracle is the runtime itself.
+        if rng.random() < 0.15 and not wildcard:
+            scripts[dst].append(_Action("probe", peer=src, tag=tag))
+        if wildcard:
+            uses_wildcards = True
+            scripts[dst].append(_Action("wildcard_recv"))
+        elif nonblocking_recv:
+            idx = len(scripts[dst])
+            scripts[dst].append(_Action("irecv", peer=src, tag=tag))
+            open_requests[dst].append(idx)
+            if rng.random() < 0.6:
+                flush_requests(dst)
+        else:
+            scripts[dst].append(_Action("recv", peer=src, tag=tag))
+    for rank in range(p):
+        flush_requests(rank)
+    return GeneratedPrograms(
+        scripts=scripts,
+        safe_by_construction=not uses_wildcards,
+        uses_wildcards=uses_wildcards,
+        seed=seed,
+    )
+
+
+def mutate_program_set(
+    generated: GeneratedPrograms, seed: int, mutations: int = 1
+) -> GeneratedPrograms:
+    """Damage a program set to (possibly) introduce deadlocks.
+
+    Mutations: drop a send-like action, drop a receive-like action, or
+    swap two adjacent actions of one rank. Completion actions are
+    re-indexed; a dropped request-creator also drops its completions'
+    references.
+    """
+    rng = random.Random(seed)
+    scripts = [list(s) for s in generated.scripts]
+    for _ in range(mutations):
+        rank = rng.randrange(len(scripts))
+        script = scripts[rank]
+        if not script:
+            continue
+        choice = rng.random()
+        if choice < 0.5:
+            # Drop one non-completion action.
+            droppable = [
+                i for i, a in enumerate(script)
+                if a.kind not in ("wait", "waitall", "waitany")
+            ]
+            if not droppable:
+                continue
+            victim = rng.choice(droppable)
+            script = _drop_action(script, victim)
+        elif len(script) >= 2:
+            i = rng.randrange(len(script) - 1)
+            if not _reorder_breaks_requests(script, i):
+                script[i], script[i + 1] = script[i + 1], script[i]
+        scripts[rank] = script
+    return GeneratedPrograms(
+        scripts=scripts,
+        safe_by_construction=False,
+        uses_wildcards=generated.uses_wildcards,
+        seed=seed,
+    )
+
+
+def _drop_action(script: List[_Action], victim: int) -> List[_Action]:
+    """Remove action ``victim`` and fix completion wait indices.
+
+    Completions that lose *all* their requests are dropped too, and
+    every surviving reference is re-indexed against the full set of
+    removed positions (the victim plus cascaded completions).
+    """
+    from bisect import bisect_left
+
+    dropped = {victim}
+    for i, action in enumerate(script):
+        if action.wait_on and all(r in dropped for r in action.wait_on):
+            dropped.add(i)
+    dropped_sorted = sorted(dropped)
+    out: List[_Action] = []
+    for i, action in enumerate(script):
+        if i in dropped:
+            continue
+        if action.wait_on:
+            new_refs = tuple(
+                r - bisect_left(dropped_sorted, r)
+                for r in action.wait_on
+                if r not in dropped
+            )
+            action = _Action(
+                action.kind,
+                peer=action.peer,
+                tag=action.tag,
+                root=action.root,
+                wait_on=new_refs,
+                nbytes=action.nbytes,
+            )
+        out.append(action)
+    return out
+
+
+def _reorder_breaks_requests(script: List[_Action], i: int) -> bool:
+    """Swapping ``i`` and ``i+1`` must not move a completion before its
+    request-creating action (that would be invalid MPI, not a bug)."""
+    a, b = script[i], script[i + 1]
+    if b.wait_on and i in b.wait_on:
+        return True
+    # Swapping shifts indices of the two positions: any completion
+    # later referencing i or i+1 still sees both present (indices are
+    # positional): conservative — forbid swaps involving request
+    # creators referenced by completions.
+    creators = {i, i + 1}
+    for j in range(i + 2, len(script)):
+        if set(script[j].wait_on) & creators:
+            return True
+    if a.kind in ("wait", "waitall", "waitany") or b.kind in (
+        "wait", "waitall", "waitany"
+    ):
+        return True
+    return False

@@ -1,0 +1,132 @@
+"""The Section 6 synthetic stress test: iterated cyclic exchange.
+
+Each process sends one integer to its right neighbour and receives
+from its left; every ``barrier_every``-th iteration adds an
+MPI_Barrier. The exchange uses Isend + Recv + Wait, which is safe
+under the strict blocking semantics (a blocking-send ring would itself
+be an unsafe program and trip the detector — see
+:func:`unsafe_blocking_ring_programs`, which tests exactly that).
+
+Two constructions are provided: rank programs for the virtual runtime
+(used at small/medium scale, where engine execution is affordable) and
+:func:`build_stress_trace`, which writes the identical matched trace
+directly (used by the benches at larger scale). A consistency test
+asserts both agree.
+"""
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import OpKind
+from repro.mpi.ops import Operation
+from repro.mpi.trace import CollectiveMatch, MatchedTrace, Trace
+from repro.runtime.engine import RankProgram
+from repro.runtime.program import Call, Rank
+
+
+def stress_programs(
+    p: int, iterations: int = 20, barrier_every: int = 10
+) -> List[RankProgram]:
+    """Rank programs for the cyclic-exchange stress test."""
+    if p < 2:
+        raise ValueError("stress test needs at least two ranks")
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        right = (rank.rank + 1) % rank.size
+        left = (rank.rank - 1) % rank.size
+        for it in range(iterations):
+            req = yield rank.isend(right, tag=it, nbytes=4)
+            yield rank.recv(source=left, tag=it, nbytes=4)
+            yield rank.wait(req)
+            if (it + 1) % barrier_every == 0:
+                yield rank.barrier()
+        yield rank.finalize()
+
+    return [worker] * p
+
+
+def unsafe_blocking_ring_programs(p: int) -> List[RankProgram]:
+    """A cyclic exchange with *blocking* sends first: unsafe by the
+    strict semantics (send-send cycle), usually masked by buffering."""
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        right = (rank.rank + 1) % rank.size
+        left = (rank.rank - 1) % rank.size
+        yield rank.send(dest=right, nbytes=4)
+        yield rank.recv(source=left, nbytes=4)
+        yield rank.finalize()
+
+    return [worker] * p
+
+
+def build_stress_trace(
+    p: int, iterations: int = 20, barrier_every: int = 10
+) -> MatchedTrace:
+    """Directly construct the stress test's matched trace.
+
+    Equivalent to executing :func:`stress_programs` (any schedule —
+    the pattern is deterministic) but without engine overhead, so
+    larger scales stay affordable for the protocol benches.
+    """
+    if p < 2:
+        raise ValueError("stress test needs at least two ranks")
+    sequences: List[List[Operation]] = []
+    barrier_ts: List[List[int]] = []  # per barrier wave, ts per rank
+    num_barriers = iterations // barrier_every
+    barrier_ts = [[0] * p for _ in range(num_barriers)]
+    for rank in range(p):
+        right = (rank + 1) % p
+        left = (rank - 1) % p
+        seq: List[Operation] = []
+        wave = 0
+        for it in range(iterations):
+            ts = len(seq)
+            seq.append(
+                Operation(
+                    kind=OpKind.ISEND, rank=rank, ts=ts, peer=right,
+                    tag=it, nbytes=4, request=it,
+                )
+            )
+            seq.append(
+                Operation(
+                    kind=OpKind.RECV, rank=rank, ts=ts + 1, peer=left,
+                    tag=it, nbytes=4,
+                )
+            )
+            seq.append(
+                Operation(
+                    kind=OpKind.WAIT, rank=rank, ts=ts + 2,
+                    requests=(it,),
+                )
+            )
+            if (it + 1) % barrier_every == 0:
+                barrier_ts[wave][rank] = len(seq)
+                seq.append(
+                    Operation(kind=OpKind.BARRIER, rank=rank, ts=len(seq))
+                )
+                wave += 1
+        seq.append(Operation(kind=OpKind.FINALIZE, rank=rank, ts=len(seq)))
+        sequences.append(seq)
+    trace = Trace(sequences)
+    comms = CommRegistry(p)
+    matched = MatchedTrace(trace, comms)
+    ops_per_iter = 3
+    for rank in range(p):
+        right = (rank + 1) % p
+        for it in range(iterations):
+            extra = (it // barrier_every) if barrier_every else 0
+            send_ts = it * ops_per_iter + extra
+            recv_ts = it * ops_per_iter + extra + 1
+            matched.add_p2p_match((rank, send_ts), (right, recv_ts))
+            matched.register_request(rank, it, (rank, send_ts))
+    for wave in range(num_barriers):
+        matched.add_collective_match(
+            CollectiveMatch(
+                comm_id=0,
+                members=frozenset(
+                    (rank, barrier_ts[wave][rank]) for rank in range(p)
+                ),
+            )
+        )
+    return matched

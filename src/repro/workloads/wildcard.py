@@ -1,0 +1,49 @@
+"""The wildcard-receive deadlock case of Figure 10.
+
+Every process issues a wildcard receive without any send being issued:
+the run hangs immediately and the wait-for graph has maximal size —
+``p * (p - 1)`` arcs (the paper rounds to ``p^2``), every process
+OR-waiting on every other. This is the graph-detection stress case for
+the centralized WfgCheck at the root.
+"""
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import ANY_SOURCE, OpKind
+from repro.mpi.ops import Operation
+from repro.mpi.trace import MatchedTrace, Trace
+from repro.runtime.engine import RankProgram
+from repro.runtime.program import Call, Rank
+
+
+def wildcard_deadlock_programs(p: int) -> List[RankProgram]:
+    """Rank programs: one unmatched wildcard receive per process."""
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        yield rank.recv(source=ANY_SOURCE)
+        yield rank.finalize()
+
+    return [worker] * p
+
+
+def build_wildcard_trace(p: int) -> MatchedTrace:
+    """Directly construct the hung trace: one pending Recv(ANY) each.
+
+    The receives never completed, so their wildcard source is
+    unresolved and no match exists — exactly what the tool sees when
+    the application hangs before any message flows.
+    """
+    if p < 2:
+        raise ValueError("need at least two ranks")
+    sequences = [
+        [
+            Operation(
+                kind=OpKind.RECV, rank=rank, ts=0, peer=ANY_SOURCE, nbytes=4
+            )
+        ]
+        for rank in range(p)
+    ]
+    trace = Trace(sequences)
+    return MatchedTrace(trace, CommRegistry(p))

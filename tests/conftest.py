@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.constants import OpKind
+from repro.mpi.ops import Operation
+from repro.runtime import run_programs
+
+
+@pytest.fixture
+def strict():
+    return BlockingSemantics.strict()
+
+
+@pytest.fixture
+def relaxed():
+    return BlockingSemantics.relaxed()
+
+
+def op(kind: OpKind, rank: int, ts: int, **kw) -> Operation:
+    """Terse Operation builder for tests."""
+    return Operation(kind=kind, rank=rank, ts=ts, **kw)
+
+
+def run_relaxed(programs, seed=0, **kw):
+    return run_programs(
+        programs, semantics=BlockingSemantics.relaxed(), seed=seed, **kw
+    )
+
+
+def run_strict(programs, seed=0, **kw):
+    return run_programs(
+        programs, semantics=BlockingSemantics.strict(), seed=seed, **kw
+    )

@@ -1,0 +1,81 @@
+"""The command-line interface, driven in-process."""
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_clean_workload_exit_zero(capsys):
+    code = main(["demo", "stress", "-n", "4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "deadlocked ranks ()" in out
+
+
+def test_demo_deadlock_exit_one(capsys):
+    code = main(["demo", "fig2a", "--fan-in", "2"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "deadlocked ranks (0, 1)" in out
+
+
+def test_record_then_analyze_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["record", "fig2b", "-o", str(trace)]) == 0
+    data = json.loads(trace.read_text())
+    assert data["format"] == 1
+    code = main(["analyze", str(trace), "--centralized"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "deadlocked ranks (0, 1, 2)" in out
+
+
+def test_adapt_flag_reports_verdict(capsys):
+    code = main(["demo", "fig4", "--adapt"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    assert "verdict:" in out
+
+
+def test_report_and_dot_artifacts(tmp_path, capsys):
+    report = tmp_path / "report.html"
+    dot = tmp_path / "wfg.dot"
+    code = main([
+        "demo", "wildcard", "-n", "8",
+        "--report", str(report), "--dot", str(dot), "--simplify",
+    ])
+    assert code == 1
+    assert report.read_text().startswith("<!DOCTYPE html>")
+    text = dot.read_text()
+    assert "except self" in text  # the simplified form
+
+    capsys.readouterr()
+
+
+def test_figures_tables(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9" in out and "Figure 12" in out
+    assert "121.pop2" in out
+    assert "paper: 1.34x" in out
+
+
+def test_unknown_workload(capsys):
+    with pytest.raises(SystemExit):
+        main(["demo", "not-a-workload"])
+
+
+def test_persistent_ring_workload(capsys):
+    code = main(["demo", "persistent-ring", "-n", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "deadlocked ranks ()" in out
+
+
+def test_checks_flag(capsys):
+    code = main(["demo", "fig2a", "--checks"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "correctness checks" in out
+    assert "missing-finalize" in out  # the hung ranks never finalize

@@ -1,0 +1,90 @@
+"""DistributedDeadlockDetector facade behaviours and report artifacts."""
+import pytest
+
+from repro.core.detector import (
+    DistributedDeadlockDetector,
+    DistributedOutcome,
+    detect_deadlocks_distributed,
+)
+from repro.workloads import build_stress_trace, build_wildcard_trace
+from repro.workloads.micro import fig2a_programs
+from tests.conftest import run_relaxed
+
+
+class TestOutcomeSurface:
+    def test_outcome_without_detection_raises(self):
+        matched = build_stress_trace(4, iterations=4)
+        detector = DistributedDeadlockDetector(matched, fan_in=2)
+        out = detector.run(detect_at_end=False)
+        assert isinstance(out, DistributedOutcome)
+        with pytest.raises(ValueError):
+            _ = out.detection
+        assert out.deadlocked == ()
+        assert not out.has_deadlock
+
+    def test_simulated_time_and_traffic_accounting(self):
+        matched = build_stress_trace(4, iterations=8)
+        out = detect_deadlocks_distributed(matched, fan_in=2)
+        assert out.simulated_seconds > 0
+        assert out.bytes_sent > 0
+        assert out.messages_sent > matched.trace.total_ops()
+
+    def test_generate_outputs_false_skips_reports(self):
+        matched = build_wildcard_trace(6)
+        out = detect_deadlocks_distributed(
+            matched, fan_in=2, generate_outputs=False
+        )
+        record = out.detection
+        assert record.has_deadlock
+        assert record.dot_text is None
+        assert record.html_report is None
+        # Detection facts are still complete.
+        assert record.result.deadlocked == tuple(range(6))
+
+    def test_report_artifacts_well_formed(self):
+        res = run_relaxed(fig2a_programs())
+        out = detect_deadlocks_distributed(res.matched, fan_in=2)
+        record = out.detection
+        assert record.dot_text.startswith("digraph")
+        assert record.dot_text.rstrip().endswith("}")
+        html = record.html_report
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Deadlock detected" in html
+        assert "MPI_Recv" in html
+
+    def test_phase_timers_cover_all_groups(self):
+        matched = build_wildcard_trace(8)
+        out = detect_deadlocks_distributed(matched, fan_in=2)
+        breakdown = out.detection.timers.breakdown()
+        for phase in (
+            "synchronization",
+            "wfg_gather",
+            "graph_build",
+            "deadlock_check",
+            "output_generation",
+        ):
+            assert phase in breakdown
+            assert breakdown[phase] >= 0
+
+    def test_detection_record_timestamps_ordered(self):
+        matched = build_wildcard_trace(6)
+        detector = DistributedDeadlockDetector(matched, fan_in=2)
+        out = detector.run()
+        record = out.detection
+        assert record.requested_at <= record.consistent_at
+        assert record.consistent_at <= record.gathered_at
+
+
+class TestTopologyChoices:
+    @pytest.mark.parametrize("fan_in", [2, 3, 4, 8, 16])
+    def test_any_fanin_same_verdict(self, fan_in):
+        matched = build_wildcard_trace(10)
+        out = detect_deadlocks_distributed(matched, fan_in=fan_in)
+        assert out.deadlocked == tuple(range(10))
+
+    def test_single_rank_per_node(self):
+        """fan_in larger than p: one first-layer node, dedicated root."""
+        matched = build_stress_trace(3, iterations=4)
+        out = detect_deadlocks_distributed(matched, fan_in=16)
+        assert len(out.topology.first_layer) == 1
+        assert not out.has_deadlock

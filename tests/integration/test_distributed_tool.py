@@ -1,0 +1,193 @@
+"""Distributed tool vs. the formal oracle across workloads, fan-ins,
+delivery schedules, and mid-run detections."""
+import pytest
+
+from repro.core import TransitionSystem, detect_deadlocks_distributed
+from repro.core.detector import DistributedDeadlockDetector
+from repro.mpi.constants import OpKind
+from repro.util.errors import ResourceLimitError
+from repro.workloads import (
+    build_stress_trace,
+    build_wildcard_trace,
+    gapgeofem_skeleton_programs,
+    halo2d_programs,
+    lammps_skeleton_programs,
+    stress_programs,
+    unsafe_blocking_ring_programs,
+    wildcard_deadlock_programs,
+)
+from tests.conftest import run_relaxed, run_strict
+
+
+class TestStableStateEqualsTerminalState:
+    """DESIGN invariant 3: distributed == centralized, any schedule."""
+
+    @pytest.mark.parametrize("fan_in", [2, 3, 4, 8])
+    def test_stress_trace_all_fanins(self, fan_in):
+        matched = build_stress_trace(9, iterations=10)
+        term = TransitionSystem(matched).run()
+        out = detect_deadlocks_distributed(matched, fan_in=fan_in)
+        assert out.stable_state == term
+        assert not out.has_deadlock
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_adversarial_delivery_schedules(self, seed):
+        matched = build_stress_trace(6, iterations=8)
+        term = TransitionSystem(matched).run()
+        out = detect_deadlocks_distributed(matched, fan_in=2, seed=seed)
+        assert out.stable_state == term
+
+    def test_halo2d(self):
+        res = run_relaxed(halo2d_programs(3, 3, iterations=3), seed=2)
+        assert not res.deadlocked
+        term = TransitionSystem(res.matched).run()
+        out = detect_deadlocks_distributed(res.matched, fan_in=4)
+        assert out.stable_state == term
+        assert not out.has_deadlock
+
+    def test_engine_trace_equals_direct_trace(self):
+        res = run_relaxed(stress_programs(6, iterations=10), seed=5)
+        direct = build_stress_trace(6, iterations=10)
+        assert res.matched.send_of == direct.send_of
+        assert TransitionSystem(res.matched).run() == TransitionSystem(
+            direct
+        ).run()
+
+
+class TestDeadlockScenarios:
+    def test_wildcard_deadlock_p2_arcs(self):
+        p = 12
+        matched = build_wildcard_trace(p)
+        out = detect_deadlocks_distributed(matched, fan_in=4)
+        assert out.deadlocked == tuple(range(p))
+        record = out.detection
+        assert record.graph.arc_count() == p * (p - 1)
+        assert record.dot_text.count("->") == p * (p - 1)
+
+    def test_unsafe_blocking_ring(self):
+        """Blocking-send cycle: completes with buffering, flagged."""
+        res = run_relaxed(unsafe_blocking_ring_programs(5), seed=1)
+        assert not res.deadlocked
+        out = detect_deadlocks_distributed(res.matched, fan_in=2)
+        assert out.deadlocked == tuple(range(5))
+
+    def test_lammps_two_phase(self):
+        """Healthy halo iterations, then the potential send-send cycle;
+        the distributed state stalls exactly at the unsafe sends."""
+        res = run_relaxed(lammps_skeleton_programs(8), seed=4)
+        assert not res.deadlocked
+        out = detect_deadlocks_distributed(res.matched, fan_in=4)
+        assert out.deadlocked == tuple(range(8))
+        for rank in range(8):
+            op = res.trace.op((rank, out.stable_state[rank]))
+            assert op.kind is OpKind.SEND and op.tag == 99
+
+    def test_partial_deadlock_others_finish(self):
+        """Two ranks deadlock while the rest run to completion."""
+
+        def victim(r):
+            peer = 1 - r.rank
+            yield r.recv(source=peer)
+            yield r.send(dest=peer)
+
+        def bystander(r):
+            peer = 5 - r.rank  # 2<->3
+            yield from r.sendrecv(dest=peer, source=peer)
+
+        res = run_relaxed([victim, victim, bystander, bystander], seed=0)
+        assert res.deadlocked
+        out = detect_deadlocks_distributed(res.matched, fan_in=2)
+        assert out.deadlocked == (0, 1)
+
+
+class TestMidRunDetection:
+    def test_no_false_positives_during_healthy_run(self):
+        """Detections fired while the application is mid-flight must
+        never report a deadlock for a deadlock-free trace."""
+        matched = build_stress_trace(6, iterations=20)
+        detector = DistributedDeadlockDetector(matched, fan_in=2, seed=3)
+        out = detector.run(detect_at=[1e-5, 5e-5, 2e-4], detect_at_end=True)
+        assert len(out.detections) == 4
+        for record in out.detections:
+            assert not record.has_deadlock
+
+    def test_early_deadlock_found_mid_run(self):
+        """A subset deadlock is reported by a mid-run detection even
+        though other ranks keep streaming events (Section 3.2)."""
+
+        def victim(r):
+            peer = 1 - r.rank
+            yield r.recv(source=peer)
+
+        def busy(r):
+            peer = 5 - r.rank
+            for it in range(30):
+                yield from r.sendrecv(dest=peer, source=peer, sendtag=it)
+
+        res = run_relaxed([victim, victim, busy, busy], seed=1)
+        assert res.deadlocked
+        detector = DistributedDeadlockDetector(res.matched, fan_in=2, seed=1)
+        out = detector.run(detect_at=[3e-4], detect_at_end=True)
+        late = out.detections[-1]
+        assert late.result.deadlocked == (0, 1)
+
+    def test_consistent_state_resumes_progress(self):
+        """After requestWaits the nodes resume; the final stable state
+        is unaffected by any number of mid-run freezes."""
+        matched = build_stress_trace(8, iterations=12)
+        term = TransitionSystem(matched).run()
+        detector = DistributedDeadlockDetector(matched, fan_in=2, seed=7)
+        out = detector.run(
+            detect_at=[2e-5, 4e-5, 8e-5, 1.6e-4], detect_at_end=True
+        )
+        assert out.stable_state == term
+
+
+class TestResourceLimits:
+    def test_gapgeofem_window_blowup_detected(self):
+        """The 128.GAPgeofem condition: trace windows exceed the
+        configured memory budget and the tool reports it."""
+        res = run_relaxed(gapgeofem_skeleton_programs(4, iterations=80),
+                          seed=2)
+        assert not res.deadlocked
+        with pytest.raises(ResourceLimitError):
+            detect_deadlocks_distributed(
+                res.matched, fan_in=2, window_limit=40
+            )
+
+    def test_ample_window_succeeds(self):
+        res = run_relaxed(gapgeofem_skeleton_programs(4, iterations=80),
+                          seed=2)
+        out = detect_deadlocks_distributed(
+            res.matched, fan_in=2, window_limit=100_000
+        )
+        assert not out.has_deadlock
+        assert out.peak_window > 40
+
+
+class TestToolStatistics:
+    def test_message_counts_by_type(self):
+        matched = build_stress_trace(4, iterations=10)
+        out = detect_deadlocks_distributed(matched, fan_in=2)
+        all_stats = {}
+        for stats in out.node_stats.values():
+            for k, v in stats.items():
+                all_stats[k] = all_stats.get(k, 0) + v
+        # Every op arrives somewhere; handshakes and waves flow.
+        assert all_stats["NewOpMsg"] == matched.trace.total_ops()
+        assert all_stats["PassSend"] == 40  # one per isend
+        assert all_stats["RecvActive"] == 40
+        assert all_stats["RecvActiveAck"] == 40
+        assert all_stats["CollectiveReady"] >= 1
+        assert all_stats["RequestWaits"] == 2  # both first-layer nodes
+
+    def test_window_slides_on_long_runs(self):
+        """Memory boundedness: the peak window stays far below the
+        trace length when events arrive gradually."""
+        matched = build_stress_trace(4, iterations=150)
+        detector = DistributedDeadlockDetector(
+            matched, fan_in=2, seed=0, op_gap=1e-4
+        )
+        out = detector.run()
+        per_rank_len = matched.trace.length(0)
+        assert out.peak_window < per_rank_len / 3

@@ -1,0 +1,152 @@
+"""End-to-end reproduction of the paper's worked examples (Figs 2, 4)."""
+import pytest
+
+from repro.core import (
+    TransitionSystem,
+    analyze_trace,
+    detect_deadlocks_distributed,
+)
+from repro.mpi.blocking import BlockingSemantics
+from repro.workloads import (
+    fig2a_programs,
+    fig2b_programs,
+    fig4_programs,
+    head_to_head_sendrecv_programs,
+    waitall_deadlock_programs,
+    waitany_survivor_programs,
+)
+from tests.conftest import run_relaxed, run_strict
+
+
+class TestFig2aRecvRecv:
+    """Figure 2(a): manifests under every MPI implementation."""
+
+    @pytest.mark.parametrize("semantics", ["strict", "relaxed"])
+    def test_manifests_under_both_semantics(self, semantics):
+        run = run_strict if semantics == "strict" else run_relaxed
+        res = run(fig2a_programs())
+        assert res.deadlocked
+        assert set(res.hung) == {0, 1}
+
+    def test_centralized_detection_with_cycle(self):
+        res = run_relaxed(fig2a_programs())
+        analysis = analyze_trace(res.matched)
+        assert analysis.deadlocked == (0, 1)
+        assert set(analysis.detection.witness_cycle) == {0, 1}
+        assert "MPI_Recv" in analysis.html_report
+
+    @pytest.mark.parametrize("fan_in", [2, 4])
+    def test_distributed_detection(self, fan_in):
+        res = run_relaxed(fig2a_programs())
+        out = detect_deadlocks_distributed(res.matched, fan_in=fan_in)
+        assert out.deadlocked == (0, 1)
+
+
+class TestFig2bSendSend:
+    """Figure 2(b): unsafe program, masked by buffering."""
+
+    def test_relaxed_run_completes_strict_run_hangs(self):
+        assert not run_relaxed(fig2b_programs(), seed=3).deadlocked
+        assert run_strict(fig2b_programs(), seed=3).deadlocked
+
+    def test_detected_from_completed_run(self):
+        """The tool's core value: flags the potential deadlock even
+        though this execution finished."""
+        res = run_relaxed(fig2b_programs(), seed=3)
+        analysis = analyze_trace(res.matched)
+        assert analysis.deadlocked == (0, 1, 2)
+        # Terminal state (2, 3, 2): the post-barrier sends (Figure 3).
+        assert analysis.terminal_state == (2, 3, 2)
+        for rank in range(3):
+            op = res.trace.op((rank, analysis.terminal_state[rank]))
+            assert op.is_send()
+
+    def test_distributed_agrees_across_seeds_and_fanins(self):
+        res = run_relaxed(fig2b_programs(), seed=3)
+        for fan_in in (2, 3):
+            for seed in range(4):
+                out = detect_deadlocks_distributed(
+                    res.matched, fan_in=fan_in, seed=seed
+                )
+                assert out.stable_state == (2, 3, 2)
+                assert out.deadlocked == (0, 1, 2)
+
+    def test_relaxed_analysis_semantics_accepts_the_run(self):
+        """Section 3.3: with b adapted to a buffering implementation,
+        the same trace has no deadlock."""
+        res = run_relaxed(fig2b_programs(), seed=3)
+        analysis = analyze_trace(
+            res.matched, semantics=BlockingSemantics.relaxed()
+        )
+        assert not analysis.has_deadlock
+
+
+class TestFig4UnexpectedMatch:
+    def _unexpected_seed(self):
+        for seed in range(60):
+            res = run_relaxed(fig4_programs(), seed=seed)
+            if res.deadlocked:
+                continue
+            if res.matched.send_of.get((1, 0)) == (2, 1):
+                return res
+        pytest.fail("no interleaving produced the Figure 4 match")
+
+    def test_strict_analysis_stalls_and_flags(self):
+        res = self._unexpected_seed()
+        ts = TransitionSystem(res.matched)
+        terminal = ts.run()
+        assert terminal == (0, 0, 0)  # cannot advance past initial state
+        unexpected = ts.find_unexpected_matches(terminal)
+        assert len(unexpected) == 1
+        um = unexpected[0]
+        assert um.receive == (1, 0)
+        assert um.candidate_send == (0, 0)
+        assert um.matched_send == (2, 1)
+
+    def test_adapted_semantics_resolves_the_trace(self):
+        """The paper's remedy: adapt b to the implementation's choices."""
+        res = self._unexpected_seed()
+        relaxed_ts = TransitionSystem(
+            res.matched, semantics=BlockingSemantics.relaxed()
+        )
+        term = relaxed_ts.run()
+        assert not relaxed_ts.blocked_processes(term)
+
+    def test_report_lists_unexpected_matches(self):
+        res = self._unexpected_seed()
+        analysis = analyze_trace(res.matched)
+        assert analysis.unexpected_matches
+        assert "Unexpected matches" in analysis.html_report
+
+    def test_expected_interleavings_are_clean(self):
+        for seed in range(60):
+            res = run_relaxed(fig4_programs(), seed=seed)
+            if res.deadlocked or res.matched.send_of.get((1, 0)) == (2, 1):
+                continue
+            analysis = analyze_trace(res.matched, generate_outputs=False)
+            assert not analysis.has_deadlock
+            assert not analysis.unexpected_matches
+
+
+class TestCompletionExamples:
+    def test_waitall_deadlock_detected_everywhere(self):
+        res = run_relaxed(waitall_deadlock_programs())
+        assert res.deadlocked  # manifests: tag 2 never sent
+        analysis = analyze_trace(res.matched)
+        assert analysis.has_deadlock
+        out = detect_deadlocks_distributed(res.matched, fan_in=2)
+        assert out.has_deadlock
+        assert set(out.deadlocked) == set(analysis.deadlocked)
+
+    def test_waitany_survivor_is_clean(self):
+        res = run_relaxed(waitany_survivor_programs())
+        assert not res.deadlocked
+        assert not analyze_trace(res.matched).has_deadlock
+        assert not detect_deadlocks_distributed(
+            res.matched, fan_in=2
+        ).has_deadlock
+
+    def test_sendrecv_head_to_head_is_safe(self):
+        res = run_strict(head_to_head_sendrecv_programs(6))
+        assert not res.deadlocked
+        assert not analyze_trace(res.matched).has_deadlock

@@ -1,0 +1,96 @@
+"""The analyses across diverse communication structures."""
+import pytest
+
+from repro.core import (
+    TransitionSystem,
+    analyze_trace,
+    detect_deadlocks_distributed,
+)
+from repro.core.detector import DistributedDeadlockDetector
+from repro.workloads.patterns import (
+    butterfly_programs,
+    comm_pipeline_programs,
+    deferred_deadlock_programs,
+    master_worker_programs,
+    software_bcast_programs,
+    stencil3d_programs,
+)
+from tests.conftest import run_relaxed, run_strict
+
+
+def _assert_clean_everywhere(res, fan_in=4, seed=0):
+    assert not res.deadlocked, res.hung_descriptions()
+    analysis = analyze_trace(res.matched, generate_outputs=False)
+    assert not analysis.has_deadlock, analysis.conditions
+    out = detect_deadlocks_distributed(
+        res.matched, fan_in=fan_in, seed=seed, generate_outputs=False
+    )
+    assert not out.has_deadlock
+    assert out.stable_state == TransitionSystem(res.matched).run()
+    return out
+
+
+class TestHealthyPatterns:
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_butterfly(self, p):
+        res = run_strict(butterfly_programs(p), seed=p)
+        _assert_clean_everywhere(res, fan_in=2)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_master_worker_wildcards(self, seed):
+        res = run_relaxed(master_worker_programs(6), seed=seed)
+        _assert_clean_everywhere(res, fan_in=3, seed=seed)
+
+    @pytest.mark.parametrize("p", [2, 5, 8, 13])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_software_bcast(self, p, root):
+        if root >= p:
+            pytest.skip("root outside world")
+        res = run_strict(software_bcast_programs(p, root=root), seed=p)
+        _assert_clean_everywhere(res, fan_in=2)
+        # Exactly p-1 messages: a proper broadcast tree.
+        assert len(res.matched.send_of) == p - 1
+
+    def test_stencil3d(self):
+        res = run_relaxed(stencil3d_programs(2, 2, 2, iterations=2), seed=3)
+        _assert_clean_everywhere(res)
+
+    def test_comm_pipeline(self):
+        res = run_relaxed(comm_pipeline_programs(6, stages=2, items=3),
+                          seed=1)
+        out = _assert_clean_everywhere(res, fan_in=2)
+        # Sub-communicator barriers matched as separate waves.
+        comm_ids = {c.comm_id for c in res.matched.collectives}
+        assert len(comm_ids) >= 3  # world split + two team comms
+
+
+class TestDeferredDeadlock:
+    def test_detected_after_healthy_phase(self):
+        res = run_relaxed(deferred_deadlock_programs(6, healthy_rounds=8),
+                          seed=2)
+        assert res.deadlocked
+        out = detect_deadlocks_distributed(res.matched, fan_in=2)
+        assert out.deadlocked == tuple(range(6))
+        # Ranks 0/1 stall in the recv-recv pair; the rest in the barrier.
+        for rank in (0, 1):
+            op = res.trace.op((rank, out.stable_state[rank]))
+            assert op.kind.value == "MPI_Recv"
+        for rank in (2, 3, 4, 5):
+            op = res.trace.op((rank, out.stable_state[rank]))
+            assert op.kind.value == "MPI_Barrier"
+
+    def test_witness_cycle_is_the_recv_pair(self):
+        res = run_relaxed(deferred_deadlock_programs(5, healthy_rounds=4),
+                          seed=1)
+        analysis = analyze_trace(res.matched)
+        assert set(analysis.detection.witness_cycle) == {0, 1}
+
+    def test_midrun_detection_catches_it_late_only(self):
+        res = run_relaxed(deferred_deadlock_programs(4, healthy_rounds=10),
+                          seed=0)
+        detector = DistributedDeadlockDetector(res.matched, fan_in=2,
+                                               seed=0, op_gap=1e-5)
+        out = detector.run(detect_at=[1e-5], detect_at_end=True)
+        early, late = out.detections[0], out.detections[-1]
+        assert not early.has_deadlock  # healthy phase still running
+        assert late.has_deadlock

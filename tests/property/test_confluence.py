@@ -1,0 +1,99 @@
+"""Property: the transition system is confluent (Section 3.1).
+
+Any maximal application order of the rules reaches the same terminal
+state, and enabled rules are never disabled by other processes'
+transitions (the paper's independence argument).
+"""
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transition import TransitionSystem
+from repro.mpi.blocking import BlockingSemantics
+from repro.runtime import run_programs
+from repro.workloads.randomgen import mutate_program_set, safe_program_set
+from repro.util.errors import MpiUsageError
+
+
+def _random_matched_trace(seed: int, mutated: bool):
+    gen = safe_program_set(
+        p=3, events=8, seed=seed, allow_wildcards=True,
+        allow_collectives=True,
+    )
+    if mutated:
+        gen = mutate_program_set(gen, seed=seed + 999, mutations=1)
+    try:
+        res = run_programs(
+            gen.programs(),
+            semantics=BlockingSemantics.relaxed(),
+            seed=seed,
+        )
+    except MpiUsageError:
+        return None
+    return res.matched
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    walk_seed=st.integers(0, 10_000),
+    mutated=st.booleans(),
+)
+def test_random_maximal_walks_reach_unique_terminal(seed, walk_seed, mutated):
+    matched = _random_matched_trace(seed, mutated)
+    if matched is None:
+        return
+    ts = TransitionSystem(matched)
+    reference = ts.run()
+    assert reference == ts.run_slow()
+
+    rng = random.Random(walk_seed)
+    state = ts.initial_state()
+    steps = 0
+    while True:
+        enabled = ts.enabled_processes(state)
+        if not enabled:
+            break
+        state = ts.step(state, rng.choice(enabled))
+        steps += 1
+        assert steps <= sum(ts.trace.lengths()) + 1
+    assert state == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), walk_seed=st.integers(0, 10_000))
+def test_enabled_transitions_stay_enabled(seed, walk_seed):
+    """If process k can advance, it still can after any other process
+    advances (the independence/monotonicity property)."""
+    matched = _random_matched_trace(seed, mutated=False)
+    if matched is None:
+        return
+    ts = TransitionSystem(matched)
+    rng = random.Random(walk_seed)
+    state = ts.initial_state()
+    while True:
+        enabled = ts.enabled_processes(state)
+        if not enabled:
+            break
+        mover = rng.choice(enabled)
+        next_state = ts.step(state, mover)
+        for k in enabled:
+            if k != mover:
+                assert ts.can_advance(next_state, k), (
+                    f"advancing {mover} disabled {k} in {state}"
+                )
+        state = next_state
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), mutated=st.booleans())
+def test_blocked_set_of_terminal_is_schedule_independent(seed, mutated):
+    matched = _random_matched_trace(seed, mutated)
+    if matched is None:
+        return
+    ts = TransitionSystem(matched)
+    term = ts.run()
+    blocked_fast = ts.blocked_processes(term)
+    blocked_slow = ts.blocked_processes(ts.run_slow())
+    assert blocked_fast == blocked_slow

@@ -1,0 +1,163 @@
+"""Property: detector verdicts against runtime ground truth.
+
+* Safe-by-construction programs never hang, and neither analysis
+  reports a deadlock on their traces (no false positives).
+* For arbitrary (mutated) programs, the centralized analysis and the
+  distributed tool both agree exactly with whether the strict-semantics
+  execution hung (soundness and completeness on observed executions).
+* The distributed stable state always equals the formal terminal state.
+"""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TransitionSystem,
+    analyze_trace,
+    detect_deadlocks_distributed,
+)
+from repro.mpi.blocking import BlockingSemantics
+from repro.runtime import run_programs
+from repro.util.errors import MpiUsageError
+from repro.workloads.randomgen import mutate_program_set, safe_program_set
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    p=st.integers(2, 5),
+    run_seed=st.integers(0, 1_000),
+)
+def test_safe_programs_are_clean_everywhere(seed, p, run_seed):
+    gen = safe_program_set(p=p, events=12, seed=seed)
+    res = run_programs(
+        gen.programs(), semantics=BlockingSemantics.strict(), seed=run_seed
+    )
+    assert not res.deadlocked, res.hung_descriptions()
+    analysis = analyze_trace(res.matched, generate_outputs=False)
+    assert not analysis.has_deadlock
+    out = detect_deadlocks_distributed(
+        res.matched, fan_in=2, seed=run_seed, generate_outputs=False
+    )
+    assert not out.has_deadlock
+    assert out.stable_state == TransitionSystem(res.matched).run()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    mut_seed=st.integers(0, 100_000),
+    run_seed=st.integers(0, 1_000),
+    fan_in=st.sampled_from([2, 3, 4]),
+)
+def test_mutated_programs_verdict_matches_ground_truth(
+    seed, mut_seed, run_seed, fan_in
+):
+    gen = safe_program_set(p=4, events=10, seed=seed)
+    mut = mutate_program_set(gen, seed=mut_seed, mutations=2)
+    try:
+        res = run_programs(
+            mut.programs(),
+            semantics=BlockingSemantics.strict(),
+            seed=run_seed,
+        )
+    except MpiUsageError:
+        return  # collective misuse: correctly rejected upstream
+    analysis = analyze_trace(res.matched, generate_outputs=False)
+    assert analysis.has_deadlock == res.deadlocked
+    out = detect_deadlocks_distributed(
+        res.matched, fan_in=fan_in, seed=run_seed, generate_outputs=False
+    )
+    assert out.has_deadlock == res.deadlocked
+    assert out.stable_state == TransitionSystem(res.matched).run()
+    if res.deadlocked:
+        # Completeness: every hung rank is either reported deadlocked
+        # or reached MPI_Finalize (the paper's designated terminal
+        # operation — the runtime synchronizes finalize, the analysis
+        # treats arriving there as finishing).
+        ts = TransitionSystem(res.matched)
+        finished = ts.finished_processes(out.stable_state)
+        assert set(res.hung) <= set(out.deadlocked) | finished
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    run_seed=st.integers(0, 1_000),
+)
+def test_wildcard_traces_distributed_equals_centralized(seed, run_seed):
+    gen = safe_program_set(
+        p=4, events=12, seed=seed, allow_wildcards=True
+    )
+    res = run_programs(
+        gen.programs(),
+        semantics=BlockingSemantics.relaxed(),
+        seed=run_seed,
+    )
+    term = TransitionSystem(res.matched).run()
+    out = detect_deadlocks_distributed(
+        res.matched, fan_in=2, seed=run_seed, generate_outputs=False
+    )
+    assert out.stable_state == term
+    analysis = analyze_trace(res.matched, generate_outputs=False)
+    assert set(out.deadlocked) == set(analysis.deadlocked)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    schedule_seeds=st.lists(st.integers(0, 999), min_size=2, max_size=4,
+                            unique=True),
+)
+def test_verdict_independent_of_delivery_schedule(seed, schedule_seeds):
+    """The distributed tool's result must not depend on message timing."""
+    gen = safe_program_set(p=4, events=10, seed=seed)
+    mut = mutate_program_set(gen, seed=seed + 7, mutations=1)
+    try:
+        res = run_programs(
+            mut.programs(), semantics=BlockingSemantics.strict(), seed=0
+        )
+    except MpiUsageError:
+        return
+    outcomes = set()
+    states = set()
+    for s in schedule_seeds:
+        out = detect_deadlocks_distributed(
+            res.matched, fan_in=2, seed=s, generate_outputs=False
+        )
+        outcomes.add(out.deadlocked)
+        states.add(out.stable_state)
+    assert len(outcomes) == 1
+    assert len(states) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    det_seed=st.integers(0, 10_000),
+    n_detections=st.integers(1, 12),
+)
+def test_midrun_detections_never_false_positive(seed, det_seed, n_detections):
+    """Consistent-state detections fired at arbitrary times during a
+    deadlock-free run must never report a deadlock (Sections 3.2/5)."""
+    import random as _random
+
+    from repro.core.detector import DistributedDeadlockDetector
+
+    gen = safe_program_set(p=4, events=10, seed=seed)
+    res = run_programs(
+        gen.programs(), semantics=BlockingSemantics.strict(), seed=0
+    )
+    assert not res.deadlocked
+    rng = _random.Random(det_seed)
+    span = 1e-6 * gen.total_actions() * 4
+    times = sorted(rng.uniform(0, span * 1.5) for _ in range(n_detections))
+    detector = DistributedDeadlockDetector(
+        res.matched, fan_in=2, seed=det_seed, generate_outputs=False
+    )
+    out = detector.run(detect_at=times, detect_at_end=True)
+    for record in out.detections:
+        assert not record.has_deadlock, (
+            seed, det_seed, record.detection_id,
+            {r: c.op_description for r, c in record.conditions.items()},
+        )
+    assert out.stable_state == TransitionSystem(res.matched).run()

@@ -1,0 +1,122 @@
+"""Property: the virtual runtime obeys MPI's matching semantics.
+
+These check the *substrate* itself (the thing that replaces a real MPI
+library), independent of the analyses: non-overtaking per channel,
+wildcard-observation consistency, and schedule-independence of traces
+for straight-line deterministic programs.
+"""
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.runtime import run_programs
+from repro.workloads.randomgen import safe_program_set
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    run_seed=st.integers(0, 1_000),
+    wildcards=st.booleans(),
+)
+def test_non_overtaking_per_channel(seed, run_seed, wildcards):
+    """Matched (send, recv) pairs never cross within one
+    (communicator, source, destination, matching-tag) channel: if two
+    sends from the same source to the same destination are both
+    matched and tag-comparable, their receives preserve send order."""
+    gen = safe_program_set(4, events=14, seed=seed,
+                           allow_wildcards=wildcards)
+    res = run_programs(
+        gen.programs(), semantics=BlockingSemantics.relaxed(),
+        seed=run_seed,
+    )
+    trace = res.trace
+    pairs: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = {}
+    for recv_ref, send_ref in res.matched.send_of.items():
+        send = trace.op(send_ref)
+        recv = trace.op(recv_ref)
+        key = (send.comm_id, send.rank, recv.rank)
+        pairs.setdefault(key, []).append(
+            (send.ts, recv.ts, send.tag)
+        )
+    for key, matched in pairs.items():
+        matched.sort()
+        for (s1, r1, t1), (s2, r2, t2) in zip(matched, matched[1:]):
+            # Same-envelope messages must be received in send order.
+            if t1 == t2:
+                assert r1 < r2, (
+                    f"channel {key}: send {s1} -> recv {r1} overtaken "
+                    f"by send {s2} -> recv {r2}"
+                )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), run_seed=st.integers(0, 1_000))
+def test_wildcard_observations_consistent_with_matching(seed, run_seed):
+    """Every completed wildcard receive's observed source/tag equal the
+    matched send's actual envelope."""
+    gen = safe_program_set(4, events=14, seed=seed, allow_wildcards=True)
+    res = run_programs(
+        gen.programs(), semantics=BlockingSemantics.relaxed(),
+        seed=run_seed,
+    )
+    for recv_ref, send_ref in res.matched.send_of.items():
+        recv = res.trace.op(recv_ref)
+        send = res.trace.op(send_ref)
+        if recv.peer == ANY_SOURCE:
+            assert recv.observed_peer == send.rank
+        if recv.tag == ANY_TAG:
+            assert recv.observed_tag == send.tag
+        # Envelope compatibility must hold for every recorded match.
+        assert recv.envelope_matches_send(send)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    run_seeds=st.lists(st.integers(0, 999), min_size=2, max_size=4,
+                       unique=True),
+)
+def test_deterministic_programs_have_schedule_independent_traces(
+    seed, run_seeds
+):
+    """Without wildcards, the matched trace is a pure function of the
+    programs — any scheduler seed yields identical ops and matches."""
+    gen = safe_program_set(4, events=12, seed=seed, allow_wildcards=False)
+    references = None
+    for run_seed in run_seeds:
+        res = run_programs(
+            gen.programs(), semantics=BlockingSemantics.relaxed(),
+            seed=run_seed,
+        )
+        snapshot = (
+            tuple(
+                tuple(op.describe() for op in res.trace.sequence(r))
+                for r in range(4)
+            ),
+            tuple(sorted(res.matched.send_of.items())),
+        )
+        if references is None:
+            references = snapshot
+        else:
+            assert snapshot == references
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), run_seed=st.integers(0, 1_000))
+def test_every_completed_receive_is_matched(seed, run_seed):
+    """In a completed run, every blocking receive and every completed
+    request-creating receive has a recorded match."""
+    gen = safe_program_set(4, events=12, seed=seed, allow_wildcards=True)
+    res = run_programs(
+        gen.programs(), semantics=BlockingSemantics.relaxed(),
+        seed=run_seed,
+    )
+    if res.deadlocked:
+        return
+    for op in res.trace:
+        if op.kind.value == "MPI_Recv":
+            assert res.matched.match_of(op.ref) is not None, op.describe()

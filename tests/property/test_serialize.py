@@ -1,0 +1,89 @@
+"""Property: trace serialization round-trips and preserves verdicts."""
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransitionSystem, analyze_trace
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.serialize import (
+    matched_trace_from_dict,
+    matched_trace_to_dict,
+)
+from repro.runtime import run_programs
+from repro.util.errors import MpiUsageError
+from repro.workloads.randomgen import mutate_program_set, safe_program_set
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    mutated=st.booleans(),
+    wildcards=st.booleans(),
+)
+def test_roundtrip_preserves_everything(seed, mutated, wildcards):
+    gen = safe_program_set(
+        p=4, events=12, seed=seed, allow_wildcards=wildcards
+    )
+    if mutated:
+        gen = mutate_program_set(gen, seed=seed + 1, mutations=1)
+    try:
+        res = run_programs(
+            gen.programs(),
+            semantics=BlockingSemantics.relaxed(),
+            seed=seed,
+        )
+    except MpiUsageError:
+        return
+    original = res.matched
+    blob = json.dumps(matched_trace_to_dict(original))
+    restored = matched_trace_from_dict(json.loads(blob))
+
+    # Structure preserved exactly.
+    assert restored.trace.lengths() == original.trace.lengths()
+    for rank in range(original.trace.num_processes):
+        for a, b in zip(
+            original.trace.sequence(rank), restored.trace.sequence(rank)
+        ):
+            assert a == b
+    assert restored.send_of == original.send_of
+    assert restored.probe_match == original.probe_match
+    assert restored.request_op == original.request_op
+    a = sorted((c.comm_id, tuple(sorted(c.members)))
+               for c in original.collectives)
+    b = sorted((c.comm_id, tuple(sorted(c.members)))
+               for c in restored.collectives)
+    assert a == b
+
+    # Analyses agree on the restored trace.
+    assert TransitionSystem(restored).run() == TransitionSystem(
+        original
+    ).run()
+    assert (
+        analyze_trace(restored, generate_outputs=False).deadlocked
+        == analyze_trace(original, generate_outputs=False).deadlocked
+    )
+
+
+def test_version_guard():
+    import pytest
+
+    from repro.util.errors import TraceError
+
+    with pytest.raises(TraceError):
+        matched_trace_from_dict({"format": 99, "num_processes": 1,
+                                 "ranks": [[]]})
+
+
+def test_file_roundtrip(tmp_path):
+    from repro.mpi.serialize import load_trace, save_trace
+    from repro.workloads import build_stress_trace
+
+    matched = build_stress_trace(4, iterations=6)
+    path = tmp_path / "trace.json"
+    save_trace(matched, str(path))
+    restored = load_trace(str(path))
+    assert restored.send_of == matched.send_of
+    assert TransitionSystem(restored).run() == TransitionSystem(
+        matched
+    ).run()

@@ -1,0 +1,132 @@
+"""Property tests on core data structures: FIFO channels, the WFG
+criterion vs. brute force, rank-set compression."""
+from typing import Dict, List, Set
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.waitfor import WaitForCondition, WaitTarget
+from repro.tbon.network import Network, jittered_latency
+from repro.wfg.detect import detect_deadlock
+from repro.wfg.graph import WaitForGraph
+from repro.wfg.simplify import RankSet
+
+
+class _Sink:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def handle(self, msg, net, src):
+        self.received.append((src, msg))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    schedule=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(0, 999)), min_size=1,
+        max_size=60,
+    ),
+    net_seed=st.integers(0, 10_000),
+)
+def test_channels_never_overtake(schedule, net_seed):
+    """For any senders and any latency jitter, per-channel delivery
+    order equals send order (GTI's non-overtaking guarantee)."""
+    net = Network(jittered_latency(seed=net_seed, base=1e-6, jitter=1e-3))
+    sink = _Sink(0)
+    net.attach(sink)
+    sent: Dict[int, List[int]] = {}
+    for i, (src, _) in enumerate(schedule):
+        sent.setdefault(src, []).append(i)
+        net.send(src, 0, i)
+    net.run()
+    received: Dict[int, List[int]] = {}
+    for src, msg in sink.received:
+        received.setdefault(src, []).append(msg)
+    assert received == sent
+
+
+def _brute_force_live(num: int, nodes: Dict[int, List[List[int]]],
+                      finished: Set[int]) -> Set[int]:
+    """Naive fixpoint for comparison with the optimized detector."""
+    live = set(range(num)) - set(nodes) - finished
+    changed = True
+    while changed:
+        changed = False
+        for rank, clauses in nodes.items():
+            if rank in live:
+                continue
+            if all(any(t in live for t in clause) for clause in clauses):
+                live.add(rank)
+                changed = True
+    return live
+
+
+@st.composite
+def _random_wfg(draw):
+    num = draw(st.integers(2, 8))
+    blocked = draw(
+        st.sets(st.integers(0, num - 1), min_size=1, max_size=num)
+    )
+    remaining = sorted(set(range(num)) - blocked)
+    finished = draw(st.sets(st.sampled_from(remaining or [0]),
+                            max_size=len(remaining)))
+    if not remaining:
+        finished = set()
+    nodes = {}
+    for rank in blocked:
+        n_clauses = draw(st.integers(1, 3))
+        clauses = []
+        for _ in range(n_clauses):
+            clause = draw(
+                st.lists(st.integers(0, num - 1), min_size=0, max_size=4)
+            )
+            clauses.append([t for t in clause if t != rank])
+        nodes[rank] = clauses
+    return num, nodes, finished
+
+
+@settings(max_examples=120, deadline=None)
+@given(_random_wfg())
+def test_detection_matches_brute_force(data):
+    num, nodes, finished = data
+    conditions = []
+    for rank, clauses in nodes.items():
+        cond = WaitForCondition(rank=rank, op_ref=(rank, 0),
+                                op_description="op")
+        for clause in clauses:
+            cond.clauses.append(tuple(WaitTarget(t, "r") for t in clause))
+        conditions.append(cond)
+    graph = WaitForGraph.from_conditions(num, conditions, finished=finished)
+    result = detect_deadlock(graph)
+    live = _brute_force_live(num, nodes, finished)
+    expected_deadlocked = tuple(sorted(set(nodes) - live))
+    assert result.deadlocked == expected_deadlocked
+    assert set(result.releasable) == set(nodes) & live
+    # The witness cycle, when present, lies inside the deadlocked set.
+    assert set(result.witness_cycle) <= set(result.deadlocked)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 200), max_size=64))
+def test_rankset_roundtrip(ranks):
+    rs = RankSet.from_ranks(ranks)
+    expected = sorted(set(ranks))
+    reconstructed = [
+        r for lo, hi in rs.ranges for r in range(lo, hi + 1)
+    ]
+    assert reconstructed == expected
+    assert rs.count() == len(expected)
+    for r in expected:
+        assert r in rs
+    for r in set(range(201)) - set(expected):
+        assert r not in rs
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 100), max_size=40))
+def test_rankset_ranges_are_canonical(ranks):
+    rs = RankSet.from_ranks(ranks)
+    for (lo1, hi1), (lo2, hi2) in zip(rs.ranges, rs.ranges[1:]):
+        assert lo1 <= hi1
+        assert hi1 + 1 < lo2  # disjoint and non-adjacent

@@ -1,0 +1,62 @@
+"""Property: TBON topology structural invariants for any (p, fan-in)."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tbon import TbonTopology
+
+
+@settings(max_examples=120, deadline=None)
+@given(p=st.integers(1, 600), fan_in=st.integers(2, 17))
+def test_topology_invariants(p, fan_in):
+    topo = TbonTopology.build(p, fan_in)
+
+    # Layer 0 is exactly the application ranks.
+    assert topo.layers[0] == tuple(range(p))
+    # The tree narrows monotonically above the first layer and ends in
+    # a single dedicated root distinct from the first layer when the
+    # first layer is a single node.
+    widths = [len(layer) for layer in topo.layers[1:]]
+    assert widths[-1] == 1
+    assert all(a >= b for a, b in zip(widths, widths[1:]))
+    assert topo.root not in topo.layers[0]
+
+    # Node ids are unique across all layers.
+    all_nodes = [n for layer in topo.layers for n in layer]
+    assert len(all_nodes) == len(set(all_nodes))
+
+    # Every non-root node has a parent in the next layer; children and
+    # parent relations are mutually consistent.
+    for idx, layer in enumerate(topo.layers[:-1]):
+        for node in layer:
+            parent = topo.parent(node)
+            assert parent in topo.layers[idx + 1]
+            assert node in topo.children(parent)
+
+    # First-layer hosting partitions the ranks exactly.
+    hosted = []
+    for node in topo.first_layer:
+        ranks = topo.ranks_of_host(node)
+        assert 1 <= len(ranks) <= fan_in
+        hosted.extend(ranks)
+    assert sorted(hosted) == list(range(p))
+
+    # ranks_under of the root covers everything; of a first-layer node,
+    # exactly its hosted ranks.
+    assert topo.ranks_under(topo.root) == tuple(range(p))
+    for node in topo.first_layer:
+        assert topo.ranks_under(node) == topo.ranks_of_host(node)
+
+    # Paths to the root are consistent and acyclic.
+    for node in topo.first_layer:
+        path = topo.path_to_root(node)
+        assert len(set(path)) == len(path)
+        assert path[-1] == topo.root
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=st.integers(2, 400), fan_in=st.integers(2, 9))
+def test_host_lookup_matches_partition(p, fan_in):
+    topo = TbonTopology.build(p, fan_in)
+    for rank in range(p):
+        host = topo.host_of_rank(rank)
+        assert rank in topo.ranks_of_host(host)

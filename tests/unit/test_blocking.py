@@ -1,0 +1,86 @@
+"""The blocking predicate ``b`` (Section 3.1) and MPI freedoms (3.3)."""
+import pytest
+
+from repro.mpi.blocking import BlockingSemantics, is_blocking
+from repro.mpi.constants import PROC_NULL, OpKind
+from repro.mpi.ops import Operation
+
+
+def _op(kind, **kw):
+    defaults = dict(rank=0, ts=0)
+    if kind.value.startswith("MPI_") and kind in (
+        OpKind.SEND, OpKind.SSEND, OpKind.BSEND, OpKind.RSEND,
+        OpKind.RECV, OpKind.PROBE, OpKind.IPROBE,
+    ):
+        defaults["peer"] = 1
+    if kind in (OpKind.ISEND, OpKind.ISSEND, OpKind.IBSEND, OpKind.IRSEND,
+                OpKind.IRECV):
+        defaults["peer"] = 1
+        defaults["request"] = 0
+    if kind in (OpKind.WAIT, OpKind.WAITALL, OpKind.WAITANY, OpKind.WAITSOME,
+                OpKind.TEST, OpKind.TESTALL, OpKind.TESTANY, OpKind.TESTSOME):
+        defaults["requests"] = (0,)
+    defaults.update(kw)
+    return Operation(kind=kind, **defaults)
+
+
+class TestStrictB:
+    """Verbatim check of the paper's definition of b."""
+
+    def test_blocking_operations(self, strict):
+        for kind in (OpKind.SEND, OpKind.SSEND, OpKind.RECV, OpKind.PROBE,
+                     OpKind.WAIT, OpKind.WAITANY, OpKind.WAITSOME,
+                     OpKind.WAITALL, OpKind.BARRIER, OpKind.ALLREDUCE,
+                     OpKind.REDUCE, OpKind.COMM_DUP):
+            assert is_blocking(_op(kind), strict), kind
+
+    def test_nonblocking_operations(self, strict):
+        for kind in (OpKind.IPROBE, OpKind.ISEND, OpKind.ISSEND,
+                     OpKind.IBSEND, OpKind.IRSEND, OpKind.BSEND,
+                     OpKind.RSEND, OpKind.IRECV, OpKind.TEST,
+                     OpKind.TESTANY, OpKind.TESTSOME, OpKind.TESTALL):
+            assert not is_blocking(_op(kind), strict), kind
+
+    def test_default_semantics_is_strict(self):
+        assert is_blocking(_op(OpKind.SEND)) is True
+
+    def test_finalize_is_terminal(self, strict):
+        assert is_blocking(_op(OpKind.FINALIZE), strict)
+
+
+class TestProcNull:
+    def test_proc_null_never_blocks(self, strict):
+        assert not is_blocking(_op(OpKind.SEND, peer=PROC_NULL), strict)
+        assert not is_blocking(_op(OpKind.RECV, peer=PROC_NULL), strict)
+        assert not is_blocking(_op(OpKind.PROBE, peer=PROC_NULL), strict)
+
+
+class TestRelaxedFreedoms:
+    def test_eager_send_buffers(self, relaxed):
+        small = _op(OpKind.SEND, nbytes=16)
+        assert not is_blocking(small, relaxed)
+
+    def test_rendezvous_above_eager_threshold(self):
+        sem = BlockingSemantics.relaxed(eager_threshold=100)
+        big = _op(OpKind.SEND, nbytes=4096)
+        assert is_blocking(big, sem)
+
+    def test_ssend_always_blocks(self, relaxed):
+        assert is_blocking(_op(OpKind.SSEND), relaxed)
+
+    def test_collective_relaxation(self, relaxed, strict):
+        assert strict.collective_synchronizes(OpKind.REDUCE)
+        assert not relaxed.collective_synchronizes(OpKind.REDUCE)
+        # Data-complete collectives must synchronize even when relaxed.
+        assert relaxed.collective_synchronizes(OpKind.BARRIER)
+        assert relaxed.collective_synchronizes(OpKind.ALLREDUCE)
+        assert relaxed.collective_synchronizes(OpKind.ALLTOALL)
+
+    def test_collective_synchronizes_rejects_p2p(self, strict):
+        with pytest.raises(ValueError):
+            strict.collective_synchronizes(OpKind.SEND)
+
+    def test_send_buffers_only_standard_mode(self, relaxed):
+        assert relaxed.send_buffers(_op(OpKind.SEND, nbytes=8))
+        assert relaxed.send_buffers(_op(OpKind.ISEND, nbytes=8))
+        assert not relaxed.send_buffers(_op(OpKind.SSEND, nbytes=8))

@@ -1,0 +1,78 @@
+"""Communicator model: groups, registry, dup/split semantics."""
+import pytest
+
+from repro.mpi.communicator import Communicator, CommRegistry
+from repro.mpi.constants import WORLD_COMM_ID
+
+
+def test_world_communicator():
+    reg = CommRegistry(4)
+    assert reg.world.comm_id == WORLD_COMM_ID
+    assert reg.world.group == (0, 1, 2, 3)
+    assert reg.world_size == 4
+    assert WORLD_COMM_ID in reg
+
+
+def test_registry_rejects_empty_world():
+    with pytest.raises(ValueError):
+        CommRegistry(0)
+
+
+def test_rank_translation():
+    comm = Communicator(5, (3, 1, 7))
+    assert comm.local_rank(1) == 1
+    assert comm.local_rank(7) == 2
+    assert comm.world_rank(0) == 3
+    assert comm.contains(7)
+    assert not comm.contains(2)
+    with pytest.raises(KeyError):
+        comm.local_rank(4)
+
+
+def test_duplicate_ranks_rejected():
+    with pytest.raises(ValueError):
+        Communicator(1, (0, 1, 0))
+
+
+def test_dup_preserves_group_new_identity():
+    reg = CommRegistry(3)
+    dup = reg.dup(WORLD_COMM_ID)
+    assert dup.group == reg.world.group
+    assert dup.comm_id != WORLD_COMM_ID
+    assert reg.get(dup.comm_id) is dup
+
+
+def test_split_by_color():
+    reg = CommRegistry(6)
+    colors = {0: 0, 1: 1, 2: 0, 3: 1, 4: 0, 5: None}
+    result = reg.split(WORLD_COMM_ID, colors)
+    assert result[0].group == (0, 2, 4)
+    assert result[1].group == (1, 3)
+    assert result[0] is result[2] is result[4]
+    assert result[5] is None  # MPI_UNDEFINED
+
+
+def test_split_requires_all_members():
+    reg = CommRegistry(3)
+    with pytest.raises(ValueError):
+        reg.split(WORLD_COMM_ID, {0: 0, 1: 0})
+
+
+def test_create_validates_world_membership():
+    reg = CommRegistry(2)
+    with pytest.raises(ValueError):
+        reg.create([0, 5])
+
+
+def test_unknown_communicator():
+    reg = CommRegistry(2)
+    with pytest.raises(KeyError):
+        reg.get(99)
+
+
+def test_subgroup_communicator_ids_are_fresh():
+    reg = CommRegistry(4)
+    a = reg.create([0, 1])
+    b = reg.create([2, 3])
+    assert a.comm_id != b.comm_id
+    assert set(reg.all_ids()) == {WORLD_COMM_ID, a.comm_id, b.comm_id}

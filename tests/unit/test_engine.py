@@ -1,0 +1,384 @@
+"""Virtual MPI runtime semantics: the substrate's ground truth."""
+import pytest
+
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, OpKind
+from repro.runtime import run_programs
+from repro.util.errors import CollectiveMismatchError, MpiUsageError
+
+from tests.conftest import run_relaxed, run_strict
+
+
+class TestBasicP2P:
+    def test_simple_send_recv(self):
+        def p0(r):
+            yield r.send(dest=1, tag=4)
+            yield r.finalize()
+
+        def p1(r):
+            status = yield r.recv(source=0, tag=4)
+            assert status.source == 0 and status.tag == 4
+            yield r.finalize()
+
+        res = run_strict([p0, p1])
+        assert not res.deadlocked
+        assert res.matched.send_of == {(1, 0): (0, 0)}
+
+    def test_rendezvous_orders_dont_matter(self):
+        """Recv posted before or after the send — both complete."""
+        def p0(r):
+            yield r.recv(source=1)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.ssend(dest=0)
+            yield r.finalize()
+
+        for seed in range(5):
+            res = run_strict([p0, p1], seed=seed)
+            assert not res.deadlocked
+
+    def test_tag_selectivity(self):
+        def p0(r):
+            yield r.send(dest=1, tag=1)
+            yield r.send(dest=1, tag=2)
+            yield r.finalize()
+
+        def p1(r):
+            s2 = yield r.recv(source=0, tag=2)
+            s1 = yield r.recv(source=0, tag=1)
+            assert (s1.tag, s2.tag) == (1, 2)
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1])
+        assert not res.deadlocked
+        assert res.matched.send_of[(1, 0)] == (0, 1)
+        assert res.matched.send_of[(1, 1)] == (0, 0)
+
+    def test_non_overtaking_same_envelope(self):
+        """Messages with identical envelopes match in order."""
+        def p0(r):
+            for _ in range(4):
+                yield r.send(dest=1, tag=0)
+            yield r.finalize()
+
+        def p1(r):
+            for _ in range(4):
+                yield r.recv(source=0, tag=0)
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1], seed=3)
+        for i in range(4):
+            assert res.matched.send_of[(1, i)] == (0, i)
+
+    def test_proc_null_completes_immediately(self):
+        def p0(r):
+            yield r.send(dest=PROC_NULL)
+            status = yield r.recv(source=PROC_NULL)
+            assert status.source == PROC_NULL
+            yield r.finalize()
+
+        def empty(r):
+            yield r.finalize()
+
+        res = run_strict([p0, empty])
+        assert not res.deadlocked
+
+
+class TestWildcards:
+    def test_wildcard_source_recorded(self):
+        def p0(r):
+            yield r.send(dest=2)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.send(dest=2)
+            yield r.finalize()
+
+        def p2(r):
+            s1 = yield r.recv(source=ANY_SOURCE)
+            s2 = yield r.recv(source=ANY_SOURCE)
+            assert {s1.source, s2.source} == {0, 1}
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1, p2], seed=5)
+        assert not res.deadlocked
+        ops = res.trace.sequence(2)
+        assert {ops[0].observed_peer, ops[1].observed_peer} == {0, 1}
+
+    def test_wildcard_choice_varies_with_seed(self):
+        def p0(r):
+            yield r.send(dest=2)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.send(dest=2)
+            yield r.finalize()
+
+        def p2(r):
+            yield r.recv(source=ANY_SOURCE)
+            yield r.recv(source=ANY_SOURCE)
+            yield r.finalize()
+
+        first = set()
+        for seed in range(20):
+            res = run_relaxed([p0, p1, p2], seed=seed)
+            first.add(res.trace.sequence(2)[0].observed_peer)
+        assert first == {0, 1}  # both interleavings observed
+
+    def test_earliest_policy_is_deterministic(self):
+        def p0(r):
+            yield r.send(dest=2)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.send(dest=2)
+            yield r.finalize()
+
+        def p2(r):
+            yield r.barrier()
+            yield r.recv(source=ANY_SOURCE)
+            yield r.recv(source=ANY_SOURCE)
+            yield r.finalize()
+
+        def with_barrier(p):
+            def prog(r):
+                yield r.send(dest=2)
+                yield r.barrier()
+                yield r.finalize()
+            return prog
+
+        # Not asserting a specific winner (scheduler decides arrival
+        # order), only that the policy resolves without randomness.
+        res1 = run_programs([with_barrier(0), with_barrier(1), p2],
+                            seed=3, wildcard_policy="earliest")
+        res2 = run_programs([with_barrier(0), with_barrier(1), p2],
+                            seed=3, wildcard_policy="earliest")
+        a = res1.trace.sequence(2)[1].observed_peer
+        b = res2.trace.sequence(2)[1].observed_peer
+        assert a == b
+
+
+class TestNonBlockingAndCompletions:
+    def test_isend_irecv_waitall(self):
+        def p0(r):
+            req = yield r.isend(1, tag=1)
+            yield r.wait(req)
+            yield r.finalize()
+
+        def p1(r):
+            req = yield r.irecv(source=0, tag=1)
+            status = yield r.wait(req)
+            assert status.source == 0
+            yield r.finalize()
+
+        res = run_strict([p0, p1])
+        assert not res.deadlocked
+
+    def test_waitany_returns_completed_index(self):
+        def p0(r):
+            r1 = yield r.irecv(source=1, tag=1)
+            r2 = yield r.irecv(source=1, tag=2)
+            idx, status = yield r.waitany([r1, r2])
+            assert idx == 1 and status.tag == 2
+            yield r.finalize()
+
+        def p1(r):
+            yield r.send(dest=0, tag=2)
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1])
+        assert not res.deadlocked
+        waitany_op = res.trace.sequence(0)[2]
+        assert waitany_op.completed_indices == (1,)
+
+    def test_test_is_nonblocking(self):
+        def p0(r):
+            req = yield r.irecv(source=1, tag=9)
+            flag, status = yield r.test(req)
+            # Keep testing until the message lands.
+            while not flag:
+                flag, status = yield r.test(req)
+            assert status.tag == 9
+            yield r.finalize()
+
+        def p1(r):
+            yield r.barrier()
+            yield r.send(dest=0, tag=9)
+            yield r.finalize()
+
+        def p0_wrap(r):
+            yield r.barrier()
+            yield from p0(r)
+
+        res = run_relaxed([p0_wrap, p1], seed=2)
+        assert not res.deadlocked
+
+    def test_request_reuse_is_a_usage_error(self):
+        def p0(r):
+            req = yield r.isend(1)
+            yield r.wait(req)
+            yield r.wait(req)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.recv(source=0)
+            yield r.finalize()
+
+        with pytest.raises(MpiUsageError):
+            run_relaxed([p0, p1])
+
+    def test_bsend_never_blocks_even_unreceived(self):
+        def p0(r):
+            yield r.bsend(dest=1)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.finalize()
+
+        res = run_strict([p0, p1])
+        assert not res.deadlocked
+        assert res.unreceived_messages == 1
+
+
+class TestProbe:
+    def test_probe_then_recv(self):
+        def p0(r):
+            yield r.send(dest=1, tag=3)
+            yield r.finalize()
+
+        def p1(r):
+            status = yield r.probe(source=0, tag=3)
+            assert status.tag == 3
+            yield r.recv(source=0, tag=3)
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1])
+        assert not res.deadlocked
+        assert (1, 0) in res.matched.probe_match
+
+    def test_iprobe_flag_false_without_message(self):
+        def p0(r):
+            flag, status = yield r.iprobe(source=1)
+            assert status is None or flag
+            yield r.finalize()
+
+        def p1(r):
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1], seed=1)
+        assert not res.deadlocked
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self):
+        order = []
+
+        def mk(i):
+            def prog(r):
+                yield r.barrier()
+                order.append(i)
+                yield r.finalize()
+            return prog
+
+        res = run_strict([mk(0), mk(1), mk(2)])
+        assert not res.deadlocked
+        assert sorted(order) == [0, 1, 2]
+
+    def test_collective_kind_mismatch_detected(self):
+        def p0(r):
+            yield r.barrier()
+            yield r.finalize()
+
+        def p1(r):
+            yield r.allreduce()
+            yield r.finalize()
+
+        with pytest.raises(CollectiveMismatchError):
+            run_relaxed([p0, p1])
+
+    def test_collective_root_mismatch_detected(self):
+        def p0(r):
+            yield r.reduce(root=0)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.reduce(root=1)
+            yield r.finalize()
+
+        with pytest.raises(CollectiveMismatchError):
+            run_relaxed([p0, p1])
+
+    def test_relaxed_reduce_lets_non_root_leave(self):
+        """Figure 4's mechanism: non-root exits an unfinished reduce."""
+        def p0(r):
+            yield r.reduce(root=1)
+            yield r.send(dest=1)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.recv(source=0)  # only satisfiable if p0 left reduce
+            yield r.reduce(root=1)
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1])
+        assert not res.deadlocked
+        # Under strict semantics the same program hangs.
+        res = run_strict([p0, p1])
+        assert res.deadlocked
+
+    def test_comm_dup_and_split(self):
+        def prog(r):
+            dup = yield r.comm_dup()
+            assert dup.comm_id != 0
+            sub = yield r.comm_split(color=r.rank % 2)
+            assert sub is not None
+            assert r.rank in sub.group
+            yield r.barrier(comm=sub)
+            yield r.finalize()
+
+        res = run_relaxed([prog] * 4, seed=4)
+        assert not res.deadlocked
+        # world barrier-free: comm_dup+comm_split+sub-barrier+finalize
+        comm_ids = {c.comm_id for c in res.matched.collectives}
+        assert len(comm_ids) >= 3  # world waves + two split barriers
+
+    def test_sendrecv_composite(self):
+        def prog(r):
+            peer = 1 - r.rank
+            status = yield from r.sendrecv(dest=peer, source=peer)
+            assert status.source == peer
+            yield r.finalize()
+
+        res = run_strict([prog, prog])
+        assert not res.deadlocked
+        # Decomposition markers present.
+        kinds = [op.kind for op in res.trace.sequence(0)]
+        assert OpKind.ISEND in kinds and OpKind.IRECV in kinds
+        assert any(
+            op.sendrecv_group is not None for op in res.trace.sequence(0)
+        )
+
+
+class TestHangDetection:
+    def test_recv_without_send_hangs(self):
+        def p0(r):
+            yield r.recv(source=1)
+            yield r.finalize()
+
+        def p1(r):
+            yield r.finalize()
+
+        res = run_relaxed([p0, p1])
+        assert res.deadlocked
+        assert 0 in res.hung
+        # Rank 1 is stuck too: finalize synchronizes in the runtime.
+        assert res.trace.op(res.hung[0]).kind is OpKind.RECV
+
+    def test_deterministic_given_seed(self):
+        from repro.workloads import stress_programs
+
+        a = run_relaxed(stress_programs(4, iterations=6), seed=9)
+        b = run_relaxed(stress_programs(4, iterations=6), seed=9)
+        assert a.matched.send_of == b.matched.send_of
+        assert a.steps == b.steps

@@ -1,0 +1,133 @@
+"""Centralized matching engines vs. runtime ground truth and edge cases."""
+import pytest
+
+from repro.matching import match_collectives, match_point_to_point, match_trace
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, OpKind
+from repro.mpi.ops import Operation
+from repro.mpi.trace import Trace
+from repro.util.errors import CollectiveMismatchError, TraceError
+from repro.workloads import fig2b_programs, stress_programs
+from repro.workloads.randomgen import safe_program_set
+from tests.conftest import run_relaxed
+
+
+class TestP2PMatcher:
+    def test_directed_in_order(self):
+        s0 = [
+            Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1, tag=0),
+            Operation(kind=OpKind.SEND, rank=0, ts=1, peer=1, tag=0),
+        ]
+        s1 = [
+            Operation(kind=OpKind.RECV, rank=1, ts=0, peer=0, tag=0),
+            Operation(kind=OpKind.RECV, rank=1, ts=1, peer=0, tag=0),
+        ]
+        send_of, _ = match_point_to_point(Trace([s0, s1]))
+        assert send_of == {(1, 0): (0, 0), (1, 1): (0, 1)}
+
+    def test_tag_selective_out_of_order(self):
+        s0 = [
+            Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1, tag=1),
+            Operation(kind=OpKind.SEND, rank=0, ts=1, peer=1, tag=2),
+        ]
+        s1 = [
+            Operation(kind=OpKind.RECV, rank=1, ts=0, peer=0, tag=2),
+            Operation(kind=OpKind.RECV, rank=1, ts=1, peer=0, tag=ANY_TAG),
+        ]
+        send_of, _ = match_point_to_point(Trace([s0, s1]))
+        assert send_of == {(1, 0): (0, 1), (1, 1): (0, 0)}
+
+    def test_wildcard_uses_observed_decision(self):
+        s0 = [Operation(kind=OpKind.SEND, rank=0, ts=0, peer=2)]
+        s1 = [Operation(kind=OpKind.SEND, rank=1, ts=0, peer=2)]
+        s2 = [
+            Operation(kind=OpKind.RECV, rank=2, ts=0, peer=ANY_SOURCE,
+                      observed_peer=1),
+            Operation(kind=OpKind.RECV, rank=2, ts=1, peer=ANY_SOURCE,
+                      observed_peer=0),
+        ]
+        send_of, _ = match_point_to_point(Trace([s0, s1, s2]))
+        assert send_of == {(2, 0): (1, 0), (2, 1): (0, 0)}
+
+    def test_unresolved_wildcard_stays_unmatched(self):
+        s0 = [Operation(kind=OpKind.RECV, rank=0, ts=0, peer=ANY_SOURCE)]
+        send_of, _ = match_point_to_point(Trace([s0, []]))
+        assert send_of == {}
+
+    def test_observed_source_without_send_is_trace_error(self):
+        s0 = [Operation(kind=OpKind.RECV, rank=0, ts=0, peer=ANY_SOURCE,
+                        observed_peer=1)]
+        with pytest.raises(TraceError):
+            match_point_to_point(Trace([s0, []]))
+
+    def test_probe_does_not_consume(self):
+        s0 = [Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1, tag=7)]
+        s1 = [
+            Operation(kind=OpKind.PROBE, rank=1, ts=0, peer=0, tag=7,
+                      observed_peer=0),
+            Operation(kind=OpKind.RECV, rank=1, ts=1, peer=0, tag=7),
+        ]
+        send_of, probes = match_point_to_point(Trace([s0, s1]))
+        assert probes == {(1, 0): (0, 0)}
+        assert send_of == {(1, 1): (0, 0)}
+
+    def test_matches_runtime_on_random_programs(self):
+        for seed in range(10):
+            gen = safe_program_set(4, events=14, seed=seed,
+                                   allow_wildcards=True)
+            res = run_relaxed(gen.programs(), seed=seed)
+            if res.deadlocked:
+                continue
+            send_of, _ = match_point_to_point(res.trace)
+            assert send_of == res.matched.send_of, seed
+
+
+class TestCollectiveMatcher:
+    def test_waves_in_per_comm_order(self):
+        res = run_relaxed(stress_programs(4, iterations=20), seed=1)
+        complete, pending = match_collectives(res.trace, res.matched.comms)
+        assert len(complete) == 2  # barriers at iterations 10 and 20
+        assert not pending
+
+    def test_kind_mismatch_raises(self):
+        s0 = [Operation(kind=OpKind.BARRIER, rank=0, ts=0)]
+        s1 = [Operation(kind=OpKind.ALLREDUCE, rank=1, ts=0)]
+        with pytest.raises(CollectiveMismatchError):
+            match_collectives(Trace([s0, s1]), CommRegistry(2))
+
+    def test_root_mismatch_raises(self):
+        s0 = [Operation(kind=OpKind.REDUCE, rank=0, ts=0, root=0)]
+        s1 = [Operation(kind=OpKind.REDUCE, rank=1, ts=0, root=1)]
+        with pytest.raises(CollectiveMismatchError):
+            match_collectives(Trace([s0, s1]), CommRegistry(2))
+
+    def test_incomplete_wave_reported_pending(self):
+        s0 = [Operation(kind=OpKind.BARRIER, rank=0, ts=0)]
+        complete, pending = match_collectives(
+            Trace([s0, []]), CommRegistry(2)
+        )
+        assert not complete
+        assert len(pending) == 1
+        assert pending[0].arrived == {0: (0, 0)}
+
+    def test_nonmember_participation_raises(self):
+        reg = CommRegistry(3)
+        sub = reg.create([0, 1])
+        s2 = [Operation(kind=OpKind.BARRIER, rank=2, ts=0,
+                        comm_id=sub.comm_id)]
+        with pytest.raises(CollectiveMismatchError):
+            match_collectives(Trace([[], [], s2]), reg)
+
+
+class TestFullMatchTrace:
+    def test_equals_runtime_ground_truth(self):
+        res = run_relaxed(fig2b_programs(), seed=3)
+        rebuilt = match_trace(res.trace, res.matched.comms)
+        assert rebuilt.send_of == res.matched.send_of
+        assert rebuilt.request_op == res.matched.request_op
+        a = sorted((c.comm_id, tuple(sorted(c.members)))
+                   for c in rebuilt.collectives)
+        b = sorted((c.comm_id, tuple(sorted(c.members)))
+                   for c in res.matched.collectives)
+        assert a == b
+        rebuilt.validate()

@@ -1,0 +1,94 @@
+"""Message records: refs, wire sizes, immutability."""
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    AckConsistentState,
+    CollectiveAck,
+    CollectiveReady,
+    NewOpMsg,
+    P2PWait,
+    PassSend,
+    Ping,
+    Pong,
+    RankWaitInfo,
+    RecvActive,
+    RecvActiveAck,
+    RequestConsistentState,
+    RequestWaits,
+    WaitInfoMsg,
+)
+from repro.mpi.constants import OpKind
+
+
+def test_pass_send_ref():
+    msg = PassSend(send_rank=3, send_ts=7, comm_id=0, dest=5, tag=2,
+                   nbytes=64)
+    assert msg.send_ref == (3, 7)
+
+
+def test_recv_active_refs_and_probe_flag():
+    msg = RecvActive(send_rank=1, send_ts=2, recv_rank=3, recv_ts=4)
+    assert msg.send_ref == (1, 2)
+    assert msg.recv_ref == (3, 4)
+    assert not msg.probe
+    probe = RecvActive(send_rank=1, send_ts=2, recv_rank=3, recv_ts=4,
+                       probe=True)
+    assert probe.probe
+
+
+def test_messages_are_frozen():
+    msg = RecvActiveAck(recv_rank=0, recv_ts=0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        msg.recv_rank = 5  # type: ignore[misc]
+
+
+def test_fixed_wire_sizes_positive():
+    for msg_cls, kwargs in (
+        (PassSend, dict(send_rank=0, send_ts=0, comm_id=0, dest=1, tag=0,
+                        nbytes=0)),
+        (RecvActive, dict(send_rank=0, send_ts=0, recv_rank=1, recv_ts=0)),
+        (RecvActiveAck, dict(recv_rank=0, recv_ts=0)),
+        (CollectiveReady, dict(comm_id=0, wave_index=0,
+                               kind=OpKind.BARRIER, root=None, count=1)),
+        (CollectiveAck, dict(comm_id=0, wave_index=0)),
+        (RequestConsistentState, dict(detection_id=0)),
+        (Ping, dict(detection_id=0, remaining=1)),
+        (Pong, dict(detection_id=0, remaining=0)),
+        (AckConsistentState, dict(detection_id=0)),
+        (RequestWaits, dict(detection_id=0)),
+    ):
+        msg = msg_cls(**kwargs)
+        assert msg.wire_size > 0, msg_cls
+
+
+def test_wait_info_wire_size_scales_with_or_targets():
+    small = WaitInfoMsg(
+        detection_id=0,
+        node_id=1,
+        infos=(
+            RankWaitInfo(rank=0, op_description="op",
+                         entries=(P2PWait((1,), "r"),)),
+        ),
+    )
+    big = WaitInfoMsg(
+        detection_id=0,
+        node_id=1,
+        infos=(
+            RankWaitInfo(
+                rank=0,
+                op_description="op",
+                entries=(P2PWait(tuple(range(100)), "r"),),
+            ),
+        ),
+    )
+    assert big.wire_size > small.wire_size
+
+
+def test_new_op_wraps_operation():
+    from repro.mpi.ops import Operation
+
+    op = Operation(kind=OpKind.BARRIER, rank=2, ts=5)
+    msg = NewOpMsg(op)
+    assert msg.op.ref == (2, 5)

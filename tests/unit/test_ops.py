@@ -1,0 +1,115 @@
+"""Operation records: validation, envelope matching, rendering."""
+import pytest
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, OpKind
+from repro.mpi.ops import Operation
+
+
+def _send(rank=0, ts=0, peer=1, tag=0, comm=0):
+    return Operation(kind=OpKind.SEND, rank=rank, ts=ts, peer=peer,
+                     tag=tag, comm_id=comm)
+
+
+def _recv(rank=1, ts=0, peer=0, tag=0, comm=0):
+    return Operation(kind=OpKind.RECV, rank=rank, ts=ts, peer=peer,
+                     tag=tag, comm_id=comm)
+
+
+class TestValidation:
+    def test_p2p_requires_peer(self):
+        with pytest.raises(ValueError):
+            Operation(kind=OpKind.SEND, rank=0, ts=0)
+
+    def test_send_cannot_use_any_source(self):
+        with pytest.raises(ValueError):
+            Operation(kind=OpKind.SEND, rank=0, ts=0, peer=ANY_SOURCE)
+
+    def test_nonblocking_requires_request(self):
+        with pytest.raises(ValueError):
+            Operation(kind=OpKind.ISEND, rank=0, ts=0, peer=1)
+
+    def test_completion_requires_requests(self):
+        with pytest.raises(ValueError):
+            Operation(kind=OpKind.WAITALL, rank=0, ts=0)
+
+    def test_negative_identifiers_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(kind=OpKind.BARRIER, rank=-1, ts=0)
+        with pytest.raises(ValueError):
+            Operation(kind=OpKind.BARRIER, rank=0, ts=-3)
+
+
+class TestClassification:
+    def test_ref_is_paper_pair(self):
+        assert _send(rank=3, ts=7).ref == (3, 7)
+
+    def test_wildcard_receive(self):
+        assert _recv(peer=ANY_SOURCE).is_wildcard_receive()
+        assert not _recv(peer=0).is_wildcard_receive()
+        probe = Operation(kind=OpKind.PROBE, rank=1, ts=0, peer=ANY_SOURCE)
+        assert probe.is_wildcard_receive()
+
+    def test_effective_source_resolves_wildcards(self):
+        recv = _recv(peer=ANY_SOURCE)
+        assert recv.effective_source() is None
+        recv.observed_peer = 5
+        assert recv.effective_source() == 5
+        assert _recv(peer=2).effective_source() == 2
+
+    def test_effective_source_rejects_sends(self):
+        with pytest.raises(ValueError):
+            _send().effective_source()
+
+
+class TestEnvelopeMatching:
+    def test_exact_match(self):
+        assert _recv(rank=1, peer=0, tag=3).envelope_matches_send(
+            _send(rank=0, peer=1, tag=3)
+        )
+
+    def test_tag_mismatch(self):
+        assert not _recv(tag=3).envelope_matches_send(_send(tag=4))
+
+    def test_any_tag_matches_all(self):
+        assert _recv(tag=ANY_TAG).envelope_matches_send(_send(tag=4))
+
+    def test_any_source_matches_all_senders(self):
+        recv = _recv(rank=1, peer=ANY_SOURCE)
+        assert recv.envelope_matches_send(_send(rank=0, peer=1))
+        assert recv.envelope_matches_send(
+            Operation(kind=OpKind.SEND, rank=7, ts=0, peer=1)
+        )
+
+    def test_communicator_separates_matching(self):
+        assert not _recv(comm=1).envelope_matches_send(_send(comm=0))
+
+    def test_destination_must_be_receiver(self):
+        assert not _recv(rank=2, peer=0).envelope_matches_send(
+            _send(rank=0, peer=1)
+        )
+
+    def test_source_restriction(self):
+        assert not _recv(peer=3).envelope_matches_send(_send(rank=0))
+
+
+class TestDescribe:
+    def test_send_rendering(self):
+        assert _send(rank=0, ts=2, peer=1).describe() == "MPI_Send(to=1)@0:2"
+
+    def test_wildcard_rendering(self):
+        assert "from=ANY" in _recv(peer=ANY_SOURCE).describe()
+
+    def test_tag_and_comm_shown_when_nondefault(self):
+        text = _send(tag=5, comm=2).describe()
+        assert "tag=5" in text and "comm=2" in text
+
+    def test_sendrecv_marker(self):
+        op = Operation(
+            kind=OpKind.ISEND, rank=0, ts=0, peer=1, request=0,
+            sendrecv_group=3,
+        )
+        assert "MPI_Sendrecv" in op.describe()
+
+    def test_rooted_collective_rendering(self):
+        op = Operation(kind=OpKind.REDUCE, rank=0, ts=0, root=2)
+        assert "root=2" in op.describe()

@@ -1,0 +1,174 @@
+"""Performance model: placement, cost primitives, figure shapes."""
+import math
+
+import pytest
+
+from repro.perf import (
+    SIERRA,
+    CostModel,
+    PhaseTimers,
+    Placement,
+    StressTestConfig,
+    spec_slowdown,
+    stress_centralized_slowdown,
+    stress_distributed_slowdown,
+    stress_reference_iteration,
+    stress_sweep,
+)
+from repro.perf.timers import (
+    PHASE_DEADLOCK_CHECK,
+    PHASE_GRAPH_BUILD,
+    PHASE_OUTPUT,
+)
+from repro.workloads.specmpi import (
+    EXCLUDED_FROM_AVERAGE,
+    SPEC_PROFILES,
+)
+
+
+class TestPlacement:
+    def test_twelve_cores_per_node(self):
+        p = Placement()
+        assert p.host_of(0) == 0
+        assert p.host_of(11) == 0
+        assert p.host_of(12) == 1
+        assert p.same_host(0, 11)
+        assert not p.same_host(11, 12)
+
+    def test_hosts_for(self):
+        assert Placement().hosts_for(1) == 1
+        assert Placement().hosts_for(12) == 1
+        assert Placement().hosts_for(13) == 2
+
+    def test_ring_internode_fraction(self):
+        p = Placement()
+        assert p.internode_fraction_ring(8) == 0.0  # single node
+        f16 = p.internode_fraction_ring(16)
+        f24 = p.internode_fraction_ring(24)
+        f240 = p.internode_fraction_ring(240)
+        # Drops from the 2-node case and saturates near 1/cores-per-node.
+        assert f16 > f24 >= f240 > 0
+        assert abs(f240 - 1 / 12) < 0.01
+
+
+class TestCostPrimitives:
+    def test_intra_cheaper_than_inter(self):
+        assert SIERRA.p2p_latency(0, 1) < SIERRA.p2p_latency(0, 20)
+
+    def test_payload_adds_bandwidth_term(self):
+        assert SIERRA.p2p_latency(0, 20, nbytes=1 << 20) > SIERRA.p2p_latency(
+            0, 20, nbytes=4
+        )
+
+    def test_barrier_grows_with_scale(self):
+        b = [SIERRA.barrier_time(p) for p in (2, 16, 256, 4096)]
+        assert all(x < y for x, y in zip(b, b[1:]))
+        assert SIERRA.barrier_time(1) == 0.0
+
+
+class TestFigure9Shape:
+    """The reproduced claims of Figure 9."""
+
+    PS = (16, 64, 256, 1024, 4096)
+
+    def test_distributed_slowdown_does_not_increase_with_scale(self):
+        for fan_in in (2, 4, 8):
+            series = [
+                stress_distributed_slowdown(p, fan_in) for p in self.PS
+            ]
+            assert all(a >= b for a, b in zip(series, series[1:]))
+
+    def test_fanin_ordering(self):
+        """Lower fan-in -> lower overhead (Section 6)."""
+        for p in self.PS:
+            s2 = stress_distributed_slowdown(p, 2)
+            s4 = stress_distributed_slowdown(p, 4)
+            s8 = stress_distributed_slowdown(p, 8)
+            assert s2 < s4 < s8
+
+    def test_paper_anchor_points(self):
+        """~70x at 16 procs and ~45x at 4,096 procs for fan-in 2."""
+        assert 55 <= stress_distributed_slowdown(16, 2) <= 90
+        assert 35 <= stress_distributed_slowdown(4096, 2) <= 60
+
+    def test_centralized_grows_and_projects_to_thousands(self):
+        series = [stress_centralized_slowdown(p) for p in self.PS]
+        assert all(a < b for a, b in zip(series, series[1:]))
+        projected = stress_centralized_slowdown(4096)
+        assert 5000 <= projected <= 15000  # paper: ~8,000
+
+    def test_crossover_distributed_wins_at_scale(self):
+        assert stress_centralized_slowdown(512) > (
+            stress_distributed_slowdown(512, 2)
+        )
+
+    def test_sweep_masks_centralized_beyond_512(self):
+        data = stress_sweep((256, 512, 1024))
+        assert not math.isnan(data["centralized"][1])
+        assert math.isnan(data["centralized"][2])
+        assert not math.isnan(data["centralized_projected"][2])
+
+    def test_invalid_fan_in(self):
+        with pytest.raises(ValueError):
+            stress_distributed_slowdown(16, 1)
+
+
+class TestFigure12Shape:
+    def test_communication_bound_apps_are_worst(self):
+        slow = {
+            name: spec_slowdown(profile, 2048)
+            for name, profile in SPEC_PROFILES.items()
+        }
+        ranked = sorted(slow, key=slow.get, reverse=True)
+        worst_wo_gap = [n for n in ranked if n not in EXCLUDED_FROM_AVERAGE]
+        assert set(worst_wo_gap[:2]) == {"121.pop2", "143.dleslie"}
+
+    def test_lu_and_dmilc_show_gains(self):
+        assert spec_slowdown(SPEC_PROFILES["137.lu"], 2048) < 1.0
+        assert spec_slowdown(SPEC_PROFILES["142.dmilc"], 2048) < 1.05
+
+    def test_average_near_34_percent(self):
+        values = [
+            spec_slowdown(profile, 2048)
+            for name, profile in SPEC_PROFILES.items()
+            if name not in EXCLUDED_FROM_AVERAGE
+        ]
+        avg = sum(values) / len(values)
+        assert 1.20 <= avg <= 1.50  # paper: 1.34
+
+    def test_most_apps_low_overhead(self):
+        low = sum(
+            1
+            for name, profile in SPEC_PROFILES.items()
+            if name not in EXCLUDED_FROM_AVERAGE
+            and spec_slowdown(profile, 2048) < 1.4
+        )
+        assert low >= 9  # "slowdowns are low for most applications"
+
+
+class TestPhaseTimers:
+    def test_accumulation_and_breakdown(self):
+        t = PhaseTimers()
+        with t.phase(PHASE_GRAPH_BUILD):
+            pass
+        t.add(PHASE_OUTPUT, 3.0)
+        t.add(PHASE_OUTPUT, 1.0)
+        assert t.elapsed(PHASE_OUTPUT) == 4.0
+        assert t.total() >= 4.0
+        order = list(t.breakdown())
+        assert order.index(PHASE_GRAPH_BUILD) < order.index(PHASE_OUTPUT)
+
+    def test_shares_sum_to_one(self):
+        t = PhaseTimers()
+        t.add(PHASE_GRAPH_BUILD, 1.0)
+        t.add(PHASE_DEADLOCK_CHECK, 3.0)
+        shares = t.shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-12
+        assert shares[PHASE_DEADLOCK_CHECK] == 0.75
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimers().add("x", -1.0)
+
+    def test_empty_shares(self):
+        assert PhaseTimers().shares() == {}

@@ -1,0 +1,154 @@
+"""Persistent communication (Section 3.1: "handled like non-blocking
+point-to-point operations")."""
+import pytest
+
+from repro.core import (
+    TransitionSystem,
+    analyze_trace,
+    detect_deadlocks_distributed,
+)
+from repro.mpi.constants import ANY_SOURCE, OpKind
+from repro.util.errors import MpiUsageError
+
+from tests.conftest import run_relaxed, run_strict
+
+
+def _persistent_ring(iterations=4):
+    def ring(r):
+        right = (r.rank + 1) % r.size
+        left = (r.rank - 1) % r.size
+        sreq = yield r.send_init(right, tag=1)
+        rreq = yield r.recv_init(left, tag=1)
+        for _ in range(iterations):
+            yield from r.startall([sreq, rreq])
+            yield r.waitall([sreq, rreq])
+        yield r.request_free(sreq)
+        yield r.request_free(rreq)
+        yield r.finalize()
+
+    return ring
+
+
+class TestRuntimeSemantics:
+    def test_ring_completes_under_strict_semantics(self):
+        res = run_strict([_persistent_ring()] * 5, seed=2)
+        assert not res.deadlocked
+
+    def test_each_start_is_a_fresh_instance(self):
+        res = run_strict([_persistent_ring(3)] * 3, seed=1)
+        starts = [
+            op for op in res.trace.sequence(0)
+            if op.kind in (OpKind.PSTART_SEND, OpKind.PSTART_RECV)
+        ]
+        assert len(starts) == 6  # 3 iterations x (send + recv)
+        assert len({op.request for op in starts}) == 6  # all distinct
+        # Every send instance matched its own receive instance.
+        send_matches = [
+            res.matched.match_of(op.ref)
+            for op in starts
+            if op.kind is OpKind.PSTART_SEND
+        ]
+        assert all(m is not None for m in send_matches)
+
+    def test_start_on_active_request_is_usage_error(self):
+        def bad(r):
+            req = yield r.send_init(1)
+            yield r.start(req)
+            yield r.start(req)  # not completed yet
+            yield r.finalize()
+
+        def peer(r):
+            yield r.recv(source=0)
+            yield r.finalize()
+
+        with pytest.raises(MpiUsageError):
+            run_relaxed([bad, peer])
+
+    def test_free_active_request_is_usage_error(self):
+        def bad(r):
+            req = yield r.send_init(1)
+            yield r.start(req)
+            yield r.request_free(req)
+            yield r.finalize()
+
+        def peer(r):
+            yield r.recv(source=0)
+            yield r.finalize()
+
+        with pytest.raises(MpiUsageError):
+            run_relaxed([bad, peer])
+
+    def test_wait_on_inactive_persistent_is_usage_error(self):
+        def bad(r):
+            req = yield r.recv_init(1)
+            yield r.wait(req)
+            yield r.finalize()
+
+        def peer(r):
+            yield r.finalize()
+
+        with pytest.raises(MpiUsageError):
+            run_relaxed([bad, peer])
+
+    def test_wildcard_persistent_receive(self):
+        def master(r):
+            req = yield r.recv_init(ANY_SOURCE, tag=3)
+            for _ in range(2):
+                yield r.start(req)
+                status = yield r.wait(req)
+                assert status.source in (1, 2)
+            yield r.finalize()
+
+        def worker(r):
+            yield r.send(dest=0, tag=3)
+            yield r.finalize()
+
+        res = run_relaxed([master, worker, worker], seed=4)
+        assert not res.deadlocked
+        starts = [
+            op for op in res.trace.sequence(0)
+            if op.kind is OpKind.PSTART_RECV
+        ]
+        assert {op.observed_peer for op in starts} == {1, 2}
+
+
+class TestAnalyses:
+    def test_clean_ring_everywhere(self):
+        res = run_strict([_persistent_ring()] * 5, seed=2)
+        assert not analyze_trace(res.matched, generate_outputs=False).has_deadlock
+        out = detect_deadlocks_distributed(res.matched, fan_in=2)
+        assert not out.has_deadlock
+        assert out.stable_state == TransitionSystem(res.matched).run()
+
+    def test_unmatched_persistent_start_deadlocks(self):
+        def victim(r):
+            req = yield r.recv_init(1, tag=5)
+            yield r.start(req)
+            yield r.wait(req)
+            yield r.finalize()
+
+        def silent(r):
+            yield r.finalize()
+
+        res = run_relaxed([victim, silent], seed=0)
+        assert res.deadlocked
+        analysis = analyze_trace(res.matched, generate_outputs=False)
+        assert analysis.deadlocked == (0,)
+        out = detect_deadlocks_distributed(res.matched, fan_in=2)
+        assert out.deadlocked == (0,)
+        # The Wait is the blocked op; the Start is its rule-4 target.
+        cond = analysis.conditions[0]
+        assert cond.op_description.startswith("MPI_Wait")
+        assert cond.target_ranks() == {1}
+
+    def test_persistent_start_blocking_semantics(self, strict):
+        """b(Start) = False: the paper's non-blocking treatment."""
+        from repro.mpi.blocking import is_blocking
+        from repro.mpi.ops import Operation
+
+        for kind in (OpKind.PSTART_SEND, OpKind.PSTART_RECV):
+            op = Operation(kind=kind, rank=0, ts=0, peer=1, request=0)
+            assert not is_blocking(op, strict)
+        for kind in (OpKind.SEND_INIT, OpKind.RECV_INIT):
+            op = Operation(kind=kind, rank=0, ts=0, peer=1)
+            assert not is_blocking(op, strict)

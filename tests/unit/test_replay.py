@@ -1,0 +1,73 @@
+"""Timed trace replay: the executable validation of the Figure 9 model."""
+import pytest
+
+from repro.perf import (
+    stress_centralized_slowdown,
+    stress_distributed_slowdown,
+)
+from repro.perf.replay import (
+    replay_reference,
+    replay_slowdown,
+    replay_with_tool,
+)
+from repro.util.errors import TraceError
+from repro.workloads import build_stress_trace, build_wildcard_trace
+
+
+@pytest.fixture(scope="module")
+def stress16():
+    return build_stress_trace(16, iterations=30)
+
+
+def test_reference_replay_monotone_and_positive(stress16):
+    result = replay_reference(stress16)
+    assert result.makespan > 0
+    assert len(result.per_rank_finish) == 16
+    # Barriers synchronize everyone: finishes cluster near the makespan.
+    assert min(result.per_rank_finish) > 0.5 * result.makespan
+
+
+def test_tool_replay_slower_than_reference(stress16):
+    ref = replay_reference(stress16)
+    tool = replay_with_tool(stress16, fan_in=2)
+    assert tool.makespan > ref.makespan
+
+
+def test_fanin_ordering_matches_model(stress16):
+    s2 = replay_slowdown(stress16, fan_in=2)
+    s4 = replay_slowdown(stress16, fan_in=4)
+    s8 = replay_slowdown(stress16, fan_in=8)
+    assert s2 < s4 < s8
+
+
+def test_centralized_grows_with_scale():
+    values = [
+        replay_slowdown(build_stress_trace(p, iterations=20), fan_in=2,
+                        centralized=True)
+        for p in (16, 32, 64)
+    ]
+    assert values[0] < values[1] < values[2]
+
+
+def test_distributed_flat_with_scale():
+    values = [
+        replay_slowdown(build_stress_trace(p, iterations=20), fan_in=2)
+        for p in (16, 32, 64)
+    ]
+    assert values[0] >= values[1] >= values[2]
+
+
+def test_replay_agrees_with_model_within_factor_two(stress16):
+    replay = replay_slowdown(stress16, fan_in=2)
+    model = stress_distributed_slowdown(16, 2)
+    assert 0.5 <= replay / model <= 2.0
+    replay_c = replay_slowdown(
+        build_stress_trace(64, iterations=20), fan_in=2, centralized=True
+    )
+    model_c = stress_centralized_slowdown(64)
+    assert 0.5 <= replay_c / model_c <= 2.0
+
+
+def test_deadlocked_trace_rejected():
+    with pytest.raises(TraceError):
+        replay_reference(build_wildcard_trace(4))

@@ -1,0 +1,126 @@
+"""Trace and MatchedTrace structures and their validation."""
+import pytest
+
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import OpKind
+from repro.mpi.ops import Operation
+from repro.mpi.trace import (
+    CollectiveMatch,
+    MatchedTrace,
+    PendingCollective,
+    Trace,
+)
+
+
+def _two_rank_trace():
+    s0 = [
+        Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1),
+        Operation(kind=OpKind.FINALIZE, rank=0, ts=1),
+    ]
+    s1 = [
+        Operation(kind=OpKind.RECV, rank=1, ts=0, peer=0),
+        Operation(kind=OpKind.FINALIZE, rank=1, ts=1),
+    ]
+    return Trace([s0, s1])
+
+
+def test_trace_indexing():
+    trace = _two_rank_trace()
+    assert trace.num_processes == 2
+    assert trace.lengths() == (2, 2)
+    assert trace.op((0, 0)).kind is OpKind.SEND
+    assert trace.has_op((1, 1))
+    assert not trace.has_op((1, 2))
+    assert not trace.has_op((2, 0))
+    assert trace.total_ops() == 4
+
+
+def test_trace_rejects_misfiled_ops():
+    bad = [Operation(kind=OpKind.BARRIER, rank=1, ts=0)]
+    with pytest.raises(ValueError):
+        Trace([bad])  # rank 1 op filed under rank 0
+
+
+def test_trace_rejects_wrong_timestamps():
+    bad = [
+        Operation(kind=OpKind.BARRIER, rank=0, ts=0),
+        Operation(kind=OpKind.BARRIER, rank=0, ts=5),
+    ]
+    with pytest.raises(ValueError):
+        Trace([bad])
+
+
+def test_p2p_match_bookkeeping():
+    matched = MatchedTrace(_two_rank_trace(), CommRegistry(2))
+    matched.add_p2p_match((0, 0), (1, 0))
+    assert matched.match_of((0, 0)) == (1, 0)
+    assert matched.match_of((1, 0)) == (0, 0)
+    with pytest.raises(ValueError):
+        matched.add_p2p_match((0, 0), (1, 0))
+
+
+def test_match_of_requires_p2p_operation():
+    matched = MatchedTrace(_two_rank_trace(), CommRegistry(2))
+    with pytest.raises(ValueError):
+        matched.match_of((0, 1))  # finalize has no p2p partner
+
+
+def test_validate_rejects_envelope_violations():
+    trace = _two_rank_trace()
+    matched = MatchedTrace(trace, CommRegistry(2))
+    # Match the send with rank 1's finalize-adjacent receive is fine;
+    # but matching reversed direction must fail validation.
+    matched.add_p2p_match((1, 0), (0, 0))  # recv listed as send
+    with pytest.raises(ValueError):
+        matched.validate()
+
+
+def test_collective_match_group_validation():
+    s0 = [Operation(kind=OpKind.BARRIER, rank=0, ts=0)]
+    s1 = [Operation(kind=OpKind.BARRIER, rank=1, ts=0)]
+    trace = Trace([s0, s1])
+    matched = MatchedTrace(trace, CommRegistry(2))
+    matched.add_collective_match(
+        CollectiveMatch(comm_id=0, members=frozenset({(0, 0), (1, 0)}))
+    )
+    matched.validate()
+    assert matched.collective_match((0, 0)) is matched.collective_match((1, 0))
+
+
+def test_collective_match_incomplete_group_fails_validation():
+    s0 = [Operation(kind=OpKind.BARRIER, rank=0, ts=0)]
+    s1 = [Operation(kind=OpKind.BARRIER, rank=1, ts=0)]
+    matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+    matched.add_collective_match(
+        CollectiveMatch(comm_id=0, members=frozenset({(0, 0)}))
+    )
+    with pytest.raises(ValueError):
+        matched.validate()
+
+
+def test_operation_in_two_waves_rejected():
+    s0 = [Operation(kind=OpKind.BARRIER, rank=0, ts=0)]
+    matched = MatchedTrace(Trace([s0]), CommRegistry(1))
+    matched.add_collective_match(
+        CollectiveMatch(comm_id=0, members=frozenset({(0, 0)}))
+    )
+    with pytest.raises(ValueError):
+        matched.add_pending_collective(
+            PendingCollective(comm_id=0, index=0, arrived={0: (0, 0)})
+        )
+
+
+def test_request_registration_and_completion_targets():
+    s0 = [
+        Operation(kind=OpKind.ISEND, rank=0, ts=0, peer=1, request=7),
+        Operation(kind=OpKind.WAIT, rank=0, ts=1, requests=(7,)),
+    ]
+    s1 = [Operation(kind=OpKind.RECV, rank=1, ts=0, peer=0)]
+    matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+    matched.register_request(0, 7, (0, 0))
+    assert matched.request_creator(0, 7) == (0, 0)
+    assert matched.completion_targets((0, 1)) == ((0, 0),)
+    with pytest.raises(ValueError):
+        matched.register_request(0, 7, (0, 0))
+    with pytest.raises(KeyError):
+        matched.request_creator(0, 99)

@@ -1,0 +1,264 @@
+"""The wait state transition system (Section 3): rules, execution,
+terminal states, blocked sets — including the paper's worked example."""
+import pytest
+
+from repro.core.transition import (
+    RULE_ALL,
+    RULE_ANY,
+    RULE_COLL,
+    RULE_NB,
+    RULE_P2P,
+    TransitionSystem,
+)
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import ANY_SOURCE, OpKind
+from repro.mpi.ops import Operation
+from repro.mpi.trace import CollectiveMatch, MatchedTrace, Trace
+from repro.workloads import fig2b_programs
+from tests.conftest import run_relaxed
+
+
+def build_fig3_trace():
+    """The matched trace of Figure 3 (the paper's worked example).
+
+    Process 0: Send(to 1); Barrier; Send(to 1); [Recv(from 2)]
+    Process 1: Recv(ANY); Recv(ANY); Barrier; Send(to 2); [Recv(from 0)]
+    Process 2: Send(to 1); Barrier; Send(to 0); [Recv(from 1)]
+
+    The deadlock manifests at the post-barrier sends; the trace ends
+    there (the trailing receives are never issued), with the first
+    wildcard receive matched to process 2's send as in Figure 3.
+    """
+    s0 = [
+        Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1),
+        Operation(kind=OpKind.BARRIER, rank=0, ts=1),
+        Operation(kind=OpKind.SEND, rank=0, ts=2, peer=1),
+    ]
+    s1 = [
+        Operation(kind=OpKind.RECV, rank=1, ts=0, peer=ANY_SOURCE,
+                  observed_peer=2),
+        Operation(kind=OpKind.RECV, rank=1, ts=1, peer=ANY_SOURCE,
+                  observed_peer=0),
+        Operation(kind=OpKind.BARRIER, rank=1, ts=2),
+        Operation(kind=OpKind.SEND, rank=1, ts=3, peer=2),
+    ]
+    s2 = [
+        Operation(kind=OpKind.SEND, rank=2, ts=0, peer=1),
+        Operation(kind=OpKind.BARRIER, rank=2, ts=1),
+        Operation(kind=OpKind.SEND, rank=2, ts=2, peer=0),
+    ]
+    matched = MatchedTrace(Trace([s0, s1, s2]), CommRegistry(3))
+    matched.add_p2p_match((2, 0), (1, 0))
+    matched.add_p2p_match((0, 0), (1, 1))
+    matched.add_collective_match(
+        CollectiveMatch(comm_id=0,
+                        members=frozenset({(0, 1), (1, 2), (2, 1)}))
+    )
+    return matched
+
+
+class TestFig3Example:
+    def test_paper_execution_sequence(self):
+        """Replay the exact transition sequence printed in Section 3.1:
+        (0,0,0) ->p2p (0,0,1) ->p2p (0,1,1) ->p2p (0,2,1) ->p2p (1,2,1)
+        ->coll (1,2,2) ->coll (2,2,2) ->coll (2,3,2)."""
+        ts = TransitionSystem(build_fig3_trace())
+        state = ts.initial_state()
+        expected = [
+            (2, RULE_P2P, (0, 0, 1)),
+            (1, RULE_P2P, (0, 1, 1)),
+            (1, RULE_P2P, (0, 2, 1)),
+            (0, RULE_P2P, (1, 2, 1)),
+            (2, RULE_COLL, (1, 2, 2)),
+            (0, RULE_COLL, (2, 2, 2)),
+            (1, RULE_COLL, (2, 3, 2)),
+        ]
+        for proc, rule, after in expected:
+            assert ts.rule_label(state, proc) == rule
+            state = ts.step(state, proc)
+            assert state == after
+        assert ts.is_terminal(state)
+
+    def test_paper_counterexamples_at_001(self):
+        """The three non-applicable rules the paper walks through at
+        state (0, 0, 1)."""
+        ts = TransitionSystem(build_fig3_trace())
+        state = (0, 0, 1)
+        # Rule 2 not applicable to o_{2,0}: not process 2's current op.
+        # Rule 2 not applicable to o_{0,0}: o_{1,1} is not active.
+        assert ts.rule_label(state, 0) is None
+        # Rule 3 not applicable to o_{2,1}: o_{0,1}, o_{1,2} not active.
+        assert ts.rule_label(state, 2) is None
+        # Only process 1 can move (its recv's matched send is active).
+        assert ts.enabled_processes(state) == [1]
+
+    def test_unique_terminal_state(self):
+        ts = TransitionSystem(build_fig3_trace())
+        assert ts.run() == (2, 3, 2)
+        assert ts.run_slow() == (2, 3, 2)
+
+    def test_intermediate_blocked_set(self):
+        """Paper Section 3.2: in state (2,3,1), processes 0 and 1 are
+        blocked while process 2 can advance."""
+        ts = TransitionSystem(build_fig3_trace())
+        assert ts.blocked_processes((2, 3, 1)) == {0, 1}
+        assert ts.enabled_processes((2, 3, 1)) == [2]
+
+    def test_terminal_blocked_set_is_everyone(self):
+        ts = TransitionSystem(build_fig3_trace())
+        assert ts.blocked_processes((2, 3, 2)) == {0, 1, 2}
+        assert ts.deadlocked()
+
+
+class TestRules:
+    def test_rule_nb_for_nonblocking(self):
+        s0 = [
+            Operation(kind=OpKind.ISEND, rank=0, ts=0, peer=1, request=0),
+            Operation(kind=OpKind.FINALIZE, rank=0, ts=1),
+        ]
+        s1 = [Operation(kind=OpKind.FINALIZE, rank=1, ts=0)]
+        matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+        matched.register_request(0, 0, (0, 0))
+        ts = TransitionSystem(matched)
+        assert ts.rule_label((0, 0), 0) == RULE_NB
+
+    def test_rule2_requires_match_existence(self):
+        """A send with no recorded match can never advance."""
+        s0 = [Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1)]
+        s1 = [Operation(kind=OpKind.FINALIZE, rank=1, ts=0)]
+        matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+        ts = TransitionSystem(matched)
+        assert ts.run() == (0, 0)
+        assert ts.blocked_processes((0, 0)) == {0}
+
+    def test_rule2_receiver_advances_while_sender_active(self):
+        """Rule 2 allows the receiver past the rendezvous while the
+        sender is still active (paper's 'frees a temporary buffer')."""
+        s0 = [
+            Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1),
+            Operation(kind=OpKind.FINALIZE, rank=0, ts=1),
+        ]
+        s1 = [
+            Operation(kind=OpKind.RECV, rank=1, ts=0, peer=0),
+            Operation(kind=OpKind.FINALIZE, rank=1, ts=1),
+        ]
+        matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+        matched.add_p2p_match((0, 0), (1, 0))
+        ts = TransitionSystem(matched)
+        # From the initial state both can advance independently.
+        assert ts.rule_label((0, 0), 0) == RULE_P2P
+        assert ts.rule_label((0, 0), 1) == RULE_P2P
+        assert ts.step((0, 0), 1) == (0, 1)
+
+    def test_rule3_incomplete_collective_blocks(self):
+        s0 = [Operation(kind=OpKind.BARRIER, rank=0, ts=0)]
+        s1 = []
+        matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+        ts = TransitionSystem(matched)
+        assert ts.run() == (0, 0)
+        assert ts.blocked_processes((0, 0)) == {0}  # rank 1 ran off end
+
+    def test_rule4_waitall_needs_every_target(self):
+        s0 = [
+            Operation(kind=OpKind.IRECV, rank=0, ts=0, peer=1, tag=1,
+                      request=0),
+            Operation(kind=OpKind.IRECV, rank=0, ts=1, peer=1, tag=2,
+                      request=1),
+            Operation(kind=OpKind.WAITALL, rank=0, ts=2, requests=(0, 1)),
+        ]
+        s1 = [
+            Operation(kind=OpKind.SEND, rank=1, ts=0, peer=0, tag=1),
+            Operation(kind=OpKind.FINALIZE, rank=1, ts=1),
+        ]
+        matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+        matched.register_request(0, 0, (0, 0))
+        matched.register_request(0, 1, (0, 1))
+        matched.add_p2p_match((1, 0), (0, 0))
+        ts = TransitionSystem(matched)
+        term = ts.run()
+        assert term[0] == 2  # stuck at the Waitall
+        assert ts.rule_label(term, 0) is None
+
+    def test_rule4_waitany_needs_one_target(self):
+        s0 = [
+            Operation(kind=OpKind.IRECV, rank=0, ts=0, peer=1, tag=1,
+                      request=0),
+            Operation(kind=OpKind.IRECV, rank=0, ts=1, peer=1, tag=2,
+                      request=1),
+            Operation(kind=OpKind.WAITANY, rank=0, ts=2, requests=(0, 1)),
+            Operation(kind=OpKind.FINALIZE, rank=0, ts=3),
+        ]
+        s1 = [
+            Operation(kind=OpKind.SEND, rank=1, ts=0, peer=0, tag=1),
+            Operation(kind=OpKind.FINALIZE, rank=1, ts=1),
+        ]
+        matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+        matched.register_request(0, 0, (0, 0))
+        matched.register_request(0, 1, (0, 1))
+        matched.add_p2p_match((1, 0), (0, 0))
+        ts = TransitionSystem(matched)
+        term = ts.run()
+        assert term[0] == 3  # Waitany passed via the matched request
+        assert ts.rule_label((2, 1), 0) == RULE_ANY
+
+    def test_rule4_ibsend_completes_locally(self):
+        """Rule 4 treats explicitly-buffered sends as always matched."""
+        s0 = [
+            Operation(kind=OpKind.IBSEND, rank=0, ts=0, peer=1, request=0),
+            Operation(kind=OpKind.WAIT, rank=0, ts=1, requests=(0,)),
+            Operation(kind=OpKind.FINALIZE, rank=0, ts=2),
+        ]
+        s1 = [Operation(kind=OpKind.FINALIZE, rank=1, ts=0)]
+        matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+        matched.register_request(0, 0, (0, 0))
+        ts = TransitionSystem(matched)
+        assert ts.rule_label((1, 0), 0) == RULE_ALL
+        assert ts.run() == (2, 0)
+
+
+class TestMonotonicity:
+    def test_enabled_rules_stay_enabled(self):
+        """Paper 3.1: a rule enabled for process k stays enabled in any
+        pointwise-larger state agreeing on l_k."""
+        ts = TransitionSystem(build_fig3_trace())
+        import itertools
+
+        lens = ts.trace.lengths()
+        states = itertools.product(*[range(l + 1) for l in lens])
+        for state in states:
+            for k in ts.enabled_processes(state):
+                for other in range(3):
+                    if other == k:
+                        continue
+                    bumped = list(state)
+                    if bumped[other] < lens[other]:
+                        bumped[other] += 1
+                        assert ts.can_advance(tuple(bumped), k)
+
+
+class TestFinishedAndDeadlocked:
+    def test_clean_completion(self):
+        res = run_relaxed(fig2b_programs(), seed=3)
+        ts = TransitionSystem(
+            res.matched, semantics=BlockingSemantics.relaxed()
+        )
+        term = ts.run()
+        # With relaxed analysis semantics the trace completes fully.
+        assert not ts.blocked_processes(term)
+        assert ts.finished_processes(term) == {0, 1, 2}
+        assert not ts.deadlocked(term)
+
+    def test_strict_vs_relaxed_analysis_semantics(self):
+        res = run_relaxed(fig2b_programs(), seed=3)
+        strict_ts = TransitionSystem(res.matched)
+        assert strict_ts.deadlocked()
+
+    def test_state_validation(self):
+        ts = TransitionSystem(build_fig3_trace())
+        with pytest.raises(ValueError):
+            ts.blocked_processes((0, 0))  # wrong arity
+        with pytest.raises(ValueError):
+            ts.blocked_processes((0, 0, 99))
+        with pytest.raises(ValueError):
+            ts.step((2, 3, 2), 0)  # terminal: no rule applies

@@ -1,0 +1,198 @@
+"""Interior/root node behaviour and protocol error paths."""
+import pytest
+
+from repro.core.messages import (
+    AckConsistentState,
+    CollectiveAck,
+    CollectiveReady,
+    CollectiveWait,
+    P2PWait,
+    RankWaitInfo,
+    RequestConsistentState,
+    RequestWaits,
+    WaitInfoMsg,
+)
+from repro.core.treenodes import InteriorNode, RootNode
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import OpKind
+from repro.tbon.network import Network, fixed_latency
+from repro.tbon.topology import TbonTopology
+from repro.util.errors import ProtocolError
+
+
+class _Sink:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def handle(self, msg, net, src):
+        self.received.append((src, msg))
+
+
+def _tree16():
+    """16 ranks, fan-in 2: first layer 16..23, interior 24..27,
+    then 28..29, root 30."""
+    return TbonTopology.build(16, 2)
+
+
+class TestInteriorAggregation:
+    def test_collective_ready_forwarded_once_complete(self):
+        topo = _tree16()
+        comms = CommRegistry(16)
+        interior = topo.layers[2][0]  # above first-layer nodes 16, 17
+        node = InteriorNode(interior, topo, comms)
+        net = Network(fixed_latency())
+        parent = _Sink(topo.parent(interior))
+        net.attach(parent)
+        net.attach(node)
+
+        ready = CollectiveReady(comm_id=0, wave_index=0,
+                                kind=OpKind.BARRIER, root=None, count=2)
+        node.handle(ready, net, src=topo.children(interior)[0])
+        net.run()
+        assert not parent.received  # 2 of 4 subtree ranks
+        node.handle(ready, net, src=topo.children(interior)[1])
+        net.run()
+        assert len(parent.received) == 1
+        _, msg = parent.received[0]
+        assert isinstance(msg, CollectiveReady) and msg.count == 4
+
+    def test_subgroup_collective_counts_only_members(self):
+        topo = _tree16()
+        comms = CommRegistry(16)
+        sub = comms.create([0, 1])  # entirely under the first interior
+        interior = topo.layers[2][0]
+        node = InteriorNode(interior, topo, comms)
+        net = Network(fixed_latency())
+        parent = _Sink(topo.parent(interior))
+        net.attach(parent)
+        net.attach(node)
+        node.handle(
+            CollectiveReady(comm_id=sub.comm_id, wave_index=0,
+                            kind=OpKind.BARRIER, root=None, count=2),
+            net, src=topo.children(interior)[0],
+        )
+        net.run()
+        assert len(parent.received) == 1  # both members present already
+
+    def test_ack_aggregation_and_overcount(self):
+        topo = _tree16()
+        node = InteriorNode(topo.layers[2][0], topo, CommRegistry(16))
+        net = Network(fixed_latency())
+        parent = _Sink(topo.parent(node.node_id))
+        net.attach(parent)
+        net.attach(node)
+        node.handle(AckConsistentState(0, count=1), net, src=0)
+        net.run()
+        assert not parent.received
+        node.handle(AckConsistentState(0, count=1), net, src=0)
+        net.run()
+        assert len(parent.received) == 1
+        assert parent.received[0][1].count == 2
+        # Over-counting within one detection round is a protocol error.
+        with pytest.raises(ProtocolError):
+            node.handle(AckConsistentState(1, count=3), net, src=0)
+
+    def test_broadcast_forwarded_to_children(self):
+        topo = _tree16()
+        interior = topo.layers[2][0]
+        node = InteriorNode(interior, topo, CommRegistry(16))
+        net = Network(fixed_latency())
+        children = [_Sink(c) for c in topo.children(interior)]
+        for c in children:
+            net.attach(c)
+        net.attach(node)
+        node.handle(RequestWaits(3), net, src=topo.parent(interior))
+        net.run()
+        for c in children:
+            assert len(c.received) == 1
+
+    def test_unknown_message_rejected(self):
+        topo = _tree16()
+        node = InteriorNode(topo.layers[2][0], topo, CommRegistry(16))
+        with pytest.raises(ProtocolError):
+            node.handle("garbage", Network(), src=0)
+
+
+class TestRootProtocol:
+    def _root(self, p=4, fan_in=2):
+        topo = TbonTopology.build(p, fan_in)
+        comms = CommRegistry(p)
+        root = RootNode(topo.root, topo, comms)
+        net = Network(fixed_latency())
+        sinks = {}
+        for child in topo.children(topo.root):
+            sinks[child] = _Sink(child)
+            net.attach(sinks[child])
+        net.attach(root)
+        return topo, root, net, sinks
+
+    def test_collective_ack_broadcast_at_group_completeness(self):
+        topo, root, net, sinks = self._root()
+        root.handle(
+            CollectiveReady(comm_id=0, wave_index=0, kind=OpKind.BARRIER,
+                            root=None, count=4),
+            net, src=topo.children(topo.root)[0],
+        )
+        net.run()
+        for sink in sinks.values():
+            assert any(
+                isinstance(m, CollectiveAck) for _, m in sink.received
+            )
+
+    def test_detection_serialization(self):
+        topo, root, net, sinks = self._root()
+        first = root.start_detection(net)
+        second = root.start_detection(net)  # deferred
+        assert first == second == 0
+        net.run()
+        requests = [
+            m for sink in sinks.values() for _, m in sink.received
+            if isinstance(m, RequestConsistentState)
+        ]
+        assert len(requests) == len(sinks)  # only one round broadcast
+
+    def test_stray_protocol_messages_rejected(self):
+        topo, root, net, _ = self._root()
+        with pytest.raises(ProtocolError):
+            root.handle(AckConsistentState(detection_id=99), net, src=0)
+        with pytest.raises(ProtocolError):
+            root.handle(
+                WaitInfoMsg(detection_id=99, node_id=0, infos=()),
+                net, src=0,
+            )
+
+    def test_collective_wait_resolution(self):
+        """Root-side expansion of CollectiveWait entries: arcs to every
+        group member not blocked in the same wave."""
+        topo, root, net, _ = self._root(p=4)
+        infos = [
+            RankWaitInfo(rank=0, op_description="MPI_Barrier()@0:0",
+                         entries=(CollectiveWait(0, 0),)),
+            RankWaitInfo(rank=1, op_description="MPI_Barrier()@1:0",
+                         entries=(CollectiveWait(0, 0),)),
+        ]
+        conditions = root._resolve_conditions(
+            [WaitInfoMsg(detection_id=0, node_id=99, infos=tuple(infos))]
+        )
+        # 0 and 1 are in the same wave: they wait only on 2 and 3.
+        assert conditions[0].target_ranks() == {2, 3}
+        assert conditions[1].target_ranks() == {2, 3}
+
+    def test_waitany_or_resolution(self):
+        topo, root, net, _ = self._root(p=4)
+        info = RankWaitInfo(
+            rank=0,
+            op_description="MPI_Waitany()@0:5",
+            entries=(
+                P2PWait((1,), "r1"),
+                P2PWait((2, 3), "r2"),
+            ),
+            or_semantics=True,
+        )
+        conditions = root._resolve_conditions(
+            [WaitInfoMsg(detection_id=0, node_id=99, infos=(info,))]
+        )
+        cond = conditions[0]
+        assert len(cond.clauses) == 1  # one flattened OR clause
+        assert {t.rank for t in cond.clauses[0]} == {1, 2, 3}

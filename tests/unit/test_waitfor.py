@@ -1,0 +1,120 @@
+"""Wait-for condition extraction from blocked states."""
+import pytest
+
+from repro.core.transition import TransitionSystem
+from repro.core.waitfor import wait_for_condition, wait_for_conditions
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import ANY_SOURCE, OpKind
+from repro.mpi.ops import Operation
+from repro.mpi.trace import MatchedTrace, PendingCollective, Trace
+
+
+def test_unmatched_directed_send_targets_destination():
+    s0 = [Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1)]
+    s1 = [Operation(kind=OpKind.FINALIZE, rank=1, ts=0)]
+    ts = TransitionSystem(MatchedTrace(Trace([s0, s1]), CommRegistry(2)))
+    cond = wait_for_condition(ts, (0, 0), 0)
+    assert len(cond.clauses) == 1
+    assert [t.rank for t in cond.clauses[0]] == [1]
+    assert cond.is_pure_and()
+
+
+def test_matched_inactive_partner():
+    s0 = [
+        Operation(kind=OpKind.RECV, rank=0, ts=0, peer=1),
+    ]
+    s1 = [
+        Operation(kind=OpKind.BARRIER, rank=1, ts=0),
+        Operation(kind=OpKind.SEND, rank=1, ts=1, peer=0),
+    ]
+    matched = MatchedTrace(Trace([s0, s1]), CommRegistry(2))
+    matched.add_p2p_match((1, 1), (0, 0))
+    ts = TransitionSystem(matched)
+    cond = wait_for_condition(ts, (0, 0), 0)
+    assert [t.rank for t in cond.clauses[0]] == [1]
+    assert "not yet active" in cond.clauses[0][0].reason
+
+
+def test_wildcard_receive_or_clause():
+    s = [[Operation(kind=OpKind.RECV, rank=i, ts=0, peer=ANY_SOURCE)]
+         for i in range(4)]
+    ts = TransitionSystem(MatchedTrace(Trace(s), CommRegistry(4)))
+    cond = wait_for_condition(ts, (0, 0, 0, 0), 2)
+    assert len(cond.clauses) == 1
+    assert sorted(t.rank for t in cond.clauses[0]) == [0, 1, 3]
+    assert not cond.is_pure_and()
+    assert cond.arc_count() == 3
+
+
+def test_collective_targets_missing_members():
+    s0 = [Operation(kind=OpKind.BARRIER, rank=0, ts=0)]
+    s1 = [Operation(kind=OpKind.BARRIER, rank=1, ts=0)]
+    s2 = []  # rank 2 never arrives
+    matched = MatchedTrace(Trace([s0, s1, s2]), CommRegistry(3))
+    matched.add_pending_collective(
+        PendingCollective(comm_id=0, index=0,
+                          arrived={0: (0, 0), 1: (1, 0)})
+    )
+    ts = TransitionSystem(matched)
+    cond = wait_for_condition(ts, (0, 0, 0), 0)
+    # Rank 1 has activated its barrier op (l_1 = 0 >= 0): only rank 2
+    # is a target.
+    assert sorted(cond.target_ranks()) == [2]
+    assert "never called" in cond.clauses[0][0].reason
+
+
+def test_waitall_condition_is_and_of_targets():
+    s0 = [
+        Operation(kind=OpKind.IRECV, rank=0, ts=0, peer=1, tag=1, request=0),
+        Operation(kind=OpKind.IRECV, rank=0, ts=1, peer=2, tag=2, request=1),
+        Operation(kind=OpKind.WAITALL, rank=0, ts=2, requests=(0, 1)),
+    ]
+    matched = MatchedTrace(Trace([s0, [], []]), CommRegistry(3))
+    matched.register_request(0, 0, (0, 0))
+    matched.register_request(0, 1, (0, 1))
+    ts = TransitionSystem(matched)
+    cond = wait_for_condition(ts, (2, 0, 0), 0)
+    assert len(cond.clauses) == 2
+    assert cond.target_ranks() == {1, 2}
+    assert cond.is_pure_and()
+
+
+def test_waitany_condition_is_one_or_clause():
+    s0 = [
+        Operation(kind=OpKind.IRECV, rank=0, ts=0, peer=1, tag=1, request=0),
+        Operation(kind=OpKind.IRECV, rank=0, ts=1, peer=2, tag=2, request=1),
+        Operation(kind=OpKind.WAITANY, rank=0, ts=2, requests=(0, 1)),
+    ]
+    matched = MatchedTrace(Trace([s0, [], []]), CommRegistry(3))
+    matched.register_request(0, 0, (0, 0))
+    matched.register_request(0, 1, (0, 1))
+    ts = TransitionSystem(matched)
+    cond = wait_for_condition(ts, (2, 0, 0), 0)
+    assert len(cond.clauses) == 1
+    assert sorted(t.rank for t in cond.clauses[0]) == [1, 2]
+
+
+def test_conditions_cover_exactly_blocked_set():
+    s0 = [Operation(kind=OpKind.SEND, rank=0, ts=0, peer=1)]
+    s1 = [Operation(kind=OpKind.FINALIZE, rank=1, ts=0)]
+    ts = TransitionSystem(MatchedTrace(Trace([s0, s1]), CommRegistry(2)))
+    conds = wait_for_conditions(ts, (0, 0))
+    assert set(conds) == {0}
+
+
+def test_non_blocked_process_rejected():
+    s0 = [
+        Operation(kind=OpKind.BARRIER, rank=0, ts=0),
+    ]
+    matched = MatchedTrace(Trace([s0]), CommRegistry(1))
+    from repro.mpi.trace import CollectiveMatch
+
+    matched.add_collective_match(
+        CollectiveMatch(comm_id=0, members=frozenset({(0, 0)}))
+    )
+    ts = TransitionSystem(matched)
+    # Rank 0 can advance (its singleton barrier is complete): asking
+    # for a wait-for condition is a caller bug for p2p ops; for
+    # collectives it returns an empty AND (no unmet members).
+    cond = wait_for_condition(ts, (0,), 0)
+    assert cond.clauses == []
