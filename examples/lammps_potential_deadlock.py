@@ -8,20 +8,50 @@ the structural proxy on the virtual runtime with buffering *enabled*
 the trace under the strict blocking semantics — which detects the
 potential deadlock and produces the HTML + DOT report MUST would log.
 
+The rank program is defined at module level so the static analyzer
+finds it too:  ``python -m repro lint examples/lammps_potential_deadlock.py``
+reports the same send-send cycle before anything runs.
+
 Run:  python examples/lammps_potential_deadlock.py
 Artifacts: lammps_report.html, lammps_wfg.dot (current directory).
 """
 from pathlib import Path
 
 from repro import BlockingSemantics, detect_deadlocks_distributed, run_programs
-from repro.workloads import lammps_skeleton_programs
+
+#: World size ``repro lint`` uses when extracting this program.
+LINT_RANKS = 12
+
+HEALTHY_ITERATIONS = 3
+
+
+def lammps_halo_shift(rank):
+    """126.lammps proxy: healthy halo exchanges, then an unsafe shift.
+
+    Healthy iterations use Isend/Irecv/Waitall; the final forward
+    neighbour shift uses blocking standard sends on every rank before
+    any receive — a send cycle around the ring that only buffering
+    saves.
+    """
+    right = (rank.rank + 1) % rank.size
+    left = (rank.rank - 1) % rank.size
+    for it in range(HEALTHY_ITERATIONS):
+        sreq = yield rank.isend(right, tag=it, nbytes=2048)
+        rreq = yield rank.irecv(source=left, tag=it, nbytes=2048)
+        yield rank.waitall([sreq, rreq])
+        if it % 2 == 1:
+            yield rank.allreduce(nbytes=8)
+    # The unsafe forward shift: blocking send before receive.
+    yield rank.send(dest=right, tag=99, nbytes=4096)
+    yield rank.recv(source=left, tag=99, nbytes=4096)
+    yield rank.finalize()
 
 
 def main() -> None:
-    p = 12
+    p = LINT_RANKS
     print(f"running the lammps proxy on {p} ranks (buffered sends)...")
     result = run_programs(
-        lammps_skeleton_programs(p),
+        [lammps_halo_shift] * p,
         semantics=BlockingSemantics.relaxed(),
         seed=7,
     )

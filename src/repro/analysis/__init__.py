@@ -1,0 +1,31 @@
+"""Static analysis of rank programs and recorded traces.
+
+This package is the pre-execution counterpart of the runtime detector:
+``repro lint`` runs it over Python rank-program files (AST lint +
+static sequence extraction + deterministic sequential matching) and
+over recorded ``.json`` traces, producing
+:class:`~repro.checks.findings.CheckFinding` records without ever
+starting the engine.
+"""
+from repro.analysis.astlint import find_rank_programs, lint_source
+from repro.analysis.driver import DEFAULT_RANKS, LintReport, lint_path
+from repro.analysis.extract import Extraction, extract_programs
+from repro.analysis.seqmatch import StaticMatchResult, match_sequences
+from repro.analysis.typestate import (
+    check_collective_consistency,
+    check_request_typestate,
+)
+
+__all__ = [
+    "DEFAULT_RANKS",
+    "Extraction",
+    "LintReport",
+    "StaticMatchResult",
+    "check_collective_consistency",
+    "check_request_typestate",
+    "extract_programs",
+    "find_rank_programs",
+    "lint_path",
+    "lint_source",
+    "match_sequences",
+]

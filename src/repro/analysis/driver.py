@@ -1,0 +1,245 @@
+"""The ``repro lint`` entry point: orchestrate the static passes.
+
+For a Python file the pipeline is
+
+1. parse + AST lint (:mod:`repro.analysis.astlint`);
+2. import the module and instantiate every discovered rank program
+   over ``LINT_RANKS`` virtual ranks (or an explicit ``LINT_PROGRAMS``
+   list when the module provides one);
+3. statically extract the per-rank operation sequences
+   (:mod:`repro.analysis.extract`);
+4. run the request typestate FSM and the collective consistency
+   checker (:mod:`repro.analysis.typestate`);
+5. when the extraction is exact and wildcard-free, replay the
+   sequences under the deterministic sequential model
+   (:mod:`repro.analysis.seqmatch`) and report any deadlock with its
+   witness cycle.
+
+For a recorded ``.json`` trace, steps 4–5 run on the recorded
+sequences, with wildcard receives pinned to their observed matches.
+"""
+from __future__ import annotations
+
+import ast
+import importlib.util
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.astlint import lint_source
+from repro.analysis.extract import Extraction, extract_programs
+from repro.analysis.seqmatch import StaticMatchResult, match_sequences
+from repro.analysis.typestate import (
+    check_collective_consistency,
+    check_request_typestate,
+)
+from repro.checks.findings import CheckFinding, Severity
+from repro.mpi.serialize import load_trace
+from repro.util.errors import ReproError
+
+#: Default virtual world size for statically analyzed programs.
+DEFAULT_RANKS = 4
+
+
+@dataclass
+class LintReport:
+    """Everything ``repro lint`` learned about one path."""
+
+    path: str
+    findings: List[CheckFinding] = field(default_factory=list)
+    #: Program sets that were extracted and analyzed.
+    programs_analyzed: int = 0
+    #: Diagnostics about the analysis itself (import failures etc.).
+    notes: List[str] = field(default_factory=list)
+
+    def errors(self) -> List[CheckFinding]:
+        return [
+            f for f in self.findings if f.severity is Severity.ERROR
+        ]
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors())
+
+
+def lint_path(path: str, *, ranks: int = DEFAULT_RANKS) -> LintReport:
+    """Statically analyze a rank-program file or recorded trace."""
+    if path.endswith(".json"):
+        return _lint_trace(path)
+    return _lint_python(path, ranks)
+
+
+# ----------------------------------------------------------------------
+# Python source files
+# ----------------------------------------------------------------------
+
+def _lint_python(path: str, ranks: int) -> LintReport:
+    report = LintReport(path=path)
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        findings, programs = lint_source(source, path)
+    except SyntaxError as exc:
+        report.findings.append(
+            CheckFinding(
+                check="syntax-error",
+                severity=Severity.ERROR,
+                rank=None,
+                message=f"source does not parse: {exc.msg}",
+                location=f"{path}:{exc.lineno or 1}",
+            )
+        )
+        return report
+    report.findings.extend(findings)
+    if not programs:
+        report.notes.append(
+            "no module-level rank programs found; AST lint only"
+        )
+        return report
+
+    module = _import_module(path, report)
+    if module is None:
+        return report
+
+    program_sets = _program_sets(module, programs, ranks, report)
+    for label, program_set in program_sets:
+        _analyze_program_set(label, program_set, report)
+    return report
+
+
+def _import_module(path: str, report: LintReport):
+    """Import the linted file under a throwaway module name."""
+    name = "_repro_lint_target"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        report.notes.append("cannot import module; AST lint only")
+        return None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except SystemExit:
+        # Scripts guarded by __main__ blocks should not run, but be
+        # robust against modules calling sys.exit at import time.
+        report.notes.append(
+            "module exited during import; AST lint only"
+        )
+        return None
+    except Exception as exc:
+        report.notes.append(
+            f"import failed ({exc!r}); AST lint only"
+        )
+        return None
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+def _program_sets(module, programs, ranks: int, report: LintReport):
+    """The program sets to extract: explicit LINT_PROGRAMS or one set
+    of ``n`` copies per discovered rank program."""
+    explicit = getattr(module, "LINT_PROGRAMS", None)
+    if explicit is not None:
+        return [("LINT_PROGRAMS", list(explicit))]
+    n = getattr(module, "LINT_RANKS", ranks)
+    sets = []
+    for program in programs:
+        fn = getattr(module, program.name, None)
+        if fn is None or not callable(fn):
+            report.notes.append(
+                f"{program.name}: not importable; skipped"
+            )
+            continue
+        sets.append((program.name, [fn] * n))
+    return sets
+
+
+def _analyze_program_set(
+    label: str, program_set: Sequence, report: LintReport
+) -> None:
+    if not program_set:
+        return
+    try:
+        extraction = extract_programs(program_set)
+    except ReproError as exc:
+        report.notes.append(f"{label}: extraction failed ({exc})")
+        return
+    report.programs_analyzed += 1
+    report.findings.extend(extraction.notes)
+    report.findings.extend(
+        check_request_typestate(extraction.sequences)
+    )
+    report.findings.extend(
+        check_collective_consistency(
+            extraction.sequences,
+            extraction.comms,
+            hung_ranks=extraction.truncated,
+        )
+    )
+    if not extraction.exact:
+        report.notes.append(
+            f"{label}: control flow may depend on runtime outcomes; "
+            "sequential deadlock matching skipped"
+        )
+        return
+    result = match_sequences(extraction.sequences, extraction.comms)
+    _report_match(label, result, extraction, report)
+
+
+def _report_match(
+    label: str,
+    result: StaticMatchResult,
+    extraction: Optional[Extraction],
+    report: LintReport,
+) -> None:
+    if not result.applicable:
+        report.notes.append(
+            f"{label}: {result.reason_skipped}"
+        )
+        return
+    if not result.has_deadlock:
+        return
+    cycle = ""
+    if result.witness_cycle:
+        chain = " -> ".join(str(r) for r in result.witness_cycle)
+        cycle = f"; dependency cycle {chain} -> {result.witness_cycle[0]}"
+    for rank in result.deadlocked:
+        op = result.blocked_ops.get(rank)
+        report.findings.append(
+            CheckFinding(
+                check="static-deadlock",
+                severity=Severity.ERROR,
+                rank=rank,
+                message=(
+                    f"{label}: rank {rank} blocks forever at "
+                    f"{op.describe() if op else 'its final operation'}"
+                    f"{cycle}"
+                ),
+                op=op.ref if op else None,
+                location=op.location if op else "",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Recorded traces
+# ----------------------------------------------------------------------
+
+def _lint_trace(path: str) -> LintReport:
+    report = LintReport(path=path)
+    matched = load_trace(path)
+    sequences = [
+        list(matched.trace.sequence(r))
+        for r in range(matched.trace.num_processes)
+    ]
+    report.programs_analyzed = 1
+    report.findings.extend(check_request_typestate(sequences))
+    report.findings.extend(
+        check_collective_consistency(sequences, matched.comms)
+    )
+    result = match_sequences(
+        sequences, matched.comms, resolve_observed=True
+    )
+    _report_match(os.path.basename(path), result, None, report)
+    return report

@@ -1,0 +1,462 @@
+"""Sequential-model matching of wildcard-free operation sequences.
+
+Replays per-rank sequences against a deterministic model of the strict
+blocking semantics ``b`` (rendezvous sends, synchronizing
+collectives), in the style of Liao et al.'s sequential MPI model
+checking: because MPI guarantees non-overtaking per (source,
+destination, communicator) channel, a wildcard-free execution has
+exactly one matching, so a single sequential replay decides
+deadlock freedom. Wildcards from recorded traces can be resolved with
+the observed matching first (``resolve_observed``); unresolved
+wildcards make the model inapplicable and the replay refuses rather
+than guess.
+
+On a stuck state the blocked ranks' wait-for conditions are handed to
+the existing AND/OR wait-for graph machinery (:mod:`repro.wfg`), so
+static reports share cycle extraction and rendering with the runtime
+analysis.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.waitfor import WaitForCondition, WaitTarget
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    OpKind,
+    is_collective_kind,
+    is_completion_kind,
+)
+from repro.mpi.ops import Operation
+from repro.wfg.detect import DetectionResult, detect_deadlock
+from repro.wfg.graph import WaitForGraph
+
+#: Sends that complete at posting even under the strict semantics.
+_BUFFERED_SENDS = frozenset(
+    {OpKind.BSEND, OpKind.RSEND, OpKind.IBSEND, OpKind.IRSEND}
+)
+
+_TEST_KINDS = frozenset(
+    {OpKind.TEST, OpKind.TESTALL, OpKind.TESTANY, OpKind.TESTSOME}
+)
+
+
+@dataclass
+class StaticMatchResult:
+    """Verdict of one sequential replay."""
+
+    applicable: bool
+    deadlocked: Tuple[int, ...] = ()
+    witness_cycle: Tuple[int, ...] = ()
+    #: Blocked op of every stuck rank (deadlocked or not).
+    blocked_ops: Dict[int, Operation] = field(default_factory=dict)
+    finished: Set[int] = field(default_factory=set)
+    graph: Optional[WaitForGraph] = None
+    detection: Optional[DetectionResult] = None
+    reason_skipped: str = ""
+
+    @property
+    def has_deadlock(self) -> bool:
+        return bool(self.deadlocked)
+
+
+@dataclass
+class _Posted:
+    """One send or receive sitting in a channel."""
+
+    op: Operation
+    paired: bool = False
+
+
+@dataclass
+class _Request:
+    is_recv: bool
+    peer: int
+    posted: Optional[_Posted] = None
+    done: bool = False
+    consumed: bool = False
+
+
+class _Channel:
+    """FIFO matching state of one (comm, src, dst) message channel."""
+
+    def __init__(self) -> None:
+        self.sends: List[_Posted] = []
+        self.recvs: List[_Posted] = []
+
+    @staticmethod
+    def _compatible(recv: Operation, send: Operation) -> bool:
+        return recv.tag == ANY_TAG or recv.tag == send.tag
+
+    def post_send(self, posted: _Posted) -> Optional[_Posted]:
+        for i, recv in enumerate(self.recvs):
+            if self._compatible(recv.op, posted.op):
+                del self.recvs[i]
+                recv.paired = True
+                posted.paired = True
+                return recv
+        self.sends.append(posted)
+        return None
+
+    def post_recv(self, posted: _Posted) -> Optional[_Posted]:
+        for i, send in enumerate(self.sends):
+            if self._compatible(posted.op, send.op):
+                del self.sends[i]
+                send.paired = True
+                posted.paired = True
+                return send
+        self.recvs.append(posted)
+        return None
+
+    def probe_visible(self, probe: Operation) -> bool:
+        return any(self._compatible(probe, s.op) for s in self.sends)
+
+
+class _Replay:
+    """Mutable state of one sequential replay."""
+
+    def __init__(
+        self, sequences: Sequence[Sequence[Operation]], comms: CommRegistry
+    ) -> None:
+        self.sequences = sequences
+        self.comms = comms
+        self.p = len(sequences)
+        self.pc = [0] * self.p
+        #: Index of the op whose posting side effect already ran.
+        self.posted_pc = [-1] * self.p
+        self.channels: Dict[Tuple[int, int, int], _Channel] = {}
+        self.requests: List[Dict[int, _Request]] = [
+            {} for _ in range(self.p)
+        ]
+        #: Per (comm, rank): how many collective waves entered so far.
+        self.wave_no: Dict[Tuple[int, int], int] = {}
+        #: (comm, wave index) -> arrived ranks.
+        self.waves: Dict[Tuple[int, int], Dict[int, Operation]] = {}
+        self.finished: Set[int] = set()
+        #: Posted entries of blocking (request-less) p2p ops, keyed by
+        #: op identity so retries of a blocked op reuse one entry.
+        self._blocking_cache: Dict[Tuple[int, int], _Posted] = {}
+
+    def channel(self, comm_id: int, src: int, dst: int) -> _Channel:
+        key = (comm_id, src, dst)
+        chan = self.channels.get(key)
+        if chan is None:
+            chan = _Channel()
+            self.channels[key] = chan
+        return chan
+
+    # -- helpers --------------------------------------------------------
+
+    def _post_once(self, rank: int) -> None:
+        self.posted_pc[rank] = self.pc[rank]
+
+    def _needs_post(self, rank: int) -> bool:
+        return self.posted_pc[rank] < self.pc[rank]
+
+    def _complete_pair(self, a: _Posted, b: _Posted) -> None:
+        for posted in (a, b):
+            req_id = posted.op.request
+            if req_id is not None:
+                req = self.requests[posted.op.rank].get(req_id)
+                if req is not None:
+                    req.done = True
+
+    # -- one step -------------------------------------------------------
+
+    def try_advance(self, rank: int) -> bool:
+        """Process the op at ``pc[rank]``; True when the rank advanced."""
+        op = self.sequences[rank][self.pc[rank]]
+        kind = op.kind
+
+        if op.is_p2p() and op.peer == PROC_NULL:
+            if op.request is not None:
+                self.requests[rank][op.request] = _Request(
+                    is_recv=op.is_recv(), peer=PROC_NULL, done=True
+                )
+            return self._step(rank)
+
+        if op.is_send():
+            return self._advance_send(rank, op)
+        if op.is_recv():
+            return self._advance_recv(rank, op)
+        if op.is_probe():
+            chan = self.channel(op.comm_id, op.peer, rank)
+            if kind is OpKind.IPROBE:
+                return self._step(rank)
+            return self._step(rank) if chan.probe_visible(op) else False
+        if is_completion_kind(kind):
+            return self._advance_completion(rank, op)
+        if kind in (OpKind.SEND_INIT, OpKind.RECV_INIT,
+                    OpKind.REQUEST_FREE):
+            return self._step(rank)
+        if is_collective_kind(kind):
+            return self._advance_collective(rank, op)
+        if kind is OpKind.FINALIZE:
+            self.finished.add(rank)
+            return self._step(rank)
+        # Unknown kinds (e.g. a marker) never block.
+        return self._step(rank)
+
+    def _step(self, rank: int) -> bool:
+        self.pc[rank] += 1
+        self.posted_pc[rank] = self.pc[rank] - 1
+        return True
+
+    def _advance_send(self, rank: int, op: Operation) -> bool:
+        posted = self._posted_entry(rank, op)
+        if self._needs_post(rank):
+            self._post_once(rank)
+            chan = self.channel(op.comm_id, rank, op.peer)
+            partner = chan.post_send(posted)
+            if partner is not None:
+                self._complete_pair(posted, partner)
+        buffered = op.kind in _BUFFERED_SENDS
+        if buffered or op.kind in (OpKind.ISEND, OpKind.ISSEND,
+                                   OpKind.PSTART_SEND):
+            req = self.requests[rank].get(op.request)
+            if req is not None and buffered:
+                req.done = True
+            return self._step(rank)
+        # Blocking rendezvous send: complete only once paired.
+        return self._step(rank) if posted.paired else False
+
+    def _advance_recv(self, rank: int, op: Operation) -> bool:
+        posted = self._posted_entry(rank, op)
+        if self._needs_post(rank):
+            self._post_once(rank)
+            chan = self.channel(op.comm_id, op.peer, rank)
+            partner = chan.post_recv(posted)
+            if partner is not None:
+                self._complete_pair(posted, partner)
+        if op.kind in (OpKind.IRECV, OpKind.PSTART_RECV):
+            return self._step(rank)
+        return self._step(rank) if posted.paired else False
+
+    def _posted_entry(self, rank: int, op: Operation) -> _Posted:
+        if op.request is not None:
+            req = self.requests[rank].get(op.request)
+            if req is None:
+                req = _Request(is_recv=op.is_recv(), peer=op.peer)
+                self.requests[rank][op.request] = req
+            if req.posted is None:
+                req.posted = _Posted(op)
+            return req.posted
+        key = (rank, op.ts)
+        entry = self._blocking_cache.get(key)
+        if entry is None:
+            entry = _Posted(op)
+            self._blocking_cache[key] = entry
+        return entry
+
+    def _advance_completion(self, rank: int, op: Operation) -> bool:
+        reqs = [self.requests[rank].get(r) for r in op.requests]
+        if op.kind in _TEST_KINDS:
+            # Tests never block; consume the recorded outcome if any.
+            if op.test_flag:
+                indices = op.completed_indices or range(len(reqs))
+                for i in indices:
+                    if i < len(reqs) and reqs[i] is not None and reqs[i].done:
+                        reqs[i].consumed = True
+            return self._step(rank)
+        if op.kind in (OpKind.WAIT, OpKind.WAITALL):
+            pending = [r for r in reqs if r is not None]
+            if len(pending) != len(reqs):
+                return False  # unknown request: typestate checker flags it
+            if any(r.consumed for r in pending):
+                return False  # double wait: typestate checker flags it
+            if all(r.done for r in pending):
+                for r in pending:
+                    r.consumed = True
+                return self._step(rank)
+            return False
+        # WAITANY / WAITSOME: recorded outcome wins, else earliest done.
+        if op.completed_indices:
+            targets = [
+                reqs[i]
+                for i in op.completed_indices
+                if i < len(reqs) and reqs[i] is not None
+            ]
+            if targets and all(r.done for r in targets):
+                for r in targets:
+                    r.consumed = True
+                return self._step(rank)
+            return False
+        done = [r for r in reqs if r is not None and r.done and not r.consumed]
+        if done:
+            done[0].consumed = True
+            return self._step(rank)
+        return False
+
+    def _advance_collective(self, rank: int, op: Operation) -> bool:
+        comm = self.comms.get(op.comm_id)
+        if self._needs_post(rank):
+            self._post_once(rank)
+            idx = self.wave_no.get((op.comm_id, rank), 0)
+            self.wave_no[(op.comm_id, rank)] = idx + 1
+            self.waves.setdefault((op.comm_id, idx), {})[rank] = op
+        idx = self.wave_no[(op.comm_id, rank)] - 1
+        wave = self.waves[(op.comm_id, idx)]
+        if set(wave) == set(comm.group):
+            return self._step(rank)
+        return False
+
+    # -- stuck-state diagnosis ------------------------------------------
+
+    def blocked_condition(self, rank: int) -> WaitForCondition:
+        op = self.sequences[rank][self.pc[rank]]
+        cond = WaitForCondition(
+            rank=rank, op_ref=op.ref, op_description=op.describe()
+        )
+        if op.is_send():
+            cond.clauses.append(
+                (WaitTarget(op.peer, "no matching receive posted"),)
+            )
+        elif op.is_recv() or op.is_probe():
+            cond.clauses.append(
+                (WaitTarget(op.peer, "no matching send posted"),)
+            )
+        elif is_completion_kind(op.kind):
+            clauses = self._completion_clauses(rank, op)
+            if op.kind in (OpKind.WAITANY, OpKind.WAITSOME):
+                flat: List[WaitTarget] = []
+                for clause in clauses:
+                    flat.extend(clause)
+                cond.clauses.append(tuple(flat))
+            else:
+                cond.clauses.extend(clauses)
+        elif op.is_collective():
+            comm = self.comms.get(op.comm_id)
+            idx = self.wave_no[(op.comm_id, rank)] - 1
+            wave = self.waves[(op.comm_id, idx)]
+            for member in comm.group:
+                if member != rank and member not in wave:
+                    cond.clauses.append(
+                        (
+                            WaitTarget(
+                                member,
+                                f"never called a matching "
+                                f"{op.kind.value} on communicator "
+                                f"{op.comm_id}",
+                            ),
+                        )
+                    )
+        return cond
+
+    def _completion_clauses(
+        self, rank: int, op: Operation
+    ) -> List[Tuple[WaitTarget, ...]]:
+        clauses: List[Tuple[WaitTarget, ...]] = []
+        for req_id in op.requests:
+            req = self.requests[rank].get(req_id)
+            if req is None or req.done or req.consumed:
+                continue
+            reason = (
+                "no matching send posted"
+                if req.is_recv
+                else "no matching receive posted"
+            )
+            clauses.append((WaitTarget(req.peer, reason),))
+        return clauses
+
+
+def _has_unresolved_wildcards(
+    sequences: Sequence[Sequence[Operation]],
+) -> Optional[Operation]:
+    for seq in sequences:
+        for op in seq:
+            if (op.is_recv() or op.is_probe()) and op.peer == ANY_SOURCE:
+                return op
+    return None
+
+
+def _resolve_with_observations(
+    sequences: Sequence[Sequence[Operation]],
+) -> List[List[Operation]]:
+    """Pin recorded wildcard receives to their observed source/tag."""
+    resolved: List[List[Operation]] = []
+    for seq in sequences:
+        out: List[Operation] = []
+        for op in seq:
+            if (
+                (op.is_recv() or op.is_probe())
+                and op.peer == ANY_SOURCE
+                and op.observed_peer is not None
+            ):
+                tag = op.tag
+                if tag == ANY_TAG and op.observed_tag is not None:
+                    tag = op.observed_tag
+                op = replace(op, peer=op.observed_peer, tag=tag)
+            out.append(op)
+        resolved.append(out)
+    return resolved
+
+
+def match_sequences(
+    sequences: Sequence[Sequence[Operation]],
+    comms: CommRegistry,
+    *,
+    resolve_observed: bool = False,
+    max_steps: int = 10_000_000,
+) -> StaticMatchResult:
+    """Replay ``sequences`` under the deterministic sequential model."""
+    if resolve_observed:
+        sequences = _resolve_with_observations(sequences)
+    wildcard = _has_unresolved_wildcards(sequences)
+    if wildcard is not None:
+        return StaticMatchResult(
+            applicable=False,
+            reason_skipped=(
+                f"{wildcard.describe()} uses MPI_ANY_SOURCE with no "
+                "observed match; the sequential model only covers "
+                "deterministic matchings"
+            ),
+        )
+
+    replay = _Replay(sequences, comms)
+    steps = 0
+    progress = True
+    while progress:
+        progress = False
+        for rank in range(replay.p):
+            while replay.pc[rank] < len(sequences[rank]):
+                steps += 1
+                if steps > max_steps:
+                    return StaticMatchResult(
+                        applicable=False,
+                        reason_skipped="replay exceeded step budget",
+                    )
+                if replay.try_advance(rank):
+                    progress = True
+                else:
+                    break
+
+    blocked = {
+        rank: sequences[rank][replay.pc[rank]]
+        for rank in range(replay.p)
+        if replay.pc[rank] < len(sequences[rank])
+    }
+    finished = {
+        rank for rank in range(replay.p) if rank not in blocked
+    } | replay.finished
+    finished -= set(blocked)
+    if not blocked:
+        return StaticMatchResult(applicable=True, finished=finished)
+
+    conditions = [replay.blocked_condition(rank) for rank in sorted(blocked)]
+    graph = WaitForGraph.from_conditions(
+        replay.p, conditions, finished=finished
+    )
+    detection = detect_deadlock(graph)
+    return StaticMatchResult(
+        applicable=True,
+        deadlocked=detection.deadlocked,
+        witness_cycle=detection.witness_cycle,
+        blocked_ops=blocked,
+        finished=finished,
+        graph=graph,
+        detection=detection,
+    )

@@ -1,0 +1,366 @@
+"""Typestate checks over per-rank operation sequences.
+
+Two families of checks run on extracted or recorded sequences without
+any matching:
+
+* a request-lifecycle FSM per rank — every non-blocking or persistent
+  request must move through create → (start →) complete/free exactly
+  once, and nothing may wait on a request twice or free an active one;
+* cross-rank collective consistency — the k-th collective on a
+  communicator must carry the same operation kind and root on every
+  group member (MPI's collective ordering rule), and no member may
+  return from MPI_Finalize with collective waves outstanding.
+
+Unlike :mod:`repro.checks.local` (which validates a *recorded* runtime
+stream and trusts the engine's request translation), these checks run
+pre-execution on statically extracted sequences, so they track the
+persistent-handle/start-instance relationship themselves and use a
+three-valued state for requests whose completion is uncertain
+(``MPI_Waitany``/``MPI_Waitsome`` without a recorded outcome).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.checks.findings import CheckFinding, Severity
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import (
+    OpKind,
+    is_completion_kind,
+    is_rooted_collective_kind,
+    is_test_kind,
+)
+from repro.mpi.ops import Operation
+
+
+class _ReqState(enum.Enum):
+    ACTIVE = "active"        # created / started, not yet completed
+    MAYBE = "maybe"          # may or may not have completed (Waitany)
+    COMPLETED = "completed"  # definitely consumed by a completion
+    INACTIVE = "inactive"    # persistent handle between activations
+
+
+@dataclass
+class _Tracked:
+    state: _ReqState
+    #: The op that created this request id.
+    creator: Operation
+    persistent: bool = False
+    #: For persistent handles: the currently active Start instance id.
+    active_instance: Optional[int] = None
+
+
+def check_request_typestate(
+    sequences: Sequence[Sequence[Operation]],
+) -> List[CheckFinding]:
+    """Run the per-rank request-lifecycle FSM."""
+    findings: List[CheckFinding] = []
+    for rank, seq in enumerate(sequences):
+        findings.extend(_check_rank_requests(rank, seq))
+    return findings
+
+
+def _check_rank_requests(
+    rank: int, seq: Sequence[Operation]
+) -> List[CheckFinding]:
+    findings: List[CheckFinding] = []
+    table: Dict[int, _Tracked] = {}
+
+    def report(check: str, severity: Severity, op: Operation,
+               message: str) -> None:
+        findings.append(
+            CheckFinding(
+                check=check,
+                severity=severity,
+                rank=rank,
+                message=message,
+                op=op.ref,
+                location=op.location,
+            )
+        )
+
+    for op in seq:
+        kind = op.kind
+        if kind in (OpKind.SEND_INIT, OpKind.RECV_INIT):
+            table[op.request] = _Tracked(
+                state=_ReqState.INACTIVE, creator=op, persistent=True
+            )
+            continue
+        if kind in (OpKind.PSTART_SEND, OpKind.PSTART_RECV):
+            handle = op.requests[0] if op.requests else None
+            tracked = table.get(handle)
+            if tracked is None or not tracked.persistent:
+                report(
+                    "static-unknown-request", Severity.ERROR, op,
+                    f"MPI_Start on unknown persistent request {handle}",
+                )
+            elif tracked.active_instance is not None:
+                report(
+                    "static-start-active", Severity.ERROR, op,
+                    f"MPI_Start on persistent request {handle} whose "
+                    "previous activation was never completed",
+                )
+            if tracked is not None:
+                tracked.active_instance = op.request
+            if op.request is not None:
+                table[op.request] = _Tracked(
+                    state=_ReqState.ACTIVE, creator=op
+                )
+            continue
+        if kind is OpKind.REQUEST_FREE:
+            for handle in op.requests:
+                tracked = table.get(handle)
+                if tracked is None or not tracked.persistent:
+                    report(
+                        "static-unknown-request", Severity.ERROR, op,
+                        f"MPI_Request_free on unknown persistent "
+                        f"request {handle}",
+                    )
+                    continue
+                if tracked.active_instance is not None:
+                    instance = table.get(tracked.active_instance)
+                    if instance is not None and (
+                        instance.state is _ReqState.ACTIVE
+                    ):
+                        report(
+                            "static-free-active", Severity.ERROR, op,
+                            f"MPI_Request_free on persistent request "
+                            f"{handle} while an activation is in "
+                            "flight",
+                        )
+                del table[handle]
+            continue
+        if op.request is not None:
+            # Plain non-blocking p2p: a fresh active request.
+            table[op.request] = _Tracked(
+                state=_ReqState.ACTIVE, creator=op
+            )
+            continue
+        if is_completion_kind(kind):
+            _apply_completion(op, table, report)
+            continue
+        if op.is_finalize():
+            for req_id in sorted(table):
+                tracked = table[req_id]
+                if tracked.persistent and (
+                    tracked.state is _ReqState.INACTIVE
+                ):
+                    what = "persistent request never freed"
+                elif tracked.state is _ReqState.ACTIVE:
+                    what = (
+                        f"{tracked.creator.kind.value} request never "
+                        "completed"
+                    )
+                else:
+                    continue  # MAYBE: uncertain, stay silent
+                report(
+                    "static-request-leak", Severity.WARNING, op,
+                    f"request {req_id} ({what}) at MPI_Finalize",
+                )
+            break
+    return findings
+
+
+def _apply_completion(op: Operation, table: Dict[int, _Tracked],
+                      report) -> None:
+    kind = op.kind
+    tracked_list = [table.get(r) for r in op.requests]
+    for req_id, tracked in zip(op.requests, tracked_list):
+        if tracked is None:
+            report(
+                "static-unknown-request", Severity.ERROR, op,
+                f"{kind.value} on request {req_id} that no prior "
+                "operation created",
+            )
+        elif tracked.state is _ReqState.COMPLETED:
+            report(
+                "static-double-wait", Severity.ERROR, op,
+                f"{kind.value} on request {req_id} that an earlier "
+                "completion already consumed",
+            )
+        elif tracked.persistent and tracked.active_instance is None:
+            report(
+                "static-inactive-wait", Severity.WARNING, op,
+                f"{kind.value} on inactive persistent request "
+                f"{req_id} (no MPI_Start in flight)",
+            )
+
+    def consume(req_id: int) -> None:
+        tracked = table.get(req_id)
+        if tracked is None or tracked.persistent:
+            # Persistent handles survive completion (deactivate only).
+            if tracked is not None:
+                tracked.active_instance = None
+            return
+        tracked.state = _ReqState.COMPLETED
+        _deactivate_parent(table, req_id)
+
+    if is_test_kind(kind):
+        if op.test_flag:
+            for i in op.completed_indices:
+                if i < len(op.requests):
+                    consume(op.requests[i])
+        return
+    if kind in (OpKind.WAIT, OpKind.WAITALL):
+        for req_id in op.requests:
+            consume(req_id)
+        return
+    # WAITANY / WAITSOME
+    if op.completed_indices:
+        for i in op.completed_indices:
+            if i < len(op.requests):
+                consume(op.requests[i])
+        return
+    for req_id in op.requests:
+        tracked = table.get(req_id)
+        if tracked is not None and tracked.state is _ReqState.ACTIVE:
+            tracked.state = _ReqState.MAYBE
+
+
+def _deactivate_parent(table: Dict[int, _Tracked], instance: int) -> None:
+    for tracked in table.values():
+        if tracked.persistent and tracked.active_instance == instance:
+            tracked.active_instance = None
+            return
+
+
+# ----------------------------------------------------------------------
+# Cross-rank collective order / root consistency
+# ----------------------------------------------------------------------
+
+def check_collective_consistency(
+    sequences: Sequence[Sequence[Operation]],
+    comms: CommRegistry,
+    *,
+    hung_ranks: Optional[set] = None,
+) -> List[CheckFinding]:
+    """Check collective kind/root agreement wave by wave.
+
+    ``hung_ranks`` marks ranks whose sequence is known incomplete
+    (truncated extraction); a missing collective on such a rank is not
+    reported, since the rank might have issued it later.
+    """
+    hung = set(hung_ranks or ())
+    findings: List[CheckFinding] = []
+    # Per comm: per rank, the ordered collective calls.
+    per_comm: Dict[int, Dict[int, List[Operation]]] = {}
+    ended_clean: Dict[int, bool] = {}
+    for rank, seq in enumerate(sequences):
+        ended_clean[rank] = bool(seq) and seq[-1].is_finalize()
+        for op in seq:
+            if op.is_collective():
+                per_comm.setdefault(op.comm_id, {}).setdefault(
+                    rank, []
+                ).append(op)
+
+    for comm_id in sorted(per_comm):
+        if comm_id not in comms:
+            continue
+        group = comms.get(comm_id).group
+        calls = per_comm[comm_id]
+        depth = max(len(calls.get(r, ())) for r in group) if group else 0
+        for k in range(depth):
+            wave = {
+                r: calls[r][k]
+                for r in group
+                if r in calls and k < len(calls[r])
+            }
+            findings.extend(
+                _check_wave(comm_id, k, group, wave, ended_clean, hung)
+            )
+    return findings
+
+
+def _check_wave(
+    comm_id: int,
+    index: int,
+    group: Sequence[int],
+    wave: Dict[int, Operation],
+    ended_clean: Dict[int, bool],
+    hung: set,
+) -> List[CheckFinding]:
+    findings: List[CheckFinding] = []
+    if not wave:
+        return findings
+    # Majority kind defines the expected call; deviants are reported.
+    by_kind: Dict[OpKind, List[int]] = {}
+    for r, op in wave.items():
+        by_kind.setdefault(op.kind, []).append(r)
+    majority_kind = max(
+        by_kind, key=lambda kind: (len(by_kind[kind]), -min(by_kind[kind]))
+    )
+    reference = wave[min(by_kind[majority_kind])]
+    for kind, ranks in sorted(by_kind.items(), key=lambda kv: kv[0].value):
+        if kind is majority_kind:
+            continue
+        for r in sorted(ranks):
+            op = wave[r]
+            findings.append(
+                CheckFinding(
+                    check="static-collective-mismatch",
+                    severity=Severity.ERROR,
+                    rank=r,
+                    message=(
+                        f"collective #{index + 1} on communicator "
+                        f"{comm_id} is {op.kind.value} here but "
+                        f"{majority_kind.value} on rank "
+                        f"{min(by_kind[majority_kind])}"
+                    ),
+                    op=op.ref,
+                    location=op.location,
+                )
+            )
+    if is_rooted_collective_kind(majority_kind):
+        roots: Dict[int, List[int]] = {}
+        for r in by_kind[majority_kind]:
+            roots.setdefault(wave[r].root, []).append(r)
+        if len(roots) > 1:
+            majority_root = max(
+                roots, key=lambda root: (len(roots[root]), -min(roots[root]))
+            )
+            for root, ranks in sorted(
+                roots.items(),
+                key=lambda kv: -1 if kv[0] is None else kv[0],
+            ):
+                if root == majority_root:
+                    continue
+                for r in sorted(ranks):
+                    op = wave[r]
+                    findings.append(
+                        CheckFinding(
+                            check="static-root-mismatch",
+                            severity=Severity.ERROR,
+                            rank=r,
+                            message=(
+                                f"{op.kind.value} #{index + 1} on "
+                                f"communicator {comm_id} uses root "
+                                f"{root} here but root {majority_root} "
+                                f"on rank {min(roots[majority_root])}"
+                            ),
+                            op=op.ref,
+                            location=op.location,
+                        )
+                    )
+    for r in group:
+        if r in wave or r in hung:
+            continue
+        if not ended_clean.get(r, False):
+            continue  # rank hung earlier: the deadlock report covers it
+        findings.append(
+            CheckFinding(
+                check="static-collective-missing",
+                severity=Severity.ERROR,
+                rank=r,
+                message=(
+                    f"rank {r} reached MPI_Finalize without calling "
+                    f"collective #{index + 1} ({majority_kind.value}) "
+                    f"on communicator {comm_id} that rank "
+                    f"{min(wave)} calls"
+                ),
+                op=reference.ref,
+                location=reference.location,
+            )
+        )
+    return findings

@@ -24,17 +24,27 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True)
 class CheckFinding:
-    """One reported issue of a correctness check."""
+    """One reported issue of a correctness check.
+
+    ``rank`` is ``None`` for findings not attributable to one process
+    (e.g. source-level lint findings). ``location`` carries the
+    ``file:line`` of the offending call when known — runtime findings
+    inherit it from the recorded :class:`~repro.mpi.ops.Operation`,
+    static findings from the analyzed source or extracted sequence.
+    """
 
     check: str
     severity: Severity
-    rank: int
+    rank: Optional[int]
     message: str
     op: Optional[OpRef] = None
+    location: str = ""
 
     def render(self) -> str:
+        who = f"rank {self.rank}" if self.rank is not None else "program"
         where = f" at op {self.op}" if self.op is not None else ""
+        loc = f" ({self.location})" if self.location else ""
         return (
-            f"[{self.severity.value.upper()}] {self.check}: rank "
-            f"{self.rank}{where}: {self.message}"
+            f"[{self.severity.value.upper()}] {self.check}: "
+            f"{who}{where}{loc}: {self.message}"
         )

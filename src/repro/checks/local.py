@@ -58,6 +58,7 @@ class LocalChecker:
                 rank=op.rank,
                 message=message,
                 op=op.ref,
+                location=op.location,
             )
         )
 
@@ -114,6 +115,7 @@ class LocalChecker:
                             "before MPI_Finalize"
                         ),
                         op=op.ref,
+                        location=op.location,
                     )
                 )
 
@@ -181,6 +183,14 @@ class LocalChecker:
         if op.kind in (OpKind.PSTART_SEND, OpKind.PSTART_RECV):
             # Start instances complete via WAIT*; the persistent handle
             # stays live. (The instance id is op.request, added above.)
+            return
+        if op.kind is OpKind.REQUEST_FREE:
+            # MPI_Request_free releases the persistent handle itself
+            # (recorded in op.requests since the handle was threaded
+            # through the engine's persistent path).
+            for req in op.requests:
+                state.live_requests.discard(req)
+                state.persistent.discard(req)
             return
         if op.is_completion():
             for req in op.requests:

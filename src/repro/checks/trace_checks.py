@@ -1,8 +1,9 @@
 """Whole-trace correctness checks (post-matching).
 
 Checks that need the matched trace: lost messages (sends no receive
-ever consumed), never-resolved wildcard receives, and missing
-finalize. Complements :mod:`repro.checks.local`.
+ever consumed), truncated collective waves (some group members never
+arrived), and missing finalize. Complements
+:mod:`repro.checks.local`.
 """
 from __future__ import annotations
 
@@ -41,8 +42,43 @@ def check_lost_messages(matched: MatchedTrace) -> List[CheckFinding]:
                         "under the strict semantics)"
                     ),
                     op=op.ref,
+                    location=op.location,
                 )
             )
+    return findings
+
+
+def check_truncated_collectives(matched: MatchedTrace) -> List[CheckFinding]:
+    """Collective waves that some group members never reached.
+
+    An incomplete wave means the arrived ranks block forever (under any
+    semantics for barriers, under the strict ``b`` otherwise); the
+    finding names exactly which ranks are missing, complementing the
+    wait-for-graph diagnosis.
+    """
+    findings: List[CheckFinding] = []
+    for pending in matched.pending_collectives:
+        comm = matched.comms.get(pending.comm_id)
+        missing = sorted(set(comm.group) - set(pending.arrived))
+        if not missing:
+            continue
+        first_rank = min(pending.arrived)
+        first_ref = pending.arrived[first_rank]
+        op = matched.trace.op(first_ref)
+        findings.append(
+            CheckFinding(
+                check="truncated-collective",
+                severity=Severity.WARNING,
+                rank=first_rank,
+                message=(
+                    f"collective wave {pending.index} on communicator "
+                    f"{pending.comm_id} ({op.kind.value}) reached by ranks "
+                    f"{sorted(pending.arrived)} but never by {missing}"
+                ),
+                op=first_ref,
+                location=op.location,
+            )
+        )
     return findings
 
 
@@ -91,5 +127,6 @@ def run_all_checks(matched: MatchedTrace) -> List[CheckFinding]:
             checker.check_op(op)
     findings = list(checker.findings)
     findings.extend(check_lost_messages(matched))
+    findings.extend(check_truncated_collectives(matched))
     findings.extend(check_missing_finalize(matched))
     return findings

@@ -10,10 +10,16 @@ Commands
              ``--adapt`` for the unexpected-match adaptation loop) and
              optionally write the HTML/DOT reports;
 ``demo``     record + analyze a named workload in one step;
+``lint``     statically analyze rank-program files or recorded traces
+             without running the engine;
 ``figures``  print the Figure 9 / Figure 12 model tables.
 
 Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
 gapgeofem, halo2d, persistent-ring.
+
+Exit codes: 0 — clean; 1 — a deadlock was detected (``analyze``,
+``demo``) or an error-severity finding reported (``lint``); 2 — usage
+error (unknown workload, unreadable or malformed input).
 """
 from __future__ import annotations
 
@@ -29,6 +35,7 @@ from repro.mpi.blocking import BlockingSemantics
 from repro.mpi.serialize import load_trace, save_trace
 from repro.mpi.trace import MatchedTrace
 from repro.runtime import run_programs
+from repro.util.errors import TraceError
 from repro.wfg.simplify import render_aggregated_dot, simplify
 
 
@@ -78,10 +85,12 @@ def _workloads() -> Dict[str, Callable[[int], list]]:
 def _run_workload(name: str, ranks: int, seed: int) -> MatchedTrace:
     factory = _workloads().get(name)
     if factory is None:
-        raise SystemExit(
+        print(
             f"unknown workload {name!r}; available: "
-            f"{', '.join(sorted(_workloads()))}"
+            f"{', '.join(sorted(_workloads()))}",
+            file=sys.stderr,
         )
+        raise SystemExit(2)
     programs = factory(ranks)
     result = run_programs(
         programs, semantics=BlockingSemantics.relaxed(), seed=seed
@@ -165,12 +174,44 @@ def _cmd_record(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    matched = load_trace(args.trace)
+    try:
+        matched = load_trace(args.trace)
+    except (OSError, TraceError) as exc:
+        print(f"cannot load trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
     print(
         f"loaded trace: {matched.trace.num_processes} processes, "
         f"{matched.trace.total_ops()} operations"
     )
     return _analyze(matched, args)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_path
+
+    any_errors = False
+    for path in args.paths:
+        try:
+            report = lint_path(path, ranks=args.ranks)
+        except (OSError, TraceError) as exc:
+            print(f"lint: cannot analyze {path}: {exc}", file=sys.stderr)
+            return 2
+        if report.findings:
+            errors = len(report.errors())
+            warnings = len(report.findings) - errors
+            print(
+                f"{path}: {errors} error(s), {warnings} warning(s)/"
+                "note(s)"
+            )
+            for finding in report.findings:
+                print("  " + finding.render())
+        else:
+            print(f"{path}: clean")
+        if args.verbose:
+            for note in report.notes:
+                print(f"  note: {note}")
+        any_errors = any_errors or report.has_errors
+    return 1 if any_errors else 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -256,6 +297,25 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("-n", "--ranks", type=int, default=8)
     _add_analysis_flags(demo)
     demo.set_defaults(func=_cmd_demo)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze rank programs or traces (no engine)",
+    )
+    lint.add_argument(
+        "paths", nargs="+",
+        help="Python rank-program files or recorded .json traces",
+    )
+    lint.add_argument(
+        "-n", "--ranks", type=int, default=4,
+        help="virtual world size for extracted programs (default 4; "
+        "a module-level LINT_RANKS overrides it)",
+    )
+    lint.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print analysis notes (skipped passes etc.)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     figs = sub.add_parser("figures", help="print the overhead models")
     figs.set_defaults(func=_cmd_figures)

@@ -189,4 +189,10 @@ def save_trace(matched: MatchedTrace, path: str) -> None:
 def load_trace(path: str) -> MatchedTrace:
     """Read a matched trace from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
-        return matched_trace_from_dict(json.load(handle))
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise TraceError(f"{path} does not hold a trace document")
+    return matched_trace_from_dict(document)

@@ -342,6 +342,8 @@ class Engine:
             peer=call.peer,
             tag=call.tag,
             nbytes=call.nbytes,
+            request=handle,
+            location=call.location,
         )
         self._seqs[rank].append(op)
         self._persistent[(rank, handle)] = _PersistentReq(
@@ -383,6 +385,8 @@ class Engine:
             tag=preq.tag,
             nbytes=preq.nbytes,
             request=instance,
+            requests=(preq.handle,),
+            location=call.location,
         )
         self._seqs[rank].append(op)
         preq.active_instance = instance
@@ -419,7 +423,13 @@ class Engine:
         del self._persistent[(rank, preq.handle)]
         ts = len(self._seqs[rank])
         self._seqs[rank].append(
-            Operation(kind=OpKind.REQUEST_FREE, rank=rank, ts=ts)
+            Operation(
+                kind=OpKind.REQUEST_FREE,
+                rank=rank,
+                ts=ts,
+                requests=(preq.handle,),
+                location=call.location,
+            )
         )
         self._resume(rank, None)
 

@@ -19,11 +19,49 @@ MPI matching semantics (:mod:`repro.runtime.engine`).
 """
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, OpKind
 from repro.mpi.communicator import Communicator
+
+#: Cached display form of source file paths (relative when possible).
+_PATH_CACHE: Dict[str, str] = {}
+
+
+def _display_path(path: str) -> str:
+    cached = _PATH_CACHE.get(path)
+    if cached is None:
+        cached = path
+        try:
+            rel = os.path.relpath(path)
+            if not rel.startswith(".."):
+                cached = rel
+        except ValueError:
+            pass
+        _PATH_CACHE[path] = cached
+    return cached
+
+
+def _callsite() -> str:
+    """``file:line`` of the rank-program frame issuing the current call.
+
+    Walks out of this module so that helper layers (the ``Rank``
+    builders, the ``sendrecv`` decomposition) never show up as the
+    source of an MPI call; findings then point at application code.
+    """
+    frame = sys._getframe(1)
+    while frame is not None and (
+        frame.f_code.co_filename == __file__
+        # Skip synthesized frames (the dataclass-generated __init__).
+        or frame.f_code.co_filename.startswith("<")
+    ):
+        frame = frame.f_back
+    if frame is None:
+        return ""
+    return f"{_display_path(frame.f_code.co_filename)}:{frame.f_lineno}"
 
 
 @dataclass(frozen=True)
@@ -57,7 +95,14 @@ class Call:
     group: Optional[Tuple[int, ...]] = None
     #: Sendrecv decomposition marker (set internally).
     sendrecv_group: Optional[int] = None
+    #: ``file:line`` of the issuing rank-program statement; captured
+    #: automatically at construction so every recorded operation (and
+    #: every finding derived from it) can cite its source location.
     location: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.location:
+            self.location = _callsite()
 
 
 class Rank:

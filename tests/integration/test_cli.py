@@ -1,9 +1,12 @@
 """The command-line interface, driven in-process."""
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
 def test_demo_clean_workload_exit_zero(capsys):
@@ -61,9 +64,24 @@ def test_figures_tables(capsys):
     assert "paper: 1.34x" in out
 
 
-def test_unknown_workload(capsys):
-    with pytest.raises(SystemExit):
+def test_unknown_workload_exits_two(capsys):
+    with pytest.raises(SystemExit) as excinfo:
         main(["demo", "not-a-workload"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err and "fig2a" in err
+
+
+def test_analyze_missing_trace_exits_two(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+    assert "cannot load trace" in capsys.readouterr().err
+
+
+def test_analyze_corrupt_trace_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"format\": 999}")
+    assert main(["analyze", str(bad)]) == 2
+    assert "cannot load trace" in capsys.readouterr().err
 
 
 def test_persistent_ring_workload(capsys):
@@ -79,3 +97,88 @@ def test_checks_flag(capsys):
     assert code == 1
     assert "correctness checks" in out
     assert "missing-finalize" in out  # the hung ranks never finalize
+
+
+class TestLint:
+    def test_potential_deadlock_found_statically(self, capsys):
+        path = str(EXAMPLES / "lammps_potential_deadlock.py")
+        code = main(["lint", path])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "static-deadlock" in out
+        assert "lammps_potential_deadlock.py:" in out
+        assert "dependency cycle" in out
+
+    def test_clean_example_exits_zero(self, capsys):
+        path = str(EXAMPLES / "quickstart.py")
+        code = main(["lint", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "absent.py")])
+        assert code == 2
+        assert "cannot analyze" in capsys.readouterr().err
+
+    def test_syntax_error_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        code = main(["lint", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "syntax-error" in out
+
+    def test_ast_findings_without_programs(self, tmp_path, capsys):
+        src = tmp_path / "dropped.py"
+        src.write_text(
+            "def prog(rank):\n"
+            "    rank.send(1, tag=0)\n"
+            "    yield rank.finalize()\n"
+        )
+        code = main(["lint", str(src)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unyielded-call" in out
+        assert f"{src}:2" in out
+
+    def test_recorded_hung_trace_reports_deadlock(self, tmp_path, capsys):
+        trace = tmp_path / "fig2a.json"
+        assert main(["record", "fig2a", "-o", str(trace)]) == 0
+        capsys.readouterr()
+        code = main(["lint", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "static-deadlock" in out
+        assert "dependency cycle 0 -> 1 -> 0" in out
+
+    def test_recorded_clean_trace_is_clean(self, tmp_path, capsys):
+        trace = tmp_path / "stress.json"
+        assert main(["record", "stress", "-n", "4", "-o", str(trace)]) == 0
+        capsys.readouterr()
+        code = main(["lint", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_corrupt_trace_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["lint", str(bad)]) == 2
+        assert "cannot analyze" in capsys.readouterr().err
+
+    def test_multiple_paths_worst_exit_wins(self, capsys):
+        clean = str(EXAMPLES / "quickstart.py")
+        dead = str(EXAMPLES / "lammps_potential_deadlock.py")
+        code = main(["lint", clean, dead])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "clean" in out and "static-deadlock" in out
+
+    def test_verbose_prints_notes(self, tmp_path, capsys):
+        src = tmp_path / "noprog.py"
+        src.write_text("X = 1\n")
+        code = main(["lint", "-v", str(src)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "note:" in out and "AST lint only" in out

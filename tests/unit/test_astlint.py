@@ -1,0 +1,285 @@
+"""The source-level rank-program linter."""
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.checks.findings import Severity
+
+
+def _lint(source):
+    return lint_source(textwrap.dedent(source), "prog.py")
+
+
+def _by_check(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.check, []).append(f)
+    return out
+
+
+class TestProgramDiscovery:
+    def test_recognizes_module_level_generator(self):
+        findings, programs = _lint(
+            """
+            def ring(rank):
+                yield rank.send(dest=1, tag=0)
+                yield rank.finalize()
+            """
+        )
+        assert [p.name for p in programs] == ["ring"]
+        assert programs[0].handle == "rank"
+        assert not findings
+
+    def test_ignores_plain_functions_and_extra_required_params(self):
+        _, programs = _lint(
+            """
+            def helper(x):
+                return x + 1
+
+            def needs_two(rank, other):
+                yield rank.barrier()
+                yield rank.finalize()
+
+            def defaulted(rank, n=3):
+                yield rank.allreduce()
+                yield rank.finalize()
+            """
+        )
+        assert [p.name for p in programs] == ["defaulted"]
+
+    def test_handle_name_is_flexible(self):
+        _, programs = _lint(
+            """
+            def prog(comm):
+                yield comm.barrier()
+                yield comm.finalize()
+            """
+        )
+        assert programs and programs[0].handle == "comm"
+
+
+class TestYieldDiscipline:
+    def test_unyielded_send_is_an_error(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                rank.send(1, tag=0)
+                yield rank.finalize()
+            """
+        )
+        bad = _by_check(findings)["unyielded-call"]
+        assert bad[0].severity is Severity.ERROR
+        assert bad[0].location == "prog.py:3"
+        assert "rank.send(...)" in bad[0].message
+
+    def test_yield_from_on_single_call_is_an_error(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield from rank.recv(source=0)
+                yield rank.finalize()
+            """
+        )
+        assert "yield-from-misuse" in _by_check(findings)
+
+    def test_plain_yield_on_sendrecv_is_an_error(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.sendrecv(dest=1, source=1)
+                yield rank.finalize()
+            """
+        )
+        bad = _by_check(findings)["yield-from-misuse"]
+        assert "yield from" in bad[0].message
+
+    def test_undriven_startall_is_an_error(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                sreq = yield rank.send_init(1, tag=0)
+                rank.startall([sreq])
+                yield rank.wait(sreq)
+                yield rank.finalize()
+            """
+        )
+        assert "unyielded-call" in _by_check(findings)
+
+    def test_correct_yield_from_is_clean(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield from rank.sendrecv(dest=1, source=1)
+                yield rank.finalize()
+            """
+        )
+        assert not findings
+
+    def test_handle_alias_is_tracked(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                comm = rank
+                comm.barrier()
+                yield rank.finalize()
+            """
+        )
+        assert "unyielded-call" in _by_check(findings)
+
+    def test_nested_function_not_linted_with_outer_handle(self):
+        # The nested closure is its own (non-)program; its bare
+        # statement must not be attributed to the enclosing program.
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                def helper():
+                    return rank.rank
+                yield rank.barrier()
+                yield rank.finalize()
+            """
+        )
+        assert not findings
+
+
+class TestRankDependentCollectives:
+    def test_collective_in_one_branch_warns(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                if rank.rank == 0:
+                    yield rank.barrier()
+                else:
+                    yield rank.recv(source=0, tag=0)
+                yield rank.finalize()
+            """
+        )
+        warn = _by_check(findings)["rank-dependent-collective"]
+        assert warn[0].severity is Severity.WARNING
+        assert "if-branch: barrier" in warn[0].message
+
+    def test_rank_alias_in_condition_is_recognized(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                me = rank.rank
+                if me % 2 == 0:
+                    yield rank.allreduce()
+                yield rank.finalize()
+            """
+        )
+        assert "rank-dependent-collective" in _by_check(findings)
+
+    def test_same_collectives_both_branches_is_clean(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                if rank.rank == 0:
+                    yield rank.bcast(root=0)
+                else:
+                    yield rank.bcast(root=0)
+                yield rank.finalize()
+            """
+        )
+        assert not findings
+
+    def test_non_rank_condition_is_clean(self):
+        findings, _ = _lint(
+            """
+            def prog(rank, n=4):
+                if n > 2:
+                    yield rank.barrier()
+                yield rank.finalize()
+            """
+        )
+        assert not findings
+
+
+class TestArgumentChecks:
+    def test_negative_literal_send_tag_is_an_error(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.send(1, tag=-3)
+                yield rank.finalize()
+            """
+        )
+        bad = _by_check(findings)["literal-tag-range"]
+        assert bad[0].severity is Severity.ERROR
+
+    def test_any_tag_on_recv_is_legal(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.recv(source=0, tag=-1)
+                yield rank.finalize()
+            """
+        )
+        assert not findings
+
+    def test_any_tag_on_send_is_an_error(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.send(1, tag=-1)
+                yield rank.finalize()
+            """
+        )
+        assert "literal-tag-range" in _by_check(findings)
+
+    def test_tag_above_portable_ub_warns(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.send(1, tag=1 << 20)
+                yield rank.finalize()
+            """
+        )
+        # 1 << 20 is a BinOp, not a literal: silent. A plain literal warns.
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.send(1, tag=1048576)
+                yield rank.finalize()
+            """
+        )
+        bad = _by_check(findings)["literal-tag-range"]
+        assert bad[0].severity is Severity.WARNING
+
+    def test_any_source_as_send_destination(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.send(-1, tag=0)
+                yield rank.finalize()
+            """
+        )
+        assert "any-source-send" in _by_check(findings)
+
+    def test_any_source_name_as_sendrecv_destination(self):
+        findings, _ = _lint(
+            """
+            from repro.mpi.constants import ANY_SOURCE
+
+            def prog(rank):
+                yield from rank.sendrecv(dest=ANY_SOURCE, source=0)
+                yield rank.finalize()
+            """
+        )
+        assert "any-source-send" in _by_check(findings)
+
+    def test_findings_carry_file_line_locations(self):
+        findings, _ = _lint(
+            """
+            def prog(rank):
+                yield rank.send(1, tag=-7)
+                yield rank.finalize()
+            """
+        )
+        assert findings[0].location == "prog.py:3"
+        assert "prog.py:3" in findings[0].render()
+
+
+def test_syntax_error_propagates():
+    with pytest.raises(SyntaxError):
+        lint_source("def broken(:\n", "broken.py")

@@ -1,0 +1,103 @@
+"""Whole-trace check edge cases: empty, single-rank, truncated waves."""
+from repro.checks import Severity, run_all_checks
+from repro.checks.trace_checks import check_truncated_collectives
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.trace import MatchedTrace, Trace
+from tests.conftest import run_relaxed
+
+
+def _by_check(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.check, []).append(f)
+    return out
+
+
+class TestEmptyTraces:
+    def test_empty_two_rank_trace(self):
+        matched = MatchedTrace(Trace([[], []]), CommRegistry(2))
+        findings = run_all_checks(matched)
+        missing = _by_check(findings)["missing-finalize"]
+        assert [f.rank for f in missing] == [0, 1]
+        assert all(f.severity is Severity.INFO for f in missing)
+        assert not [f for f in findings if f.severity is Severity.ERROR]
+
+    def test_one_silent_rank_among_active_ones(self):
+        def talker(r):
+            yield r.finalize()
+
+        def silent(r):
+            if False:
+                yield
+            return
+
+        res = run_relaxed([talker, silent], seed=0)
+        findings = run_all_checks(res.matched)
+        missing = _by_check(findings)["missing-finalize"]
+        assert [f.rank for f in missing] == [1]
+        assert "no MPI operations" in missing[0].message
+
+
+class TestSingleRankTraces:
+    def test_single_rank_clean_run(self):
+        def solo(r):
+            yield r.barrier()  # world of size 1: completes immediately
+            yield r.finalize()
+
+        res = run_relaxed([solo], seed=0)
+        findings = run_all_checks(res.matched)
+        assert not findings
+
+    def test_single_rank_self_send_is_flagged_not_crashed(self):
+        def solo(r):
+            yield r.bsend(dest=0, tag=0)
+            yield r.finalize()
+
+        res = run_relaxed([solo], seed=0)
+        findings = run_all_checks(res.matched)
+        checks = _by_check(findings)
+        assert "self-message" in checks
+        assert "lost-message" in checks
+
+
+class TestTruncatedCollectives:
+    def test_partial_barrier_wave_is_reported(self):
+        def caller(r):
+            yield r.barrier()
+            yield r.finalize()
+
+        def skipper(r):
+            yield r.finalize()
+
+        res = run_relaxed([caller, skipper], seed=0)
+        assert res.deadlocked
+        findings = run_all_checks(res.matched)
+        (trunc,) = _by_check(findings)["truncated-collective"]
+        assert trunc.severity is Severity.WARNING
+        assert trunc.rank == 0
+        assert "reached by ranks [0] but never by [1]" in trunc.message
+        assert "test_trace_checks.py" in trunc.location
+
+    def test_complete_waves_are_not_reported(self):
+        def prog(r):
+            yield r.barrier()
+            yield r.allreduce()
+            yield r.finalize()
+
+        res = run_relaxed([prog, prog], seed=0)
+        assert not check_truncated_collectives(res.matched)
+
+    def test_wave_on_subcommunicator_names_the_comm(self):
+        def member(r):
+            sub = yield r.comm_split(color=0 if r.rank < 2 else None)
+            if sub is not None:
+                yield r.barrier(comm=sub)
+                if r.rank == 0:
+                    yield r.barrier(comm=sub)  # rank 1 never joins
+            yield r.finalize()
+
+        res = run_relaxed([member] * 3, seed=0)
+        findings = check_truncated_collectives(res.matched)
+        assert len(findings) == 1
+        assert "communicator" in findings[0].message
+        assert "never by [1]" in findings[0].message
