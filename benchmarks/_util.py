@@ -10,9 +10,10 @@ enough for quick CI runs.
 """
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -25,13 +26,37 @@ def scale_points(default: Sequence[int], full: Sequence[int]) -> List[int]:
     return list(full if full_scale() else default)
 
 
-def write_result(name: str, lines: Iterable[str]) -> Path:
+def write_bench_json(name: str, data: Mapping[str, object]) -> Path:
+    """Emit a bench's results as machine-readable ``BENCH_<name>.json``.
+
+    The repo accumulates these as a perf trajectory: each payload
+    carries the bench name, its parameters, and the measured series
+    (for detection benches, the phase breakdown from the
+    ``repro.obs`` metrics registry).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"bench": name, "full_scale": full_scale(), **data}
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    print(f"[{name}] wrote {path.name}")
+    return path
+
+
+def write_result(
+    name: str,
+    lines: Iterable[str],
+    data: Optional[Mapping[str, object]] = None,
+) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     text = "\n".join(lines) + "\n"
     path.write_text(text)
     print(f"\n[{name}]")
     print(text)
+    if data is not None:
+        write_bench_json(name, data)
     return path
 
 

@@ -69,7 +69,29 @@ def test_fanin_tradeoff(benchmark):
         "lower fan-in: less overhead, more tool resources — the paper "
         "picks fan-in 4 for SPEC as the compromise"
     )
-    write_result("ablation_fanin", lines)
+    write_result(
+        "ablation_fanin",
+        lines,
+        data={
+            "params": {"procs_model": P, "procs_run": 16, "fan_ins": list(FAN_INS)},
+            "rows": [
+                {
+                    "fan_in": fan_in,
+                    "model_slowdown": stress_distributed_slowdown(P, fan_in),
+                    "tool_nodes": TbonTopology.build(P, fan_in).num_tool_nodes,
+                    "tool_msgs": (
+                        outcomes[fan_in].messages_sent
+                        if fan_in in outcomes else None
+                    ),
+                    "peak_window": (
+                        outcomes[fan_in].peak_window
+                        if fan_in in outcomes else None
+                    ),
+                }
+                for fan_in in FAN_INS
+            ],
+        },
+    )
 
     # Monotone tradeoff in the model.
     slow = [stress_distributed_slowdown(P, f) for f in FAN_INS]

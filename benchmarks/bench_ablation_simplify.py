@@ -72,4 +72,12 @@ def test_simplify_ablation(benchmark):
             ],
             rows,
         ),
+        data={
+            "params": {"procs": list(PROCESS_COUNTS)},
+            "header": [
+                "procs", "arcs", "plain_bytes", "plain_time",
+                "agg_arcs", "agg_bytes", "agg_time",
+            ],
+            "rows": [[str(c) for c in row] for row in rows],
+        },
     )

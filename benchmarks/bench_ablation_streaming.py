@@ -59,6 +59,10 @@ def test_streaming_ablation(benchmark):
     write_result(
         "ablation_streaming",
         fmt_table(["design"] + [f"p={p}" for p in PROCESS_COUNTS], rows),
+        data={
+            "params": {"procs": list(PROCESS_COUNTS), "fan_in": 2},
+            "series": {name: list(series) for name, series in data.items()},
+        },
     )
     for i in range(len(PROCESS_COUNTS)):
         assert (

@@ -55,7 +55,21 @@ def test_timeout_frequency_ablation(benchmark):
         "verdict identical at every frequency (timeout design is "
         "precision-free); traffic grows with detection count"
     )
-    write_result("ablation_timeout", lines)
+    write_result(
+        "ablation_timeout",
+        lines,
+        data={
+            "params": {"procs": P, "iterations": ITERATIONS, "fan_in": 2},
+            "rows": [
+                {
+                    "detections": n + 1,
+                    "tool_msgs": out.messages_sent,
+                    "completed": len(out.detections),
+                }
+                for n, out in sorted(outcomes.items())
+            ],
+        },
+    )
 
     msgs = [out.messages_sent for _, out in sorted(outcomes.items())]
     assert msgs == sorted(msgs)

@@ -35,7 +35,18 @@ def test_fig09_series(benchmark):
             v = data[key][i]
             row.append("-" if math.isnan(v) else f"{v:.1f}")
         rows.append(row)
-    write_result("fig09_stress_slowdown", fmt_table(header, rows))
+    write_result(
+        "fig09_stress_slowdown",
+        fmt_table(header, rows),
+        data={
+            "params": {"procs": list(PROCESS_COUNTS)},
+            "series": {
+                k: [None if math.isnan(v) else v for v in series]
+                for k, series in data.items()
+                if k != "p"
+            },
+        },
+    )
 
     # Shape assertions: the paper's qualitative claims.
     d2 = data["distributed_fanin_2"]
@@ -74,6 +85,12 @@ def test_fig09_event_counts_validate_model(benchmark):
             f"model constant: {cfg.P2P_EVENTS_PER_ITER + 1:.2f} "
             "(incl. the Wait newOp)",
         ],
+        data={
+            "params": {"procs": p, "iterations": iterations, "fan_in": 4},
+            "events_per_rank_iteration": per_rank_iter,
+            "model_constant": cfg.P2P_EVENTS_PER_ITER + 1,
+            "message_counts": totals,
+        },
     )
     # NewOp(isend)+NewOp(recv)+NewOp(wait)+PassSend+RecvActive+Ack = 6
     assert 5.5 <= per_rank_iter <= 6.8
@@ -123,6 +140,10 @@ def test_fig09_replay_validates_model(benchmark):
              "replay_central", "model_central"],
             rows,
         ),
+        data={
+            "params": {"procs": sorted(data), "iterations": 30},
+            "series": {str(p): v for p, v in sorted(data.items())},
+        },
     )
     for p, v in data.items():
         assert 0.5 <= v["replay_f2"] / v["model_f2"] <= 2.0

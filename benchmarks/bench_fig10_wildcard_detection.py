@@ -16,6 +16,8 @@ computation at the root.
 import pytest
 
 from repro.core.detector import DistributedDeadlockDetector
+from repro.obs import make_observer
+from repro.obs.stats import PHASE_PREFIX
 from repro.workloads import build_wildcard_trace
 
 from _util import fmt_table, scale_points, write_result
@@ -31,16 +33,26 @@ _collected = {}
 @pytest.mark.parametrize("p", PROCESS_COUNTS)
 def test_fig10_detection_time(benchmark, p):
     matched = build_wildcard_trace(p)
+    observer = make_observer()
 
     def detect():
-        detector = DistributedDeadlockDetector(matched, fan_in=4, seed=0)
+        detector = DistributedDeadlockDetector(
+            matched, fan_in=4, seed=0, observer=observer
+        )
         return detector.run()
 
     out = benchmark.pedantic(detect, rounds=1, iterations=1)
     record = out.detection
     assert record.has_deadlock
     assert record.graph.arc_count() == p * (p - 1)
-    _collected[p] = record.timers.breakdown()
+    # The phase breakdown now comes from the obs metrics registry (the
+    # generalization of PhaseTimers) rather than the record's timers.
+    snapshot = observer.metrics.snapshot()
+    _collected[p] = {
+        name[len(PHASE_PREFIX):]: summary["sum"]
+        for name, summary in snapshot["histograms"].items()
+        if name.startswith(PHASE_PREFIX)
+    }
 
     if p == PROCESS_COUNTS[-1]:
         _emit()
@@ -72,10 +84,27 @@ def _emit():
     write_result(
         "fig10a_wildcard_total",
         fmt_table(["procs", "total_s"] + phases, rows_total),
+        data={
+            "params": {"fan_in": 4, "procs": sorted(_collected)},
+            "phase_breakdown_s": {
+                str(p): bd for p, bd in sorted(_collected.items())
+            },
+        },
     )
     write_result(
         "fig10b_wildcard_breakdown",
         fmt_table(["procs"] + phases, rows_share),
+        data={
+            "params": {"fan_in": 4, "procs": sorted(_collected)},
+            "phases": phases,
+            "shares_pct": {
+                str(p): {
+                    ph: 100.0 * bd.get(ph, 0.0) / sum(bd.values())
+                    for ph in phases
+                }
+                for p, bd in sorted(_collected.items())
+            },
+        },
     )
     # Shape checks at the largest default scale.
     biggest = _collected[max(_collected)]

@@ -9,6 +9,8 @@ import pytest
 
 from repro.core.detector import DistributedDeadlockDetector
 from repro.mpi.blocking import BlockingSemantics
+from repro.obs import make_observer
+from repro.obs.stats import PHASE_PREFIX
 from repro.runtime import run_programs
 from repro.workloads import build_wildcard_trace, lammps_skeleton_programs
 
@@ -31,15 +33,24 @@ def test_fig11_lammps_detection(benchmark, p):
     )
     assert not res.deadlocked  # buffering masks it in the run
 
+    observer = make_observer()
+
     def detect():
-        detector = DistributedDeadlockDetector(res.matched, fan_in=4, seed=0)
+        detector = DistributedDeadlockDetector(
+            res.matched, fan_in=4, seed=0, observer=observer
+        )
         return detector.run()
 
     out = benchmark.pedantic(detect, rounds=1, iterations=1)
     record = out.detection
     assert record.has_deadlock
     assert len(record.result.deadlocked) == p
-    _collected[p] = record.timers.breakdown()
+    snapshot = observer.metrics.snapshot()
+    _collected[p] = {
+        name[len(PHASE_PREFIX):]: summary["sum"]
+        for name, summary in snapshot["histograms"].items()
+        if name.startswith(PHASE_PREFIX)
+    }
 
     if p == PROCESS_COUNTS[-1]:
         _emit(p)
@@ -66,6 +77,12 @@ def _emit(largest: int):
     write_result(
         "fig11_lammps_detection",
         fmt_table(["procs", "total_s"] + phases, rows),
+        data={
+            "params": {"fan_in": 4, "procs": sorted(_collected)},
+            "phase_breakdown_s": {
+                str(p): bd for p, bd in sorted(_collected.items())
+            },
+        },
     )
 
     # Cross-figure claim: lammps detection is much cheaper than the

@@ -58,7 +58,16 @@ def test_fig12_slowdown_table(benchmark):
         f"average at 2048 (excl. 126.lammps, 128.GAPgeofem): {avg:.2f}x "
         "(paper: 1.34x)"
     )
-    write_result("fig12_specmpi_slowdown", lines)
+    write_result(
+        "fig12_specmpi_slowdown",
+        lines,
+        data={
+            "params": {"scales": list(SCALES), "fan_in": 4},
+            "series": {name: list(series) for name, series in data.items()},
+            "average_at_2048": avg,
+            "excluded": sorted(EXCLUDED_FROM_AVERAGE),
+        },
+    )
 
     # Headline claims.
     assert 1.2 <= avg <= 1.5
@@ -99,4 +108,9 @@ def test_fig12_gapgeofem_window_blowup(benchmark):
             "limit, as on Sierra:",
             f"  {exc}",
         ],
+        data={
+            "params": {"procs": 4, "iterations": 120, "window_limit": 64},
+            "window_exceeded": True,
+            "error": str(exc),
+        },
     )

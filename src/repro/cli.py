@@ -12,14 +12,24 @@ Commands
 ``demo``     record + analyze a named workload in one step;
 ``lint``     statically analyze rank-program files or recorded traces
              without running the engine;
+``stats``    print the observability summary of a run recorded with
+             ``--obs-out`` (per-message-type traffic, five-phase
+             detection-time breakdown);
 ``figures``  print the Figure 9 / Figure 12 model tables.
 
 Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
 gapgeofem, halo2d, persistent-ring.
 
+Observability: ``--obs`` instruments the run (engine + TBON + the
+distributed protocol) and prints a stats summary; ``--obs-out FILE``
+additionally writes a Chrome ``trace_event`` file (open it in
+``chrome://tracing`` or Perfetto) embedding the metrics snapshot;
+``--obs-jsonl FILE`` writes the raw event stream as JSONL.
+
 Exit codes: 0 — clean; 1 — a deadlock was detected (``analyze``,
-``demo``) or an error-severity finding reported (``lint``); 2 — usage
-error (unknown workload, unreadable or malformed input).
+``demo``, and ``stats`` when the analyzed run recorded one) or an
+error-severity finding reported (``lint``); 2 — usage error (unknown
+workload, unreadable or malformed input).
 """
 from __future__ import annotations
 
@@ -34,6 +44,15 @@ from repro.core.waitstate import analyze_trace
 from repro.mpi.blocking import BlockingSemantics
 from repro.mpi.serialize import load_trace, save_trace
 from repro.mpi.trace import MatchedTrace
+from repro.obs import (
+    NULL_OBSERVER,
+    Observer,
+    load_run,
+    make_observer,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.runtime import run_programs
 from repro.util.errors import TraceError
 from repro.wfg.simplify import render_aggregated_dot, simplify
@@ -82,7 +101,48 @@ def _workloads() -> Dict[str, Callable[[int], list]]:
     }
 
 
-def _run_workload(name: str, ranks: int, seed: int) -> MatchedTrace:
+def _make_observer(args: argparse.Namespace) -> Observer:
+    """A live observer when any ``--obs*`` flag was given, else null."""
+    wanted = bool(
+        getattr(args, "obs", False)
+        or getattr(args, "obs_out", None)
+        or getattr(args, "obs_jsonl", None)
+    )
+    return make_observer(wanted)
+
+
+def _finish_obs(
+    observer: Observer,
+    args: argparse.Namespace,
+    *,
+    workload: Optional[str],
+    deadlocked: bool,
+) -> None:
+    """Export trace artifacts and print the stats summary."""
+    if not observer.enabled:
+        return
+    snapshot = observer.metrics.snapshot()
+    metadata = {
+        "workload": workload,
+        "deadlocked": bool(deadlocked),
+        "metrics": snapshot,
+    }
+    out = getattr(args, "obs_out", None)
+    if out:
+        write_chrome_trace(out, observer.tracer, metadata=metadata)
+        print(f"wrote {out} (open in chrome://tracing or Perfetto)")
+    jsonl = getattr(args, "obs_jsonl", None)
+    if jsonl:
+        write_jsonl(jsonl, observer.tracer)
+        print(f"wrote {jsonl}")
+    print("\nobservability summary")
+    for line in render_summary(snapshot):
+        print(line)
+
+
+def _run_workload(
+    name: str, ranks: int, seed: int, observer: Observer = NULL_OBSERVER
+) -> MatchedTrace:
     factory = _workloads().get(name)
     if factory is None:
         print(
@@ -93,7 +153,10 @@ def _run_workload(name: str, ranks: int, seed: int) -> MatchedTrace:
         raise SystemExit(2)
     programs = factory(ranks)
     result = run_programs(
-        programs, semantics=BlockingSemantics.relaxed(), seed=seed
+        programs,
+        semantics=BlockingSemantics.relaxed(),
+        seed=seed,
+        observer=observer,
     )
     state = "hung" if result.deadlocked else "completed"
     print(
@@ -103,7 +166,11 @@ def _run_workload(name: str, ranks: int, seed: int) -> MatchedTrace:
     return result.matched
 
 
-def _analyze(matched: MatchedTrace, args: argparse.Namespace) -> int:
+def _analyze(
+    matched: MatchedTrace,
+    args: argparse.Namespace,
+    observer: Observer = NULL_OBSERVER,
+) -> int:
     if getattr(args, "checks", False):
         from repro.checks import run_all_checks
 
@@ -131,7 +198,7 @@ def _analyze(matched: MatchedTrace, args: argparse.Namespace) -> int:
         print(f"centralized verdict: deadlocked ranks {deadlocked or '()'}")
     else:
         detector = DistributedDeadlockDetector(
-            matched, fan_in=args.fan_in, seed=args.seed
+            matched, fan_in=args.fan_in, seed=args.seed, observer=observer
         )
         outcome = detector.run()
         record = outcome.detection
@@ -163,13 +230,21 @@ def _analyze(matched: MatchedTrace, args: argparse.Namespace) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"wrote {args.dot}")
+    _finish_obs(
+        observer,
+        args,
+        workload=getattr(args, "workload", None),
+        deadlocked=bool(deadlocked),
+    )
     return 1 if deadlocked else 0
 
 
 def _cmd_record(args: argparse.Namespace) -> int:
-    matched = _run_workload(args.workload, args.ranks, args.seed)
+    observer = _make_observer(args)
+    matched = _run_workload(args.workload, args.ranks, args.seed, observer)
     save_trace(matched, args.output)
     print(f"wrote {args.output}")
+    _finish_obs(observer, args, workload=args.workload, deadlocked=False)
     return 0
 
 
@@ -183,7 +258,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"loaded trace: {matched.trace.num_processes} processes, "
         f"{matched.trace.total_ops()} operations"
     )
-    return _analyze(matched, args)
+    return _analyze(matched, args, _make_observer(args))
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -215,8 +290,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    matched = _run_workload(args.workload, args.ranks, args.seed)
-    return _analyze(matched, args)
+    observer = _make_observer(args)
+    matched = _run_workload(args.workload, args.ranks, args.seed, observer)
+    return _analyze(matched, args, observer)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        doc = load_run(args.run)
+    except (OSError, TraceError) as exc:
+        print(f"cannot load run {args.run}: {exc}", file=sys.stderr)
+        return 2
+    meta = doc["repro"]
+    workload = meta.get("workload")
+    deadlocked = bool(meta.get("deadlocked"))
+    print(
+        f"run: workload={workload or '?'}, "
+        f"{len(doc['traceEvents'])} trace events, "
+        f"verdict: {'deadlock' if deadlocked else 'clean'}"
+    )
+    if meta.get("dropped_events"):
+        print(f"note: {meta['dropped_events']} events dropped (limit)")
+    for line in render_summary(meta["metrics"]):
+        print(line)
+    return 1 if deadlocked else 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -270,6 +367,24 @@ def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checks", action="store_true",
                         help="also run the non-deadlock correctness checks")
     parser.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(parser)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="instrument the run and print an observability summary",
+    )
+    parser.add_argument(
+        "--obs-out", metavar="FILE",
+        help="write a Chrome trace_event file (Perfetto-compatible) "
+        "with the metrics snapshot embedded; implies --obs",
+    )
+    parser.add_argument(
+        "--obs-jsonl", metavar="FILE",
+        help="write the raw structured event stream as JSONL; "
+        "implies --obs",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -285,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("-o", "--output", required=True)
     rec.add_argument("-n", "--ranks", type=int, default=8)
     rec.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(rec)
     rec.set_defaults(func=_cmd_record)
 
     ana = sub.add_parser("analyze", help="detect deadlocks in a trace")
@@ -316,6 +432,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print analysis notes (skipped passes etc.)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarize an observability run recorded with --obs-out",
+    )
+    stats.add_argument(
+        "run", help="a Chrome trace file written by --obs-out"
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     figs = sub.add_parser("figures", help="print the overhead models")
     figs.set_defaults(func=_cmd_figures)

@@ -24,6 +24,7 @@ from repro.core.distributed import FirstLayerNode
 from repro.core.messages import NewOpMsg, RankDoneMsg
 from repro.core.treenodes import DetectionRecord, InteriorNode, RootNode
 from repro.mpi.trace import MatchedTrace
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.tbon.network import LatencyModel, Network, jittered_latency
 from repro.tbon.topology import TbonTopology
 from repro.util.errors import ProtocolError
@@ -76,12 +77,16 @@ class DistributedDeadlockDetector:
         window_limit: int = 1_000_000,
         generate_outputs: bool = True,
         op_gap: float = 1e-6,
+        observer: Observer | None = None,
     ) -> None:
         self.matched = matched
         self.trace = matched.trace
+        self.observer = observer if observer is not None else NULL_OBSERVER
         p = self.trace.num_processes
         self.topology = TbonTopology.build(p, fan_in)
-        self.net = Network(latency_model or jittered_latency(seed))
+        self.net = Network(
+            latency_model or jittered_latency(seed), observer=self.observer
+        )
         self._rng = random.Random(seed)
         self._op_gap = op_gap
         self.first_layer: Dict[int, FirstLayerNode] = {}
@@ -171,6 +176,12 @@ class DistributedDeadlockDetector:
             peak = max(peak, node.peak_window_size())
             node_stats[node.node_id] = dict(node.stats)
         node_stats[self.root.node_id] = dict(self.root.stats)
+        if self.observer.enabled:
+            metrics = self.observer.metrics
+            metrics.set_gauge("tbon.peak_window", peak)
+            metrics.set_gauge("tbon.simulated_seconds", self.net.now)
+            metrics.set_gauge("tbon.messages_total", self.net.messages_sent)
+            metrics.set_gauge("tbon.bytes_total", self.net.bytes_sent)
         return DistributedOutcome(
             topology=self.topology,
             stable_state=tuple(state),
@@ -190,6 +201,7 @@ def detect_deadlocks_distributed(
     seed: int = 0,
     generate_outputs: bool = True,
     window_limit: int = 1_000_000,
+    observer: Observer | None = None,
 ) -> DistributedOutcome:
     """One-call convenience wrapper: stream, settle, detect once."""
     detector = DistributedDeadlockDetector(
@@ -198,5 +210,6 @@ def detect_deadlocks_distributed(
         seed=seed,
         generate_outputs=generate_outputs,
         window_limit=window_limit,
+        observer=observer,
     )
     return detector.run()

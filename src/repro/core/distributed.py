@@ -45,6 +45,7 @@ from repro.matching.distributed_p2p import MatchEvent, NodeP2PMatcher
 from repro.mpi.communicator import CommRegistry
 from repro.mpi.constants import ANY_SOURCE, PROC_NULL, OpKind
 from repro.mpi.ops import Operation, OpRef
+from repro.obs.events import PID_TBON
 from repro.tbon.aggregation import WaveAggregator, WaveContribution
 from repro.tbon.network import Network
 from repro.tbon.topology import TbonTopology
@@ -136,6 +137,10 @@ class FirstLayerNode:
                 f"rank {op.rank} not hosted on node {self.node_id}"
             )
         state = window.add(op)
+        if net.obs.enabled:
+            net.obs.metrics.gauge(
+                f"waitstate.window.node{self.node_id}"
+            ).set(len(window))
         if op.is_send() and op.peer is not None and op.peer >= 0:
             # newOp: route the send's matching info to the node hosting
             # the matching receive (possibly ourselves — uniform path).
@@ -199,6 +204,8 @@ class FirstLayerNode:
         op = state.op
         state.active = True
         state.activated = True
+        if net.obs.enabled:
+            state.activated_at = net.now
         if op.is_collective():
             wave = self._wave_of(op)
             emitted = self._wave_agg.add(
@@ -286,6 +293,7 @@ class FirstLayerNode:
         if self.frozen:
             return
         window = self.windows[rank]
+        obs = net.obs
         while True:
             state = window.current_op()
             if state is None:
@@ -293,7 +301,18 @@ class FirstLayerNode:
             if not state.activated:
                 self._activate(state, net)
             if not self._can_advance(state, window):
+                if obs.enabled and not state.was_blocked:
+                    state.was_blocked = True
+                    obs.metrics.inc("waitstate.blocked_ops")
                 return
+            if obs.enabled:
+                if state.was_blocked:
+                    obs.metrics.inc("waitstate.can_advance_flips")
+                if state.activated_at >= 0.0:
+                    obs.metrics.observe(
+                        f"waitstate.dwell.rank{rank}",
+                        net.now - state.activated_at,
+                    )
             window.advance()
 
     def _resume_all(self, net: Network) -> None:
@@ -386,6 +405,15 @@ class FirstLayerNode:
         its ``requestWaits`` reply (gated on *all* acks) reflects it.
         """
         self.frozen = True  # stopProgress()
+        if net.obs.enabled:
+            net.obs.tracer.instant(
+                "freeze",
+                cat="detection",
+                ts=net.now * 1e6,
+                pid=PID_TBON,
+                tid=self.node_id,
+                args={"detection": msg.detection_id},
+            )
         peers: Set[int] = set()
         for window in self.windows.values():
             for state in window.iter_states():
@@ -490,6 +518,21 @@ class FirstLayerNode:
             reply.wire_size,
         )
         self._detection = None
+        if net.obs.enabled:
+            net.obs.metrics.inc("waitstate.blocked_reported", len(infos))
+            net.obs.tracer.instant(
+                "resume",
+                cat="detection",
+                ts=net.now * 1e6,
+                pid=PID_TBON,
+                tid=self.node_id,
+                args={
+                    "detection": msg.detection_id,
+                    "blocked": len(infos),
+                    "unblocked": len(unblocked),
+                    "finished": len(finished),
+                },
+            )
         self._resume_all(net)
 
     def _p2p_wait_entry(self, state: OpState) -> P2PWait:

@@ -60,6 +60,12 @@ class OpState:
     completion_satisfied: bool = False
     #: Probes that matched this send and await its activation.
     pending_probe_acks: List[OpRef] = field(default_factory=list)
+    #: Observability: simulated time of activation (-1 = untracked);
+    #: the dwell-time histograms measure activation -> advance.
+    activated_at: float = -1.0
+    #: Observability: ``canAdvance`` evaluated False at least once, so
+    #: a later advance counts as a canAdvance flip.
+    was_blocked: bool = False
 
     @property
     def ref(self) -> OpRef:

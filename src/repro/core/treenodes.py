@@ -33,11 +33,12 @@ from repro.core.messages import (
 )
 from repro.core.waitfor import WaitForCondition, WaitTarget, intern_target
 from repro.mpi.communicator import CommRegistry
+from repro.obs.events import PID_TBON
 from repro.perf.timers import (
     PHASE_DEADLOCK_CHECK,
     PHASE_GRAPH_BUILD,
     PHASE_OUTPUT,
-    PHASE_SYNchronization,
+    PHASE_SYNCHRONIZATION,
     PHASE_WFG_GATHER,
     PhaseTimers,
 )
@@ -243,8 +244,18 @@ class RootNode:
             raise ProtocolError("more consistent-state acks than nodes")
         record.consistent_at = net.now
         record.timers.add(
-            PHASE_SYNchronization, net.now - record.requested_at
+            PHASE_SYNCHRONIZATION, net.now - record.requested_at
         )
+        if net.obs.enabled:
+            net.obs.tracer.complete(
+                PHASE_SYNCHRONIZATION,
+                cat="detection",
+                ts=record.requested_at * 1e6,
+                dur=(net.now - record.requested_at) * 1e6,
+                pid=PID_TBON,
+                tid=self.node_id,
+                args={"detection": msg.detection_id},
+            )
         self._broadcast(net, RequestWaits(msg.detection_id))
 
     def _handle_wait_info(self, msg: WaitInfoMsg, net: Network) -> None:
@@ -262,7 +273,17 @@ class RootNode:
         record.timers.add(
             PHASE_WFG_GATHER, net.now - record.consistent_at
         )
-        self._finish_detection(record, waits)
+        if net.obs.enabled:
+            net.obs.tracer.complete(
+                PHASE_WFG_GATHER,
+                cat="detection",
+                ts=record.consistent_at * 1e6,
+                dur=(net.now - record.consistent_at) * 1e6,
+                pid=PID_TBON,
+                tid=self.node_id,
+                args={"detection": msg.detection_id},
+            )
+        self._finish_detection(record, waits, net)
         del self._detections[msg.detection_id]
         del self._pending_acks[msg.detection_id]
         del self._pending_waits[msg.detection_id]
@@ -274,7 +295,10 @@ class RootNode:
     # -- WFG construction at the root -----------------------------------------
 
     def _finish_detection(
-        self, record: DetectionRecord, waits: Sequence[WaitInfoMsg]
+        self,
+        record: DetectionRecord,
+        waits: Sequence[WaitInfoMsg],
+        net: Optional[Network] = None,
     ) -> None:
         with record.timers.phase(PHASE_GRAPH_BUILD):
             conditions = self._resolve_conditions(waits)
@@ -297,6 +321,31 @@ class RootNode:
                 record.html_report = render_html_report(
                     graph, result, conditions, dot_text=record.dot_text
                 )
+        if net is not None and net.obs.enabled:
+            obs = net.obs
+            obs.metrics.inc("detection.runs")
+            if record.has_deadlock:
+                obs.metrics.inc("detection.deadlocks")
+            obs.metrics.merge_phase_breakdown(record.timers.breakdown())
+            # The root's computation phases are wall-clock durations;
+            # lay them out sequentially after the gather on the
+            # simulated timeline so the trace shows the full pipeline.
+            assert record.gathered_at is not None
+            cursor = record.gathered_at * 1e6
+            for phase in (
+                PHASE_GRAPH_BUILD, PHASE_DEADLOCK_CHECK, PHASE_OUTPUT
+            ):
+                dur = record.timers.elapsed(phase) * 1e6
+                obs.tracer.complete(
+                    phase,
+                    cat="detection",
+                    ts=cursor,
+                    dur=dur,
+                    pid=PID_TBON,
+                    tid=self.node_id,
+                    args={"detection": record.detection_id},
+                )
+                cursor += dur
         self.completed_detections.append(record)
 
     def _resolve_conditions(

@@ -1,0 +1,87 @@
+"""Structured trace records and the clock-domain conventions.
+
+Events follow the Chrome ``trace_event`` vocabulary (phase codes
+``"X"`` complete, ``"i"`` instant, ``"C"`` counter) so the exporter is
+a direct serialization. Timestamps are microseconds; two process ids
+separate the reproduction's two clock domains:
+
+* :data:`PID_ENGINE` — the virtual MPI runtime, wall-clock time
+  (``time.perf_counter`` relative to the tracer epoch); ``tid`` is the
+  application rank.
+* :data:`PID_TBON` — the tool network, *simulated* seconds scaled to
+  microseconds; ``tid`` is the TBON node id.
+
+Keeping the domains on separate pids means Perfetto renders them as
+separate processes instead of interleaving incomparable clocks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Virtual-runtime events (wall clock, tid = application rank).
+PID_ENGINE = 1
+#: TBON events (simulated clock, tid = tool node id).
+PID_TBON = 2
+
+_PID_NAMES = {
+    PID_ENGINE: "engine (wall clock)",
+    PID_TBON: "tbon (simulated clock)",
+}
+
+
+@dataclass
+class TraceEvent:
+    """One structured event (one JSON object in every exporter)."""
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    pid: int = 0
+    tid: int = 0
+    dur: Optional[float] = None
+    args: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            name=data["name"],
+            cat=data.get("cat", ""),
+            ph=data.get("ph", "i"),
+            ts=data["ts"],
+            pid=data.get("pid", 0),
+            tid=data.get("tid", 0),
+            dur=data.get("dur"),
+            args=data.get("args"),
+        )
+
+
+def process_name_metadata() -> list:
+    """Chrome ``M``-phase records naming the two clock domains."""
+    return [
+        TraceEvent(
+            name="process_name",
+            cat="__metadata",
+            ph="M",
+            ts=0.0,
+            pid=pid,
+            args={"name": label},
+        )
+        for pid, label in _PID_NAMES.items()
+    ]

@@ -1,0 +1,85 @@
+"""Exporters: JSONL event streams and Chrome ``trace_event`` files.
+
+The Chrome exporter writes the *object* form of the trace-event format
+(a top-level dict with ``traceEvents``), which both ``chrome://tracing``
+and Perfetto load directly. Run metadata — workload name, verdict, and
+the full metrics snapshot — rides along under the top-level ``repro``
+key (the format explicitly allows extra keys), so one file is both the
+visual trace and the machine-readable input of ``repro stats``.
+"""
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import TraceEvent, process_name_metadata
+from repro.obs.tracer import Tracer
+from repro.util.errors import TraceError
+
+#: Version of the ``repro`` metadata block inside trace files.
+RUN_FORMAT_VERSION = 1
+
+
+def chrome_trace_document(
+    tracer: Tracer, *, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The full Chrome trace-event document for one run."""
+    events = process_name_metadata() + list(tracer.events)
+    doc: Dict[str, Any] = {
+        "traceEvents": [event.to_json() for event in events],
+        "displayTimeUnit": "ms",
+        "repro": {
+            "version": RUN_FORMAT_VERSION,
+            "dropped_events": tracer.dropped,
+            **(metadata or {}),
+        },
+    }
+    return doc
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, *, metadata: Optional[Dict[str, Any]] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_document(tracer, metadata=metadata), handle)
+        handle.write("\n")
+
+
+def write_jsonl(path: str, tracer: Tracer) -> None:
+    """One event per line — greppable, streamable, append-friendly."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in tracer.events:
+            handle.write(json.dumps(event.to_json()) + "\n")
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_json(json.loads(line)))
+            except (ValueError, KeyError) as exc:
+                raise TraceError(
+                    f"{path}:{lineno}: malformed event record: {exc}"
+                ) from exc
+    return events
+
+
+def load_run(path: str) -> Dict[str, Any]:
+    """Load a ``--obs-out`` trace file, validating the ``repro`` block."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except ValueError as exc:
+            raise TraceError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise TraceError("not a Chrome trace-event document")
+    meta = doc.get("repro")
+    if not isinstance(meta, dict) or "metrics" not in meta:
+        raise TraceError(
+            "no 'repro' run metadata (was this written by --obs-out?)"
+        )
+    return doc

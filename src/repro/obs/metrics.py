@@ -1,0 +1,223 @@
+"""Counters, gauges, histograms: the metrics half of `repro.obs`.
+
+:class:`MetricsRegistry` keys instruments by dotted names (e.g.
+``tbon.sent.PassSend``, ``detection.phase.synchronization``) and is the
+generalization of :class:`repro.perf.timers.PhaseTimers`: phase
+breakdowns merge into histograms under ``detection.phase.*`` so the
+same registry holds protocol traffic, wait-state dwell times, and the
+Figure 10(b)/11(b) activity groups.
+
+:class:`NullMetricsRegistry` is the disabled backend: it hands out
+shared no-op instruments and snapshots empty, so unguarded call sites
+stay safe and guarded ones cost one attribute check.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; the high-water mark is kept alongside."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+
+class Histogram:
+    """Stores raw observations; percentiles use linear interpolation."""
+
+    __slots__ = ("_values", "_sorted")
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._values)
+
+    def _ordered(self) -> List[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0 <= p <= 100), linearly interpolated.
+
+        Uses the standard "linear" (inclusive) method: rank
+        ``(n - 1) * p / 100`` interpolated between neighbours.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        ordered = self._ordered()
+        if not ordered:
+            raise ValueError("percentile of an empty histogram")
+        rank = (len(ordered) - 1) * p / 100.0
+        low = int(rank)
+        frac = rank - low
+        if frac == 0.0 or low + 1 >= len(ordered):
+            return ordered[low]
+        return ordered[low] * (1.0 - frac) + ordered[low + 1] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if not self._values:
+            return {"count": 0, "sum": 0.0}
+        ordered = self._ordered()
+        total = sum(ordered)
+        return {
+            "count": len(ordered),
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first touch."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    # -- convenience ----------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def merge_phase_breakdown(
+        self,
+        breakdown: Mapping[str, float],
+        *,
+        prefix: str = "detection.phase.",
+    ) -> None:
+        """Fold a PhaseTimers-style breakdown into phase histograms."""
+        for phase, seconds in breakdown.items():
+            self.observe(prefix + phase, seconds)
+
+    # -- export ---------------------------------------------------------
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """``suffix -> value`` for counters under a dotted prefix."""
+        return {
+            name[len(prefix):]: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable view of every instrument."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": g.value, "max": g.max_value}
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled backend: shared inert instruments, empty snapshot."""
+
+    enabled = False
+
+    class _NullCounter(Counter):
+        __slots__ = ()
+
+        def inc(self, n: int = 1) -> None:
+            pass
+
+    class _NullGauge(Gauge):
+        __slots__ = ()
+
+        def set(self, value: float) -> None:
+            pass
+
+    class _NullHistogram(Histogram):
+        __slots__ = ()
+
+        def observe(self, value: float) -> None:
+            pass
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = self._NullCounter()
+        self._null_gauge = self._NullGauge()
+        self._null_histogram = self._NullHistogram()
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_histogram

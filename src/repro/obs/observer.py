@@ -1,0 +1,49 @@
+"""The observer: one handle bundling tracer + metrics.
+
+Every instrumented component takes an :class:`Observer` (defaulting to
+:data:`NULL_OBSERVER`). The contract for hot paths is::
+
+    if obs.enabled:
+        obs.metrics.inc(...)
+        obs.tracer.instant(...)
+
+so a disabled run pays one attribute check per instrumentation site.
+Call sites off the hot path may use the tracer/metrics unguarded — the
+null backends are inert.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
+
+
+class Observer:
+    """Tracing + metrics behind a single enabled flag."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(
+        self,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+
+#: The default backend: disabled, with inert tracer and metrics.
+NULL_OBSERVER = Observer(
+    tracer=NullTracer(), metrics=NullMetricsRegistry(), enabled=False
+)
+
+
+def make_observer(enabled: bool = True) -> Observer:
+    """A live observer (or the shared null one when disabled)."""
+    if not enabled:
+        return NULL_OBSERVER
+    return Observer()

@@ -1,0 +1,125 @@
+"""Summary tables for ``repro stats`` and ``--obs`` runs.
+
+Renders a metrics snapshot (:meth:`MetricsRegistry.snapshot`) into the
+two tables the paper's evaluation revolves around:
+
+* per-message-type tool traffic — sends, bytes, and deliveries for
+  every protocol message (``PassSend``, ``RecvActive``,
+  ``RecvActiveAck``, ``CollectiveReady``, ``CollectiveAck``, the
+  Section 5 detection messages, …); and
+* the five-phase detection-time breakdown of Figures 10(b)/11(b)
+  (synchronization, WFG gather, graph build, deadlock check, output
+  generation) with per-phase shares — reproduced from the actual run's
+  registry, not from the cost model.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.perf.timers import ALL_PHASES
+
+#: Counter prefixes written by the Network instrumentation.
+SENT_PREFIX = "tbon.sent."
+SENT_BYTES_PREFIX = "tbon.sent_bytes."
+RECV_PREFIX = "tbon.recv."
+#: Histogram prefix for the detection phases.
+PHASE_PREFIX = "detection.phase."
+
+
+def _with_prefix(counters: Mapping[str, int], prefix: str) -> Dict[str, int]:
+    return {
+        name[len(prefix):]: value
+        for name, value in counters.items()
+        if name.startswith(prefix)
+    }
+
+
+def render_message_table(snapshot: Mapping[str, object]) -> List[str]:
+    counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+    sent = _with_prefix(counters, SENT_PREFIX)
+    sent_bytes = _with_prefix(counters, SENT_BYTES_PREFIX)
+    received = _with_prefix(counters, RECV_PREFIX)
+    types = sorted(set(sent) | set(received))
+    lines = [
+        f"{'message type':<24} {'sent':>10} {'bytes':>12} {'received':>10}"
+    ]
+    if not types:
+        lines.append("  (no tool messages recorded)")
+        return lines
+    total_sent = total_bytes = total_recv = 0
+    for mtype in types:
+        s = sent.get(mtype, 0)
+        b = sent_bytes.get(mtype, 0)
+        r = received.get(mtype, 0)
+        total_sent += s
+        total_bytes += b
+        total_recv += r
+        lines.append(f"{mtype:<24} {s:>10,} {b:>12,} {r:>10,}")
+    lines.append(
+        f"{'total':<24} {total_sent:>10,} {total_bytes:>12,} "
+        f"{total_recv:>10,}"
+    )
+    return lines
+
+
+def render_phase_table(snapshot: Mapping[str, object]) -> List[str]:
+    histograms: Mapping[str, Mapping[str, float]] = snapshot.get(
+        "histograms", {}
+    )  # type: ignore[assignment]
+    sums: Dict[str, float] = {}
+    for name, summary in histograms.items():
+        if name.startswith(PHASE_PREFIX):
+            sums[name[len(PHASE_PREFIX):]] = float(summary.get("sum", 0.0))
+    # Canonical order first, then any extra phases a future layer adds.
+    phases = list(ALL_PHASES) + sorted(p for p in sums if p not in ALL_PHASES)
+    total = sum(sums.values())
+    lines = [f"{'detection phase':<24} {'total ms':>12} {'share':>8}"]
+    for phase in phases:
+        seconds = sums.get(phase, 0.0)
+        share = (seconds / total * 100.0) if total > 0 else 0.0
+        lines.append(f"{phase:<24} {seconds * 1e3:>12.3f} {share:>7.1f}%")
+    lines.append(f"{'total':<24} {total * 1e3:>12.3f} {100.0:>7.1f}%")
+    return lines
+
+
+def render_wait_table(snapshot: Mapping[str, object]) -> List[str]:
+    """Wait-state dwell-time histograms (per rank), if any."""
+    histograms: Mapping[str, Mapping[str, float]] = snapshot.get(
+        "histograms", {}
+    )  # type: ignore[assignment]
+    prefix = "waitstate.dwell.rank"
+    rows = []
+    for name in sorted(histograms):
+        if not name.startswith(prefix):
+            continue
+        rank = name[len(prefix):]
+        s = histograms[name]
+        if not s.get("count"):
+            continue
+        rows.append(
+            f"{'rank ' + rank:<10} {int(s['count']):>8} "
+            f"{s['mean'] * 1e6:>12.2f} {s['p50'] * 1e6:>12.2f} "
+            f"{s['p99'] * 1e6:>12.2f} {s['max'] * 1e6:>12.2f}"
+        )
+    if not rows:
+        return []
+    header = (
+        f"{'wait dwell':<10} {'blocks':>8} {'mean us':>12} {'p50 us':>12} "
+        f"{'p99 us':>12} {'max us':>12}"
+    )
+    return [header] + rows
+
+
+def render_summary(snapshot: Mapping[str, object]) -> List[str]:
+    """The full ``repro stats`` body: traffic, phases, wait states."""
+    lines = ["-- tool message traffic (per message type) --"]
+    lines += render_message_table(snapshot)
+    lines.append("")
+    lines.append("-- detection-time breakdown (Fig. 10(b)/11(b) phases) --")
+    lines += render_phase_table(snapshot)
+    waits = render_wait_table(snapshot)
+    if waits:
+        lines.append("")
+        lines.append("-- wait-state dwell times --")
+        lines += waits
+    return lines

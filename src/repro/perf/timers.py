@@ -12,14 +12,18 @@ from contextlib import contextmanager
 from typing import Dict, Iterator
 
 #: Canonical phase names, in the paper's presentation order.
-PHASE_SYNchronization = "synchronization"
+PHASE_SYNCHRONIZATION = "synchronization"
 PHASE_WFG_GATHER = "wfg_gather"
 PHASE_GRAPH_BUILD = "graph_build"
 PHASE_DEADLOCK_CHECK = "deadlock_check"
 PHASE_OUTPUT = "output_generation"
 
+#: Deprecated misspelled alias of :data:`PHASE_SYNCHRONIZATION`; kept
+#: for one release, remove in the next.
+PHASE_SYNchronization = PHASE_SYNCHRONIZATION
+
 ALL_PHASES = (
-    PHASE_SYNchronization,
+    PHASE_SYNCHRONIZATION,
     PHASE_WFG_GATHER,
     PHASE_GRAPH_BUILD,
     PHASE_DEADLOCK_CHECK,

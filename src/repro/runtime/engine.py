@@ -31,6 +31,8 @@ from repro.mpi.constants import (
 )
 from repro.mpi.ops import Operation, OpRef
 from repro.mpi.trace import CollectiveMatch, MatchedTrace, PendingCollective, Trace
+from repro.obs.events import PID_ENGINE
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.runtime.matchstate import CollectiveWave, MatchState, PendingSend
 from repro.runtime.program import Call, Rank, Status
 from repro.runtime.scheduler import Scheduler
@@ -118,9 +120,11 @@ class Engine:
         scheduler_policy: str = "random",
         wildcard_policy: str = "random",
         max_steps: int = 10_000_000,
+        observer: Observer | None = None,
     ) -> None:
         if not programs:
             raise ValueError("need at least one rank program")
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self.semantics = semantics or BlockingSemantics.relaxed()
         self.comms = CommRegistry(len(programs))
         self.match = MatchState(seed=seed, wildcard_policy=wildcard_policy)
@@ -158,14 +162,29 @@ class Engine:
 
     def run(self) -> RunResult:
         steps = 0
+        obs = self.obs
+        run_start = obs.tracer.now_us() if obs.enabled else 0.0
         while self._runnable:
             steps += 1
             if steps > self.max_steps:
                 raise ReproError(
                     f"engine exceeded {self.max_steps} steps (livelock?)"
                 )
+            if obs.enabled:
+                obs.metrics.gauge("engine.runnable").set(len(self._runnable))
             rank = self.scheduler.pick(self._runnable)
             self._step(rank)
+        if obs.enabled:
+            obs.metrics.inc("engine.steps", steps)
+            obs.tracer.complete(
+                "engine.run",
+                cat="engine",
+                ts=run_start,
+                dur=obs.tracer.now_us() - run_start,
+                pid=PID_ENGINE,
+                tid=0,
+                args={"steps": steps, "ranks": len(self._ranks)},
+            )
         hung = {
             rs.rank: rs.blocked_ref
             for rs in self._ranks
@@ -243,6 +262,17 @@ class Engine:
     # call issue & completion
     # ------------------------------------------------------------------
 
+    def _observe_op(self, op: Operation) -> None:
+        """Count and trace one recorded operation (observability)."""
+        self.obs.metrics.inc(f"engine.ops.{op.kind.name}")
+        self.obs.tracer.instant(
+            op.kind.name,
+            cat="engine.op",
+            pid=PID_ENGINE,
+            tid=op.rank,
+            args={"ts": op.ts},
+        )
+
     def _record(self, rank: int, call: Call) -> Operation:
         ts = len(self._seqs[rank])
         request: Optional[int] = None
@@ -273,6 +303,8 @@ class Engine:
             location=call.location,
         )
         self._seqs[rank].append(op)
+        if self.obs.enabled:
+            self._observe_op(op)
         return op
 
     def _issue(self, rank: int, call: Call) -> None:
@@ -346,6 +378,8 @@ class Engine:
             location=call.location,
         )
         self._seqs[rank].append(op)
+        if self.obs.enabled:
+            self._observe_op(op)
         self._persistent[(rank, handle)] = _PersistentReq(
             handle=handle,
             rank=rank,
@@ -389,6 +423,8 @@ class Engine:
             location=call.location,
         )
         self._seqs[rank].append(op)
+        if self.obs.enabled:
+            self._observe_op(op)
         preq.active_instance = instance
         if op.peer == PROC_NULL:
             req = self._register_request(op, is_send=preq.is_send)
@@ -807,6 +843,7 @@ def run_programs(
     scheduler_policy: str = "random",
     wildcard_policy: str = "random",
     max_steps: int = 10_000_000,
+    observer: Observer | None = None,
 ) -> RunResult:
     """Execute ``programs`` on the virtual runtime and return the result."""
     engine = Engine(
@@ -816,5 +853,6 @@ def run_programs(
         scheduler_policy=scheduler_policy,
         wildcard_policy=wildcard_policy,
         max_steps=max_steps,
+        observer=observer,
     )
     return engine.run()

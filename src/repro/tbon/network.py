@@ -21,6 +21,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
+from repro.obs.events import PID_TBON
+from repro.obs.observer import NULL_OBSERVER, Observer
+
 
 class Node(Protocol):
     """Anything attachable to the network."""
@@ -82,10 +85,12 @@ class Network:
         *,
         node_cost: float = 0.0,
         max_events: int = 200_000_000,
+        observer: Observer | None = None,
     ) -> None:
         self._latency = latency_model or fixed_latency()
         self._node_cost = node_cost
         self._max_events = max_events
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self._nodes: Dict[int, Node] = {}
         self._queue: List[_Event] = []
         self._seq = itertools.count()
@@ -128,6 +133,10 @@ class Network:
         )
         self.messages_sent += 1
         self.bytes_sent += size
+        if self.obs.enabled:
+            mtype = type(msg).__name__
+            self.obs.metrics.inc(f"tbon.sent.{mtype}")
+            self.obs.metrics.inc(f"tbon.sent_bytes.{mtype}", size)
 
     def call_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at an absolute simulated time."""
@@ -170,6 +179,20 @@ class Network:
                 start = max(self._now, self._busy_until.get(event.dst, 0.0))
                 self._busy_until[event.dst] = start + self._node_cost
                 self._now = max(self._now, start)
+            if self.obs.enabled:
+                mtype = type(event.msg).__name__
+                self.obs.metrics.inc(f"tbon.recv.{mtype}")
+                self.obs.metrics.gauge("tbon.queue_depth").set(
+                    len(self._queue)
+                )
+                self.obs.tracer.instant(
+                    mtype,
+                    cat="tbon.deliver",
+                    ts=self._now * 1e6,
+                    pid=PID_TBON,
+                    tid=event.dst,
+                    args={"src": event.src},
+                )
             node.handle(event.msg, self, event.src)
         return self._now
 
