@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A wildcard deadlock that hides from single-schedule analysis.
+
+Rank 0 posts ``MPI_Recv(MPI_ANY_SOURCE)`` and then a receive directed
+at rank 1; ranks 1 and 2 each send one message to rank 0. Whether the
+program completes depends on a single wildcard matching decision:
+
+* wildcard takes rank 2's message -> the directed receive pairs with
+  rank 1, everything completes;
+* wildcard takes rank 1's message -> rank 1 has nothing left to send,
+  rank 0 blocks forever in ``Recv(source=1)`` and rank 2's rendezvous
+  send never pairs.
+
+A single run (or ``repro lint``'s deterministic sequential matching)
+cannot decide this —  lint reports `wildcard-unsupported` and defers.
+``repro verify`` explores both matchings, classifies the program
+`deadlock-possible`, and emits a witness schedule that replays to a
+real runtime deadlock:
+
+    python -m repro verify examples/wildcard_master_worker.py --replay
+
+Run directly (python examples/wildcard_master_worker.py) to see the
+exploration, the witness, and its replay end to end.
+"""
+from repro.analysis import Verdict, verify_path
+from repro.workloads import wildcard_master_worker_programs
+
+#: Program set ``repro lint`` / ``repro verify`` analyze for this
+#: module (the ranks run different programs, so a plain module-level
+#: program + LINT_RANKS would not describe it).
+LINT_PROGRAMS = wildcard_master_worker_programs()
+
+
+def main() -> None:
+    report = verify_path(__file__, replay=True)
+    for prog in report.programs:
+        result = prog.result
+        print(f"{prog.label}: {prog.verdict_name}")
+        if result is None:
+            print(f"  skipped: {prog.skipped_reason}")
+            continue
+        stats = result.stats
+        print(
+            f"  explored {stats.states_explored} states "
+            f"({stats.states_pruned} pruned, {stats.memo_hits} memo hits)"
+        )
+        if result.verdict is not Verdict.DEADLOCK_POSSIBLE:
+            continue
+        witness = prog.witness
+        print(f"  deadlocked ranks: {sorted(result.deadlocked)}")
+        print(f"  witness schedule: {witness.schedule}")
+        for (rank, ts), src in sorted(witness.pinnings.items()):
+            print(
+                f"  wildcard pinning: recv at rank {rank} ts {ts} "
+                f"must take the message from rank {src}"
+            )
+        replay = prog.replay
+        if replay is not None:
+            verdictword = "confirmed" if replay.confirmed else "NOT confirmed"
+            print(f"  replay: {verdictword} runtime deadlock")
+            if replay.analysis is not None:
+                print(
+                    "  runtime analysis blames ranks "
+                    f"{sorted(replay.runtime_deadlocked)}"
+                )
+
+
+if __name__ == "__main__":
+    main()

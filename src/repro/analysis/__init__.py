@@ -5,27 +5,63 @@ This package is the pre-execution counterpart of the runtime detector:
 static sequence extraction + deterministic sequential matching) and
 over recorded ``.json`` traces, producing
 :class:`~repro.checks.findings.CheckFinding` records without ever
-starting the engine.
+starting the engine. ``repro verify`` goes further for wildcard
+programs: it explores the full match-set state graph
+(:mod:`repro.analysis.explore`) and backs every `deadlock-possible`
+verdict with a replayable witness schedule
+(:mod:`repro.analysis.witness`).
 """
 from repro.analysis.astlint import find_rank_programs, lint_source
-from repro.analysis.driver import DEFAULT_RANKS, LintReport, lint_path
+from repro.analysis.driver import (
+    DEFAULT_RANKS,
+    LintReport,
+    ProgramVerification,
+    VerifyReport,
+    lint_path,
+    verify_path,
+)
+from repro.analysis.explore import (
+    ExplorationUnsupported,
+    ExploreResult,
+    ExploreStats,
+    Verdict,
+    explore_extraction,
+    explore_sequences,
+)
 from repro.analysis.extract import Extraction, extract_programs
 from repro.analysis.seqmatch import StaticMatchResult, match_sequences
 from repro.analysis.typestate import (
     check_collective_consistency,
     check_request_typestate,
 )
+from repro.analysis.witness import (
+    ReplayOutcome,
+    WitnessSchedule,
+    replay_witness,
+)
 
 __all__ = [
     "DEFAULT_RANKS",
+    "ExplorationUnsupported",
+    "ExploreResult",
+    "ExploreStats",
     "Extraction",
     "LintReport",
+    "ProgramVerification",
+    "ReplayOutcome",
     "StaticMatchResult",
+    "Verdict",
+    "VerifyReport",
+    "WitnessSchedule",
     "check_collective_consistency",
     "check_request_typestate",
+    "explore_extraction",
+    "explore_sequences",
     "extract_programs",
     "find_rank_programs",
     "lint_path",
     "lint_source",
     "match_sequences",
+    "replay_witness",
+    "verify_path",
 ]

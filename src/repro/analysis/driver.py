@@ -28,14 +28,29 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.analysis.astlint import lint_source
+from repro.analysis.explore import (
+    ExplorationUnsupported,
+    ExploreResult,
+    Verdict,
+    explore_extraction,
+)
 from repro.analysis.extract import Extraction, extract_programs
 from repro.analysis.seqmatch import StaticMatchResult, match_sequences
 from repro.analysis.typestate import (
     check_collective_consistency,
     check_request_typestate,
 )
-from repro.checks.findings import CheckFinding, Severity
+from repro.analysis.witness import ReplayOutcome, WitnessSchedule, replay_witness
+from repro.checks.findings import (
+    CHECK_STATIC_DEADLOCK,
+    CHECK_VERIFY_BOUND,
+    CHECK_VERIFY_DEADLOCK,
+    CHECK_WILDCARD_UNSUPPORTED,
+    CheckFinding,
+    Severity,
+)
 from repro.mpi.serialize import load_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.util.errors import ReproError
 
 #: Default virtual world size for statically analyzed programs.
@@ -92,7 +107,7 @@ def _lint_python(path: str, ranks: int) -> LintReport:
         )
         return report
     report.findings.extend(findings)
-    if not programs:
+    if not programs and not _has_explicit_programs(source):
         report.notes.append(
             "no module-level rank programs found; AST lint only"
         )
@@ -106,6 +121,25 @@ def _lint_python(path: str, ranks: int) -> LintReport:
     for label, program_set in program_sets:
         _analyze_program_set(label, program_set, report)
     return report
+
+
+def _has_explicit_programs(source: str) -> bool:
+    """Whether the module assigns a top-level ``LINT_PROGRAMS`` list
+    (checked on the AST so program-less files are never imported)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return False
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "LINT_PROGRAMS":
+                return True
+    return False
 
 
 def _import_module(path: str, report: LintReport):
@@ -177,12 +211,17 @@ def _analyze_program_set(
             hung_ranks=extraction.truncated,
         )
     )
-    if not extraction.exact:
+    if not extraction.exact and not (
+        extraction.wildcard_exact and not extraction.truncated
+    ):
         report.notes.append(
             f"{label}: control flow may depend on runtime outcomes; "
             "sequential deadlock matching skipped"
         )
         return
+    # Wildcard-exact sequences reach the matcher so its refusal
+    # becomes a structured `wildcard-unsupported` finding pointing at
+    # `repro verify` (instead of an opaque note).
     result = match_sequences(extraction.sequences, extraction.comms)
     _report_match(label, result, extraction, report)
 
@@ -194,9 +233,19 @@ def _report_match(
     report: LintReport,
 ) -> None:
     if not result.applicable:
-        report.notes.append(
-            f"{label}: {result.reason_skipped}"
-        )
+        if result.skipped_check == CHECK_WILDCARD_UNSUPPORTED:
+            report.findings.append(
+                CheckFinding(
+                    check=CHECK_WILDCARD_UNSUPPORTED,
+                    severity=Severity.INFO,
+                    rank=None,
+                    message=f"{label}: {result.reason_skipped}",
+                )
+            )
+        else:
+            report.notes.append(
+                f"{label}: {result.reason_skipped}"
+            )
         return
     if not result.has_deadlock:
         return
@@ -208,7 +257,7 @@ def _report_match(
         op = result.blocked_ops.get(rank)
         report.findings.append(
             CheckFinding(
-                check="static-deadlock",
+                check=CHECK_STATIC_DEADLOCK,
                 severity=Severity.ERROR,
                 rank=rank,
                 message=(
@@ -220,6 +269,211 @@ def _report_match(
                 location=op.location if op else "",
             )
         )
+
+
+# ----------------------------------------------------------------------
+# Bounded verification (``repro verify``)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ProgramVerification:
+    """Verdict of the match-set explorer for one program set."""
+
+    label: str
+    result: Optional[ExploreResult] = None
+    witness: Optional[WitnessSchedule] = None
+    replay: Optional[ReplayOutcome] = None
+    findings: List[CheckFinding] = field(default_factory=list)
+    #: Why exploration did not run (checker errors, inexact sequences).
+    skipped_reason: str = ""
+
+    @property
+    def verdict_name(self) -> str:
+        """The verdict string, or ``"inconclusive"`` when skipped."""
+        if self.result is None:
+            return "inconclusive"
+        return self.result.verdict.value
+
+
+@dataclass
+class VerifyReport:
+    """Everything ``repro verify`` learned about one path."""
+
+    path: str
+    programs: List[ProgramVerification] = field(default_factory=list)
+    findings: List[CheckFinding] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def errors(self) -> List[CheckFinding]:
+        all_findings = list(self.findings)
+        for prog in self.programs:
+            all_findings.extend(prog.findings)
+        return [f for f in all_findings if f.severity is Severity.ERROR]
+
+    @property
+    def has_deadlock(self) -> bool:
+        return any(
+            p.result is not None and p.result.has_deadlock
+            for p in self.programs
+        )
+
+    @property
+    def inconclusive(self) -> bool:
+        """Any program set without a definite verdict (skipped or
+        bound-exceeded)."""
+        return any(
+            p.result is None
+            or p.result.verdict is Verdict.BOUND_EXCEEDED
+            for p in self.programs
+        )
+
+
+def verify_path(
+    path: str,
+    *,
+    ranks: int = DEFAULT_RANKS,
+    max_states: int = 200_000,
+    max_depth: int = 1_000_000,
+    por: bool = True,
+    replay: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+) -> VerifyReport:
+    """Bounded wildcard-aware verification of a rank-program file.
+
+    Extracts every discovered program set, runs the consistency
+    checkers, and — when the sequences are exact up to wildcard
+    statuses — explores the full match-set state graph. A
+    `deadlock-possible` verdict carries a witness schedule;
+    ``replay=True`` additionally feeds it back through the runtime
+    engine to confirm the deadlock dynamically.
+    """
+    if path.endswith(".json"):
+        raise ReproError(
+            "verify needs rank programs to explore (and replay); "
+            "recorded traces are analyzed by `repro lint` / "
+            "`repro analyze`"
+        )
+    report = VerifyReport(path=path)
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        _, programs = lint_source(source, path)
+    except SyntaxError as exc:
+        raise ReproError(
+            f"source does not parse: {exc.msg} "
+            f"({path}:{exc.lineno or 1})"
+        ) from exc
+    if not programs and not _has_explicit_programs(source):
+        report.notes.append("no module-level rank programs found")
+        return report
+    module = _import_module(path, report)
+    if module is None:
+        raise ReproError(f"cannot import {path}: {report.notes[-1]}")
+
+    lint_shim = LintReport(path=path)
+    program_sets = _program_sets(module, programs, ranks, lint_shim)
+    report.notes.extend(lint_shim.notes)
+    for label, program_set in program_sets:
+        report.programs.append(
+            _verify_program_set(
+                label,
+                program_set,
+                max_states=max_states,
+                max_depth=max_depth,
+                por=por,
+                replay=replay,
+                metrics=metrics,
+            )
+        )
+    return report
+
+
+def _verify_program_set(
+    label: str,
+    program_set: Sequence,
+    *,
+    max_states: int,
+    max_depth: int,
+    por: bool,
+    replay: bool,
+    metrics: Optional[MetricsRegistry],
+) -> ProgramVerification:
+    prog = ProgramVerification(label=label)
+    try:
+        extraction = extract_programs(program_set)
+    except ReproError as exc:
+        prog.skipped_reason = f"extraction failed ({exc})"
+        return prog
+    prog.findings.extend(extraction.notes)
+    prog.findings.extend(check_request_typestate(extraction.sequences))
+    prog.findings.extend(
+        check_collective_consistency(
+            extraction.sequences,
+            extraction.comms,
+            hung_ranks=extraction.truncated,
+        )
+    )
+    if any(f.severity is Severity.ERROR for f in prog.findings):
+        # The engine would reject these programs (usage errors); an
+        # exploration verdict would be meaningless.
+        prog.skipped_reason = (
+            "consistency checks reported errors; fix those first"
+        )
+        return prog
+    try:
+        prog.result = explore_extraction(
+            extraction,
+            max_states=max_states,
+            max_depth=max_depth,
+            por=por,
+            metrics=metrics,
+            label=label,
+        )
+    except ExplorationUnsupported as exc:
+        prog.skipped_reason = str(exc)
+        return prog
+    result = prog.result
+    if result.verdict is Verdict.BOUND_EXCEEDED:
+        prog.findings.append(
+            CheckFinding(
+                check=CHECK_VERIFY_BOUND,
+                severity=Severity.WARNING,
+                rank=None,
+                message=(
+                    f"{label}: exploration stopped early ({result.reason}) "
+                    f"after {result.stats.states_explored} states; "
+                    "NOT a deadlock-freedom proof — raise --max-states/"
+                    "--max-depth for a verdict"
+                ),
+            )
+        )
+        return prog
+    if not result.has_deadlock:
+        return prog
+    prog.witness = result.witness
+    cycle = ""
+    if result.witness_cycle:
+        chain = " -> ".join(str(r) for r in result.witness_cycle)
+        cycle = f"; dependency cycle {chain} -> {result.witness_cycle[0]}"
+    for rank in result.deadlocked:
+        ref = result.blocked_ops.get(rank)
+        cond = result.conditions.get(rank)
+        prog.findings.append(
+            CheckFinding(
+                check=CHECK_VERIFY_DEADLOCK,
+                severity=Severity.ERROR,
+                rank=rank,
+                message=(
+                    f"{label}: a feasible schedule deadlocks rank {rank} "
+                    f"at {cond.op_description if cond else 'its op'}"
+                    f"{cycle}"
+                ),
+                op=ref,
+            )
+        )
+    if replay and prog.witness is not None:
+        prog.replay = replay_witness(list(program_set), prog.witness)
+    return prog
 
 
 # ----------------------------------------------------------------------

@@ -65,6 +65,12 @@ class Extraction:
     #: Whether the sequences provably equal what the engine would
     #: record (no fabricated result could have steered control flow).
     exact: bool
+    #: Weaker guarantee for the match-set explorer: the sequences are
+    #: exact *except* that wildcard receive/probe statuses were
+    #: fabricated (with explicit ``ANY_SOURCE``/``ANY_TAG`` markers).
+    #: Programs that branch on a fabricated wildcard status are not
+    #: covered — a witness replay diverging is how that surfaces.
+    wildcard_exact: bool = True
     notes: List[CheckFinding] = field(default_factory=list)
     #: Ranks whose extraction stopped early (error, runaway loop, or a
     #: comm-management collective that never completed).
@@ -146,6 +152,7 @@ def extract_programs(
         if driver.parked:
             ext.truncated.add(driver.rank)
             ext.exact = False
+            ext.wildcard_exact = False
             ext.notes.append(
                 CheckFinding(
                     check="static-extraction",
@@ -216,6 +223,7 @@ def _truncate(driver: _RankDriver, ext: Extraction, message: str) -> None:
     driver.done = True
     ext.truncated.add(driver.rank)
     ext.exact = False
+    ext.wildcard_exact = False
     ext.notes.append(
         CheckFinding(
             check="static-extraction",
@@ -245,8 +253,11 @@ def _step(
     op = _record(driver, call)
     if kind in _INEXACT_RESULT_KINDS:
         ext.exact = False
+        ext.wildcard_exact = False
     if op.is_recv() or op.is_probe():
         if op.peer == ANY_SOURCE or op.tag == ANY_TAG:
+            # Wildcard statuses are fabricated markers (below); the
+            # sequences stay usable for wildcard-aware exploration.
             ext.exact = False
 
     if op.is_p2p() and op.peer == PROC_NULL:
@@ -255,9 +266,11 @@ def _step(
     if kind in (OpKind.SEND, OpKind.SSEND, OpKind.BSEND, OpKind.RSEND):
         driver.inbox = None
     elif kind in (OpKind.RECV, OpKind.PROBE):
-        source = op.peer if op.peer != ANY_SOURCE else 0
-        tag = op.tag if op.tag != ANY_TAG else 0
-        driver.inbox = Status(source, tag, op.nbytes)
+        # Wildcard envelopes keep their ANY_SOURCE/ANY_TAG markers: the
+        # true source/tag is a runtime matching decision, and silently
+        # pinning it (to, say, source 0) would fabricate a plausible but
+        # wrong value that programs could branch on undetected.
+        driver.inbox = Status(op.peer, op.tag, op.nbytes)
     elif kind is OpKind.IPROBE:
         driver.inbox = (False, None)
     elif kind in _ISEND_KINDS:
@@ -454,6 +467,7 @@ def _resolve_wave(wave: _WaveState, ext: Extraction) -> None:
         # Mismatched wave — the consistency checker reports it; feed
         # None so extraction can continue past the error.
         ext.exact = False
+        ext.wildcard_exact = False
         results = {r: None for r in wave.arrived}
     else:
         (kind,) = kinds
@@ -467,6 +481,7 @@ def _resolve_wave(wave: _WaveState, ext: Extraction) -> None:
             groups = {tuple(c.group or ()) for c in wave.arrived.values()}
             if len(groups) != 1:
                 ext.exact = False
+                ext.wildcard_exact = False
                 results = {r: None for r in wave.arrived}
             else:
                 (new_group,) = groups

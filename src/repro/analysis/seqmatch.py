@@ -58,6 +58,10 @@ class StaticMatchResult:
     graph: Optional[WaitForGraph] = None
     detection: Optional[DetectionResult] = None
     reason_skipped: str = ""
+    #: Machine-readable reason when ``applicable`` is False (e.g.
+    #: ``"wildcard-unsupported"``), so callers can report a structured
+    #: finding and route the program to the match-set explorer.
+    skipped_check: str = ""
 
     @property
     def has_deadlock(self) -> bool:
@@ -412,8 +416,10 @@ def match_sequences(
             reason_skipped=(
                 f"{wildcard.describe()} uses MPI_ANY_SOURCE with no "
                 "observed match; the sequential model only covers "
-                "deterministic matchings"
+                "deterministic matchings — use `repro verify` for "
+                "wildcard-aware match-set exploration"
             ),
+            skipped_check="wildcard-unsupported",
         )
 
     replay = _Replay(sequences, comms)

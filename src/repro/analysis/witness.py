@@ -1,0 +1,194 @@
+"""Replayable counterexample schedules for `deadlock-possible` verdicts.
+
+A witness produced by the match-set explorer pins down everything the
+virtual runtime leaves nondeterministic:
+
+* the **issue order** — one rank id per operation issued, consumed by
+  :class:`~repro.runtime.scheduler.ScriptedScheduler`; and
+* the **wildcard pinnings** — for every ``MPI_ANY_SOURCE`` receive that
+  matched along the witness path, the source it must take, consumed by
+  :class:`~repro.runtime.matchstate.MatchState`.
+
+Together these make the engine deterministic along the witness path,
+so ``repro verify --replay`` turns a static `deadlock-possible` claim
+into a reproduced runtime deadlock with the same WFG report the
+runtime detection path produces.
+
+The on-disk format is plain JSON (one object per witness) so CI can
+archive witnesses as artifacts and a later session can replay them.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.waitstate import DeadlockAnalysis, analyze_trace
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.ops import OpRef
+from repro.runtime.engine import RankProgram, RunResult, run_programs
+from repro.runtime.scheduler import ScriptedScheduler
+from repro.util.errors import ReproError
+from repro.wfg.compare import cycles_equivalent, deadlock_sets_agree
+
+#: Format tag written into every serialized witness.
+WITNESS_FORMAT = "repro-witness/1"
+
+
+@dataclass
+class WitnessSchedule:
+    """A concrete schedule that drives the runtime into a deadlock."""
+
+    num_ranks: int
+    #: Rank ids in operation-issue order, up to the deadlock state.
+    schedule: List[int]
+    #: Wildcard receive op ref -> the source it matched on this path.
+    pinnings: Dict[OpRef, int]
+    #: Ranks the static WFG check reported deadlocked.
+    deadlocked: Tuple[int, ...]
+    #: The operation each deadlocked/blocked rank is stuck in.
+    blocked_ops: Dict[int, OpRef]
+    #: A dependency cycle inside the deadlocked set (may be empty when
+    #: the deadlock hinges on a finished process, not a cycle).
+    witness_cycle: Tuple[int, ...] = ()
+    label: str = ""
+
+    # -- serialization --------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "format": WITNESS_FORMAT,
+            "label": self.label,
+            "num_ranks": self.num_ranks,
+            "schedule": list(self.schedule),
+            "pinnings": [
+                {"rank": ref[0], "ts": ref[1], "source": src}
+                for ref, src in sorted(self.pinnings.items())
+            ],
+            "deadlocked": list(self.deadlocked),
+            "blocked_ops": {
+                str(rank): [ref[0], ref[1]]
+                for rank, ref in sorted(self.blocked_ops.items())
+            },
+            "witness_cycle": list(self.witness_cycle),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "WitnessSchedule":
+        fmt = data.get("format")
+        if fmt != WITNESS_FORMAT:
+            raise ReproError(f"unsupported witness format {fmt!r}")
+        return cls(
+            num_ranks=int(data["num_ranks"]),  # type: ignore[arg-type]
+            schedule=[int(r) for r in data["schedule"]],  # type: ignore[union-attr]
+            pinnings={
+                (int(e["rank"]), int(e["ts"])): int(e["source"])
+                for e in data.get("pinnings", [])  # type: ignore[union-attr]
+            },
+            deadlocked=tuple(int(r) for r in data.get("deadlocked", ())),  # type: ignore[union-attr]
+            blocked_ops={
+                int(rank): (int(ref[0]), int(ref[1]))
+                for rank, ref in data.get("blocked_ops", {}).items()  # type: ignore[union-attr]
+            },
+            witness_cycle=tuple(
+                int(r) for r in data.get("witness_cycle", ())  # type: ignore[union-attr]
+            ),
+            label=str(data.get("label", "")),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WitnessSchedule":
+        return cls.from_json_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a witness through the runtime engine."""
+
+    #: The engine deadlocked AND the runtime analysis names the same
+    #: deadlocked ranks the static explorer predicted.
+    confirmed: bool
+    run: Optional[RunResult]
+    analysis: Optional[DeadlockAnalysis]
+    runtime_deadlocked: Tuple[int, ...] = ()
+    runtime_cycle: Tuple[int, ...] = ()
+    #: Static and runtime WFG witness cycles are rotations of each other.
+    cycles_match: bool = False
+    reason: str = ""
+
+
+def replay_witness(
+    programs: Sequence[RankProgram],
+    witness: WitnessSchedule,
+    *,
+    max_steps: int = 10_000_000,
+) -> ReplayOutcome:
+    """Replay ``witness`` on the strict-semantics engine and compare.
+
+    The replay uses the paper's strict blocking predicate ``b`` (the
+    semantics the explorer models): standard sends rendezvous and all
+    collectives synchronize, so a static deadlock manifests instead of
+    being masked by buffering.
+    """
+    if len(programs) != witness.num_ranks:
+        raise ReproError(
+            f"witness is for {witness.num_ranks} ranks, got "
+            f"{len(programs)} programs"
+        )
+    try:
+        run = run_programs(
+            programs,
+            semantics=BlockingSemantics.strict(),
+            scheduler=ScriptedScheduler(witness.schedule),
+            wildcard_pinnings=dict(witness.pinnings),
+            max_steps=max_steps,
+        )
+    except ReproError as exc:
+        return ReplayOutcome(
+            confirmed=False,
+            run=None,
+            analysis=None,
+            reason=f"replay failed: {exc}",
+        )
+    if not run.deadlocked:
+        return ReplayOutcome(
+            confirmed=False,
+            run=run,
+            analysis=None,
+            reason="replayed run completed without deadlocking",
+        )
+    analysis = analyze_trace(
+        run.matched,
+        semantics=BlockingSemantics.strict(),
+        generate_outputs=False,
+    )
+    runtime_deadlocked = analysis.deadlocked
+    runtime_cycle = tuple(analysis.detection.witness_cycle)
+    sets_agree = deadlock_sets_agree(runtime_deadlocked, witness.deadlocked)
+    cyc_match = cycles_equivalent(runtime_cycle, witness.witness_cycle)
+    reason = ""
+    if not sets_agree:
+        reason = (
+            f"runtime analysis blames ranks {sorted(runtime_deadlocked)}, "
+            f"witness predicted {sorted(witness.deadlocked)}"
+        )
+    elif not cyc_match:
+        reason = (
+            f"runtime WFG cycle {runtime_cycle} differs from witness "
+            f"cycle {witness.witness_cycle}"
+        )
+    return ReplayOutcome(
+        confirmed=sets_agree,
+        run=run,
+        analysis=analysis,
+        runtime_deadlocked=tuple(runtime_deadlocked),
+        runtime_cycle=runtime_cycle,
+        cycles_match=cyc_match,
+        reason=reason,
+    )

@@ -22,6 +22,20 @@ class Severity(enum.Enum):
     INFO = "info"
 
 
+# Check names shared between the analysis passes and their consumers
+# (CLI exit-code logic, tests, golden files). Passes that invent a
+# name ad hoc keep working; these are the cross-module ones.
+
+#: Deterministic sequential matching found a guaranteed deadlock.
+CHECK_STATIC_DEADLOCK = "static-deadlock"
+#: Sequential matching refused: unresolved MPI_ANY_SOURCE present.
+CHECK_WILDCARD_UNSUPPORTED = "wildcard-unsupported"
+#: The match-set explorer found a feasible deadlocking schedule.
+CHECK_VERIFY_DEADLOCK = "verify-deadlock"
+#: Exploration hit a state/depth bound before reaching a verdict.
+CHECK_VERIFY_BOUND = "verify-bound"
+
+
 @dataclass(frozen=True)
 class CheckFinding:
     """One reported issue of a correctness check.

@@ -12,9 +12,14 @@ Commands
 ``demo``     record + analyze a named workload in one step;
 ``lint``     statically analyze rank-program files or recorded traces
              without running the engine;
+``verify``   bounded wildcard-aware verification: explore every
+             feasible match-set of a rank-program file, classify it
+             `deadlock-free` / `deadlock-possible` / `bound-exceeded`,
+             and optionally replay the deadlock witness through the
+             engine (``--replay``);
 ``stats``    print the observability summary of a run recorded with
              ``--obs-out`` (per-message-type traffic, five-phase
-             detection-time breakdown);
+             detection-time breakdown, exploration counters);
 ``figures``  print the Figure 9 / Figure 12 model tables.
 
 Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
@@ -27,9 +32,12 @@ additionally writes a Chrome ``trace_event`` file (open it in
 ``--obs-jsonl FILE`` writes the raw event stream as JSONL.
 
 Exit codes: 0 — clean; 1 — a deadlock was detected (``analyze``,
-``demo``, and ``stats`` when the analyzed run recorded one) or an
-error-severity finding reported (``lint``); 2 — usage error (unknown
-workload, unreadable or malformed input).
+``demo``, and ``stats`` when the analyzed run recorded one), an
+error-severity finding reported (``lint``), or a `deadlock-possible`
+verdict (``verify``); 2 — usage error (unknown workload, unreadable
+or malformed input) or, for ``verify``, no deadlock but at least one
+program without a definite verdict (`bound-exceeded` / skipped) —
+`bound-exceeded` is NOT `deadlock-free`.
 """
 from __future__ import annotations
 
@@ -289,6 +297,110 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any_errors else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.analysis import verify_path
+    from repro.util.errors import ReproError
+
+    observer = _make_observer(args)
+    if args.witness_dir:
+        os.makedirs(args.witness_dir, exist_ok=True)
+
+    doc: Dict[str, Dict[str, Dict[str, object]]] = {}
+    any_deadlock = False
+    any_error = False
+    any_inconclusive = False
+    for path in args.paths:
+        try:
+            report = verify_path(
+                path,
+                ranks=args.ranks,
+                max_states=args.max_states,
+                max_depth=args.max_depth,
+                por=not args.no_por,
+                replay=args.replay,
+                metrics=observer.metrics,
+            )
+        except (OSError, ReproError) as exc:
+            print(f"verify: cannot analyze {path}: {exc}", file=sys.stderr)
+            return 2
+        doc[path] = {}
+        print(f"{path}:")
+        if not report.programs:
+            print("  (no rank programs found)")
+        for prog in report.programs:
+            entry: Dict[str, object] = {"verdict": prog.verdict_name}
+            result = prog.result
+            detail = ""
+            if result is None:
+                detail = f" — {prog.skipped_reason}"
+            elif result.has_deadlock:
+                any_deadlock = True
+                ranks = ", ".join(str(r) for r in result.deadlocked)
+                detail = f" — feasible deadlock of ranks {{{ranks}}}"
+                entry["deadlocked"] = list(result.deadlocked)
+                entry["witness_cycle"] = list(result.witness_cycle)
+            else:
+                detail = (
+                    f" ({result.stats.states_explored} states, "
+                    f"{result.stats.states_pruned} pruned)"
+                )
+                if result.verdict.value == "bound-exceeded":
+                    detail += f" — {result.reason}"
+            print(f"  {prog.label}: {prog.verdict_name}{detail}")
+            for finding in prog.findings:
+                print("    " + finding.render())
+            if prog.witness is not None and args.witness_dir:
+                stem = os.path.splitext(os.path.basename(path))[0]
+                wpath = os.path.join(
+                    args.witness_dir,
+                    f"{stem}__{prog.label}.witness.json",
+                )
+                prog.witness.save(wpath)
+                print(f"    wrote witness {wpath}")
+            if prog.replay is not None:
+                entry["replay_confirmed"] = prog.replay.confirmed
+                entry["replay_cycles_match"] = prog.replay.cycles_match
+                if prog.replay.confirmed:
+                    cyc = (
+                        "matching WFG cycle"
+                        if prog.replay.cycles_match
+                        else "cycle differs"
+                    )
+                    print(
+                        "    replay: confirmed runtime deadlock "
+                        f"({cyc})"
+                    )
+                else:
+                    print(
+                        "    replay: NOT confirmed — "
+                        f"{prog.replay.reason}"
+                    )
+                    any_error = True
+            doc[path][prog.label] = entry
+        for note in report.notes:
+            print(f"  note: {note}")
+        if report.errors():
+            any_error = True
+        if report.inconclusive:
+            any_inconclusive = True
+
+    if args.json_out:
+        payload = {"format": "repro-verify/1", "results": doc}
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    _finish_obs(observer, args, workload=None, deadlocked=any_deadlock)
+    if any_deadlock or any_error:
+        return 1
+    if any_inconclusive:
+        return 2
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     observer = _make_observer(args)
     matched = _run_workload(args.workload, args.ranks, args.seed, observer)
@@ -432,6 +544,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print analysis notes (skipped passes etc.)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    verify = sub.add_parser(
+        "verify",
+        help="bounded wildcard-aware deadlock verification with "
+        "replayable witnesses",
+    )
+    verify.add_argument(
+        "paths", nargs="+",
+        help="Python rank-program files (as for `repro lint`)",
+    )
+    verify.add_argument(
+        "-n", "--ranks", type=int, default=4,
+        help="virtual world size for extracted programs (default 4; "
+        "a module-level LINT_RANKS overrides it)",
+    )
+    verify.add_argument(
+        "--max-states", type=int, default=200_000,
+        help="state budget before bailing out with bound-exceeded "
+        "(default 200000)",
+    )
+    verify.add_argument(
+        "--max-depth", type=int, default=1_000_000,
+        help="schedule-depth budget before bound-exceeded "
+        "(default 1000000)",
+    )
+    verify.add_argument(
+        "--replay", action="store_true",
+        help="replay each deadlock witness through the runtime engine "
+        "to confirm it dynamically",
+    )
+    verify.add_argument(
+        "--no-por", action="store_true",
+        help="disable the partial-order reduction (naive enumeration; "
+        "for debugging and benchmarks)",
+    )
+    verify.add_argument(
+        "--witness-dir", metavar="DIR",
+        help="save every deadlock witness as JSON into this directory",
+    )
+    verify.add_argument(
+        "--json-out", metavar="FILE",
+        help="write a machine-readable verdict summary (for CI golden "
+        "comparisons)",
+    )
+    _add_obs_flags(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     stats = sub.add_parser(
         "stats",

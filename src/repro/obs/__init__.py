@@ -35,7 +35,7 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer, make_observer
-from repro.obs.stats import render_summary
+from repro.obs.stats import render_explore_table, render_summary
 from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = [
@@ -57,5 +57,6 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "load_run",
+    "render_explore_table",
     "render_summary",
 ]

@@ -110,8 +110,42 @@ def render_wait_table(snapshot: Mapping[str, object]) -> List[str]:
     return [header] + rows
 
 
+#: Counter prefix written by the match-set explorer (``repro verify``).
+VERIFY_PREFIX = "verify."
+
+#: Row order of the exploration table (raw counter name, row label).
+_VERIFY_ROWS = (
+    ("runs", "explorations"),
+    ("states_explored", "states explored"),
+    ("states_pruned", "states pruned (POR)"),
+    ("memo_hits", "memoization hits"),
+    ("transitions", "transitions"),
+    ("deadlocks_found", "deadlocks found"),
+    ("bound_exceeded", "bounds exceeded"),
+)
+
+
+def render_explore_table(snapshot: Mapping[str, object]) -> List[str]:
+    """Match-set exploration effort (``verify.*`` counters), if any."""
+    counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+    values = _with_prefix(counters, VERIFY_PREFIX)
+    if not values:
+        return []
+    lines = [f"{'exploration':<24} {'count':>12}"]
+    known = set()
+    for key, label in _VERIFY_ROWS:
+        known.add(key)
+        if key in values:
+            lines.append(f"{label:<24} {values[key]:>12,}")
+    for key in sorted(values):
+        if key not in known:
+            lines.append(f"{key:<24} {values[key]:>12,}")
+    return lines
+
+
 def render_summary(snapshot: Mapping[str, object]) -> List[str]:
-    """The full ``repro stats`` body: traffic, phases, wait states."""
+    """The full ``repro stats`` body: traffic, phases, wait states,
+    and (when present) match-set exploration counters."""
     lines = ["-- tool message traffic (per message type) --"]
     lines += render_message_table(snapshot)
     lines.append("")
@@ -122,4 +156,9 @@ def render_summary(snapshot: Mapping[str, object]) -> List[str]:
         lines.append("")
         lines.append("-- wait-state dwell times --")
         lines += waits
+    explore = render_explore_table(snapshot)
+    if explore:
+        lines.append("")
+        lines.append("-- match-set exploration (repro verify) --")
+        lines += explore
     return lines

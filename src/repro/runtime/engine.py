@@ -121,14 +121,24 @@ class Engine:
         wildcard_policy: str = "random",
         max_steps: int = 10_000_000,
         observer: Observer | None = None,
+        scheduler: Scheduler | None = None,
+        wildcard_pinnings: Dict[OpRef, int] | None = None,
     ) -> None:
         if not programs:
             raise ValueError("need at least one rank program")
         self.obs = observer if observer is not None else NULL_OBSERVER
         self.semantics = semantics or BlockingSemantics.relaxed()
         self.comms = CommRegistry(len(programs))
-        self.match = MatchState(seed=seed, wildcard_policy=wildcard_policy)
-        self.scheduler = Scheduler(policy=scheduler_policy, seed=seed)
+        self.match = MatchState(
+            seed=seed,
+            wildcard_policy=wildcard_policy,
+            pinnings=wildcard_pinnings,
+        )
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else Scheduler(policy=scheduler_policy, seed=seed)
+        )
         self.max_steps = max_steps
 
         self._seqs: List[List[Operation]] = [[] for _ in programs]
@@ -844,6 +854,8 @@ def run_programs(
     wildcard_policy: str = "random",
     max_steps: int = 10_000_000,
     observer: Observer | None = None,
+    scheduler: Scheduler | None = None,
+    wildcard_pinnings: Dict[OpRef, int] | None = None,
 ) -> RunResult:
     """Execute ``programs`` on the virtual runtime and return the result."""
     engine = Engine(
@@ -854,5 +866,7 @@ def run_programs(
         wildcard_policy=wildcard_policy,
         max_steps=max_steps,
         observer=observer,
+        scheduler=scheduler,
+        wildcard_pinnings=wildcard_pinnings,
     )
     return engine.run()

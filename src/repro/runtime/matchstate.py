@@ -97,11 +97,18 @@ def _envelope_admits(recv_src: int, recv_tag: int, send: PendingSend) -> bool:
 class MatchState:
     """Queues and waves of the virtual MPI implementation."""
 
-    def __init__(self, seed: int = 0, wildcard_policy: str = "random") -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        wildcard_policy: str = "random",
+        pinnings: Optional[Dict[OpRef, int]] = None,
+    ) -> None:
         if wildcard_policy not in ("random", "earliest"):
             raise ValueError(f"unknown wildcard policy {wildcard_policy!r}")
         self._rng = random.Random(seed)
         self._policy = wildcard_policy
+        #: Witness replay: wildcard receive op ref -> forced source rank.
+        self._pinnings: Dict[OpRef, int] = dict(pinnings or {})
         self._seq = 0
         # Unmatched messages / posted receives keyed by (comm_id, dst).
         self._sends: Dict[Tuple[int, int], List[PendingSend]] = {}
@@ -136,10 +143,14 @@ class MatchState:
         )
         key = (send.comm_id, send.dst)
         for recv in self._recvs.get(key, ()):
-            if not recv.matched and _envelope_admits(recv.src, recv.tag, send):
-                self._pair(send, recv)
-                self._gc(key)
-                return send, recv
+            if recv.matched or not _envelope_admits(recv.src, recv.tag, send):
+                continue
+            pinned = self._pinnings.get(recv.ref)
+            if pinned is not None and pinned != send.src:
+                continue
+            self._pair(send, recv)
+            self._gc(key)
+            return send, recv
         self._sends.setdefault(key, []).append(send)
         return send, None
 
@@ -158,7 +169,11 @@ class MatchState:
             tag=op.tag,
             seq=self._next_seq(),
         )
-        send = self._select_candidate(recv.comm_id, recv.dst, recv.src, recv.tag)
+        # A pinned wildcard receive only considers its scripted source;
+        # directed receives are unaffected (the pin restates the source).
+        pinned = self._pinnings.get(recv.ref)
+        src_filter = recv.src if pinned is None else pinned
+        send = self._select_candidate(recv.comm_id, recv.dst, src_filter, recv.tag)
         if send is not None:
             self._pair(send, recv)
             self._gc((recv.comm_id, recv.dst))

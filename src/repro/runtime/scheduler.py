@@ -9,7 +9,9 @@ exactly one.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Dict, List, Sequence
+
+from repro.util.errors import ReproError
 
 
 class Scheduler:
@@ -36,3 +38,52 @@ class Scheduler:
             )
             self._rr_next = runnable[idx] + 1
         return runnable.pop(idx)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replays a fixed issue order (a witness schedule).
+
+    ``schedule`` lists, in order, the rank whose program issues the next
+    operation. The engine also calls :meth:`pick` once per rank *after*
+    its last operation (the resume that raises ``StopIteration``); those
+    picks carry no scheduled entry, so any runnable rank whose scheduled
+    issues are exhausted is drained first. If the next scheduled rank is
+    not runnable the replay has diverged from the schedule's model and
+    we fail loudly rather than silently explore a different
+    interleaving.
+    """
+
+    def __init__(self, schedule: Sequence[int]) -> None:
+        self.policy = "scripted"
+        self._schedule: List[int] = list(schedule)
+        self._pos = 0
+        self._remaining: Dict[int, int] = {}
+        for rank in self._schedule:
+            self._remaining[rank] = self._remaining.get(rank, 0) + 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._schedule)
+
+    def pick(self, runnable: List[int]) -> int:
+        if not runnable:
+            raise ValueError("no runnable ranks")
+        # Drain ranks with no scheduled issues left: their next resume
+        # terminates the program (or they are past their final op).
+        for idx, rank in enumerate(runnable):
+            if self._remaining.get(rank, 0) == 0:
+                return runnable.pop(idx)
+        if self._pos >= len(self._schedule):
+            raise ReproError(
+                "scripted replay diverged: schedule exhausted but ranks "
+                f"{sorted(runnable)} still have operations to issue"
+            )
+        rank = self._schedule[self._pos]
+        if rank not in runnable:
+            raise ReproError(
+                f"scripted replay diverged: schedule expects rank {rank} "
+                f"to issue next, but runnable ranks are {sorted(runnable)}"
+            )
+        self._pos += 1
+        self._remaining[rank] -= 1
+        return runnable.pop(runnable.index(rank))

@@ -1,4 +1,5 @@
 """Wait-for graphs: construction, deadlock criterion, DOT/HTML output."""
+from repro.wfg.compare import cycles_equivalent, deadlock_sets_agree, normalize_cycle
 from repro.wfg.detect import DetectionResult, detect_deadlock
 from repro.wfg.dot import render_dot
 from repro.wfg.graph import WaitForGraph, WfgNode
@@ -11,7 +12,10 @@ __all__ = [
     "RankSet",
     "WaitForGraph",
     "WfgNode",
+    "cycles_equivalent",
+    "deadlock_sets_agree",
     "detect_deadlock",
+    "normalize_cycle",
     "render_aggregated_dot",
     "render_dot",
     "render_html_report",

@@ -1,0 +1,34 @@
+"""Comparing deadlock reports from different detection paths.
+
+The static match-set explorer (`repro.analysis.explore`) and the
+runtime trace analysis (`repro.core.waitstate`) both end in a WFG
+deadlock check. When a witness schedule is replayed, the two reports
+must agree; these helpers define "agree" precisely:
+
+* deadlocked sets compare as sets (detection order is irrelevant), and
+* witness cycles compare up to rotation — a cycle is an equivalence
+  class of its rotations, and either path may enter it at a different
+  node. Direction is NOT normalized: both paths walk successor arcs,
+  so a reversed cycle would indicate a genuinely different graph.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+def normalize_cycle(cycle: Sequence[int]) -> Tuple[int, ...]:
+    """Canonical rotation of a cycle: start at the smallest rank."""
+    if not cycle:
+        return ()
+    pivot = min(range(len(cycle)), key=lambda i: cycle[i])
+    return tuple(cycle[pivot:]) + tuple(cycle[:pivot])
+
+
+def cycles_equivalent(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True when the cycles are rotations of each other (or both empty)."""
+    return normalize_cycle(a) == normalize_cycle(b)
+
+
+def deadlock_sets_agree(a: Iterable[int], b: Iterable[int]) -> bool:
+    """True when both reports name the same deadlocked ranks."""
+    return set(a) == set(b)

@@ -36,7 +36,10 @@ from repro.workloads.stress import (
 )
 from repro.workloads.wildcard import (
     build_wildcard_trace,
+    ping_pong_pairs_programs,
     wildcard_deadlock_programs,
+    wildcard_master_worker_programs,
+    wildcard_stress_programs,
 )
 
 __all__ = [
@@ -47,6 +50,7 @@ __all__ = [
     "deferred_deadlock_programs",
     "master_worker_programs",
     "mutate_program_set",
+    "ping_pong_pairs_programs",
     "safe_program_set",
     "software_bcast_programs",
     "stencil3d_programs",
@@ -67,4 +71,6 @@ __all__ = [
     "waitall_deadlock_programs",
     "waitany_survivor_programs",
     "wildcard_deadlock_programs",
+    "wildcard_master_worker_programs",
+    "wildcard_stress_programs",
 ]

@@ -28,6 +28,88 @@ def wildcard_deadlock_programs(p: int) -> List[RankProgram]:
     return [worker] * p
 
 
+def wildcard_master_worker_programs() -> List[RankProgram]:
+    """Three ranks whose deadlock hinges on one wildcard choice.
+
+    Rank 0 posts a wildcard receive and then a receive directed at
+    rank 1; ranks 1 and 2 each send one message to rank 0. When the
+    wildcard matches rank 2 the directed receive pairs with rank 1 and
+    everything completes; when it matches rank 1 first, rank 1 has
+    nothing left to send — rank 0 blocks forever in the directed
+    receive and rank 2's rendezvous send never pairs. Only match-set
+    exploration (``repro verify``) sees the deadlocking branch; a
+    single random run usually completes.
+    """
+
+    def master(rank: Rank) -> Iterator[Call]:
+        yield rank.recv(source=ANY_SOURCE, tag=0)
+        yield rank.recv(source=1, tag=0)
+        yield rank.finalize()
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        yield rank.send(0, tag=0)
+        yield rank.finalize()
+
+    return [master, worker, worker]
+
+
+def wildcard_stress_programs(p: int, rounds: int = 3) -> List[RankProgram]:
+    """Fig. 10-style wildcard stress, deadlock-free variant.
+
+    Ranks pair up (0,1), (2,3), …; each pair ping-pongs ``rounds``
+    times with the odd rank receiving via ``MPI_ANY_SOURCE``. Every
+    matching completes, so proving deadlock freedom requires visiting
+    the whole interleaving space — the partial-order reduction
+    benchmark workload (its counters back the >=5x claim).
+    """
+    if p < 2 or p % 2:
+        raise ValueError("need a positive even rank count")
+
+    def even(rank: Rank) -> Iterator[Call]:
+        peer = rank.rank + 1
+        for _ in range(rounds):
+            yield rank.send(peer, tag=0)
+            yield rank.recv(source=peer, tag=0)
+        yield rank.finalize()
+
+    def odd(rank: Rank) -> Iterator[Call]:
+        peer = rank.rank - 1
+        for _ in range(rounds):
+            yield rank.recv(source=ANY_SOURCE, tag=0)
+            yield rank.send(peer, tag=0)
+        yield rank.finalize()
+
+    return [even if i % 2 == 0 else odd for i in range(p)]
+
+
+def ping_pong_pairs_programs(p: int, rounds: int = 3) -> List[RankProgram]:
+    """Directed (wildcard-free) pair ping-pong, deadlock-free.
+
+    Same shape as :func:`wildcard_stress_programs` but fully directed:
+    every transition is independent across pairs, so naive enumeration
+    is exponential in the pair count while the partial-order reduction
+    collapses the graph to a single chain.
+    """
+    if p < 2 or p % 2:
+        raise ValueError("need a positive even rank count")
+
+    def even(rank: Rank) -> Iterator[Call]:
+        peer = rank.rank + 1
+        for _ in range(rounds):
+            yield rank.send(peer, tag=0)
+            yield rank.recv(source=peer, tag=0)
+        yield rank.finalize()
+
+    def odd(rank: Rank) -> Iterator[Call]:
+        peer = rank.rank - 1
+        for _ in range(rounds):
+            yield rank.recv(source=peer, tag=0)
+            yield rank.send(peer, tag=0)
+        yield rank.finalize()
+
+    return [even if i % 2 == 0 else odd for i in range(p)]
+
+
 def build_wildcard_trace(p: int) -> MatchedTrace:
     """Directly construct the hung trace: one pending Recv(ANY) each.
 

@@ -1,0 +1,126 @@
+"""Explorer verdicts must agree with the runtime on wildcard programs.
+
+`repro lint`'s deterministic matcher refuses wildcard programs; the
+match-set explorer (`repro verify`) covers them by enumerating every
+feasible wildcard matching. This suite pins down the two directions of
+that claim on random wildcard program sets:
+
+* **deadlock-possible is a true positive** — the emitted witness
+  schedule replays through the strict-semantics engine into a real
+  runtime deadlock, and the runtime WFG analysis blames the same
+  ranks; and
+* **deadlock-free is a true negative** — no random strict-semantics
+  schedule (scheduler seed and wildcard matching both randomized) can
+  produce a deadlock the exploration missed.
+
+Program sets with static consistency ERRORs are excluded the same way
+``repro verify`` excludes them (fix the errors first); the final
+coverage test asserts the suite still exercises enough programs and
+both verdicts.
+"""
+import pytest
+
+from repro.analysis import (
+    ExplorationUnsupported,
+    Verdict,
+    check_collective_consistency,
+    check_request_typestate,
+    explore_extraction,
+    extract_programs,
+    replay_witness,
+)
+from repro.checks.findings import Severity
+from repro.workloads.randomgen import mutate_program_set, safe_program_set
+from tests.conftest import run_strict
+
+SAFE_SEEDS = range(45)
+MUTATED_SEEDS = range(25)
+#: Random strict schedules each deadlock-free verdict must survive.
+RUNTIME_SCHEDULES = 5
+MAX_STATES = 20_000
+
+
+def _generate(seed):
+    p = 2 + seed % 3
+    events = 8 + seed % 7
+    return safe_program_set(p, events, seed, allow_wildcards=True)
+
+
+def _mutate(seed):
+    return mutate_program_set(
+        _generate(seed), seed + 10_000, mutations=1 + seed % 3
+    )
+
+
+def _classify(generated):
+    """(verdict tag, ExploreResult or None) mirroring ``repro verify``."""
+    ext = extract_programs(generated.programs())
+    if ext.truncated or not (ext.exact or ext.wildcard_exact):
+        return "inexact", None
+    findings = check_request_typestate(ext.sequences)
+    findings += check_collective_consistency(
+        ext.sequences, ext.comms, hung_ranks=ext.truncated
+    )
+    if any(f.severity is Severity.ERROR for f in findings):
+        return "check-error", None
+    try:
+        result = explore_extraction(ext, max_states=MAX_STATES)
+    except ExplorationUnsupported:
+        return "unsupported", None
+    if result.verdict is Verdict.BOUND_EXCEEDED:
+        return "bound-exceeded", None
+    return result.verdict.value, result
+
+
+def _check_agreement(generated, seed):
+    tag, result = _classify(generated)
+    if result is None:
+        pytest.skip(f"seed {seed}: {tag}")
+    if result.verdict is Verdict.DEADLOCK_POSSIBLE:
+        outcome = replay_witness(generated.programs(), result.witness)
+        assert outcome.confirmed, (
+            f"seed {seed}: witness did not replay to the predicted "
+            f"deadlock: {outcome.reason}"
+        )
+    else:
+        assert result.verdict is Verdict.DEADLOCK_FREE
+        for sched_seed in range(RUNTIME_SCHEDULES):
+            run = run_strict(generated.programs(), seed=sched_seed)
+            assert not run.deadlocked, (
+                f"seed {seed}: explorer said deadlock-free but runtime "
+                f"schedule {sched_seed} deadlocked in ranks "
+                f"{sorted(run.hung)}"
+            )
+    return tag
+
+
+@pytest.mark.parametrize("seed", SAFE_SEEDS)
+def test_safe_wildcard_sets_agree_with_the_runtime(seed):
+    # "Safe" generation still leaves real races: the wildcard matching
+    # the generator intended is not the only feasible one, so both
+    # verdicts occur and both must hold up.
+    _check_agreement(_generate(seed), seed)
+
+
+@pytest.mark.parametrize("seed", MUTATED_SEEDS)
+def test_mutated_wildcard_sets_agree_with_the_runtime(seed):
+    _check_agreement(_mutate(seed), seed)
+
+
+def test_enough_programs_and_both_verdicts_covered():
+    tags = {"deadlock-free": 0, "deadlock-possible": 0}
+    skipped = 0
+    for generated in (
+        [_generate(s) for s in SAFE_SEEDS]
+        + [_mutate(s) for s in MUTATED_SEEDS]
+    ):
+        tag, _ = _classify(generated)
+        if tag in tags:
+            tags[tag] += 1
+        else:
+            skipped += 1
+    conclusive = sum(tags.values())
+    # The satellite bar: ~40 random wildcard programs actually decided.
+    assert conclusive >= 40, (tags, skipped)
+    assert tags["deadlock-possible"] >= 10
+    assert tags["deadlock-free"] >= 10

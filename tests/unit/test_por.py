@@ -1,0 +1,95 @@
+"""Partial-order reduction: state-count wins without lost deadlocks."""
+from repro.analysis import (
+    Verdict,
+    explore_extraction,
+    extract_programs,
+    replay_witness,
+)
+from repro.workloads import (
+    ping_pong_pairs_programs,
+    wildcard_deadlock_programs,
+    wildcard_master_worker_programs,
+    wildcard_stress_programs,
+)
+
+
+def _explore(programs, **kwargs):
+    return explore_extraction(extract_programs(list(programs)), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Reduction strength
+# ----------------------------------------------------------------------
+
+class TestReduction:
+    def test_directed_pairs_naive_blows_up_por_stays_tiny(self):
+        # Three independent ping-pong pairs: interleavings multiply for
+        # the naive search, but every transition is POR-safe, so the
+        # reduced search is a single chain.
+        programs = ping_pong_pairs_programs(6, rounds=3)
+        ext = extract_programs(programs)
+        naive = explore_extraction(ext, por=False, max_states=100_000)
+        reduced = explore_extraction(ext, por=True)
+        assert naive.verdict is Verdict.DEADLOCK_FREE
+        assert reduced.verdict is Verdict.DEADLOCK_FREE
+        assert naive.stats.states_explored > 10_000
+        assert reduced.stats.states_explored < 500
+
+    def test_wildcard_branches_are_never_pruned(self):
+        # Wildcard receive executions are the branching points; POR may
+        # chain deterministic transitions around them but must keep
+        # every match choice.
+        ext = extract_programs(wildcard_stress_programs(4, rounds=2))
+        naive = explore_extraction(ext, por=False)
+        reduced = explore_extraction(ext, por=True)
+        assert naive.verdict is Verdict.DEADLOCK_FREE
+        assert reduced.verdict is Verdict.DEADLOCK_FREE
+        assert reduced.stats.states_explored < naive.stats.states_explored
+        assert reduced.stats.states_pruned > 0
+
+
+# ----------------------------------------------------------------------
+# Soundness: reduction never hides a deadlock
+# ----------------------------------------------------------------------
+
+class TestSoundness:
+    def test_por_keeps_the_only_deadlocking_matching(self):
+        # Exactly one of the two wildcard matchings deadlocks; a POR
+        # that pruned the wildcard branch would wrongly report
+        # deadlock-free.
+        ext = extract_programs(wildcard_master_worker_programs())
+        reduced = explore_extraction(ext, por=True)
+        assert reduced.verdict is Verdict.DEADLOCK_POSSIBLE
+        outcome = replay_witness(
+            wildcard_master_worker_programs(), reduced.witness
+        )
+        assert outcome.confirmed
+
+    def test_por_and_naive_agree_on_verdicts(self):
+        cases = [
+            wildcard_master_worker_programs(),
+            wildcard_deadlock_programs(4),
+            wildcard_stress_programs(4, rounds=2),
+            ping_pong_pairs_programs(4, rounds=2),
+        ]
+        for programs in cases:
+            ext = extract_programs(programs)
+            naive = explore_extraction(ext, por=False)
+            reduced = explore_extraction(ext, por=True)
+            assert naive.verdict is reduced.verdict
+            assert set(naive.deadlocked) == set(reduced.deadlocked)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: Fig. 10-style wildcard stress at 8 ranks, >= 5x
+# ----------------------------------------------------------------------
+
+class TestAcceptanceRatio:
+    def test_por_plus_memo_beats_naive_by_5x_at_8_ranks(self):
+        ext = extract_programs(wildcard_stress_programs(8, rounds=3))
+        reduced = explore_extraction(ext, por=True)
+        assert reduced.verdict is Verdict.DEADLOCK_FREE
+        naive = explore_extraction(ext, por=False, max_states=300_000)
+        assert naive.verdict is Verdict.DEADLOCK_FREE
+        ratio = naive.stats.states_explored / reduced.stats.states_explored
+        assert ratio >= 5.0

@@ -1,0 +1,143 @@
+"""Witness schedules: serialization, replay, and divergence handling."""
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import (
+    Verdict,
+    WitnessSchedule,
+    explore_extraction,
+    extract_programs,
+    replay_witness,
+)
+from repro.runtime.scheduler import ScriptedScheduler
+from repro.util.errors import ReproError
+from repro.workloads import wildcard_master_worker_programs
+
+
+def _master_worker_witness():
+    ext = extract_programs(wildcard_master_worker_programs())
+    result = explore_extraction(ext)
+    assert result.verdict is Verdict.DEADLOCK_POSSIBLE
+    return result.witness
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        witness = _master_worker_witness()
+        clone = WitnessSchedule.from_json_dict(witness.to_json_dict())
+        assert clone == witness
+
+    def test_save_load_roundtrip(self, tmp_path):
+        witness = _master_worker_witness()
+        path = tmp_path / "mw.witness.json"
+        witness.save(path)
+        assert WitnessSchedule.load(path) == witness
+
+    def test_on_disk_shape_is_plain_json(self, tmp_path):
+        witness = _master_worker_witness()
+        path = tmp_path / "mw.witness.json"
+        witness.save(path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-witness/1"
+        assert data["num_ranks"] == 3
+        assert data["schedule"] == [0, 1, 0, 1, 2]
+        assert data["pinnings"] == [{"rank": 0, "ts": 0, "source": 1}]
+
+    def test_unknown_format_is_rejected(self):
+        witness = _master_worker_witness()
+        data = witness.to_json_dict()
+        data["format"] = "repro-witness/99"
+        with pytest.raises(ReproError, match="unsupported witness format"):
+            WitnessSchedule.from_json_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+class TestReplay:
+    def test_witness_replays_to_confirmed_deadlock(self):
+        witness = _master_worker_witness()
+        outcome = replay_witness(
+            wildcard_master_worker_programs(), witness
+        )
+        assert outcome.confirmed
+        assert outcome.run is not None and outcome.run.deadlocked
+        assert sorted(outcome.runtime_deadlocked) == [0, 2]
+        assert outcome.cycles_match
+        assert outcome.reason == ""
+
+    def test_replay_is_deterministic(self):
+        witness = _master_worker_witness()
+        a = replay_witness(wildcard_master_worker_programs(), witness)
+        b = replay_witness(wildcard_master_worker_programs(), witness)
+        assert a.confirmed and b.confirmed
+        assert a.runtime_deadlocked == b.runtime_deadlocked
+        assert a.runtime_cycle == b.runtime_cycle
+
+    def test_rank_count_mismatch_is_an_error(self):
+        witness = _master_worker_witness()
+        with pytest.raises(ReproError, match="witness is for 3 ranks"):
+            replay_witness(wildcard_master_worker_programs()[:2], witness)
+
+    def test_wrong_pinning_does_not_confirm(self):
+        # Pinning the wildcard to rank 2 picks the benign matching: the
+        # run completes, so the replay must report "not confirmed"
+        # rather than pretending the witness reproduced anything.
+        witness = _master_worker_witness()
+        benign = dataclasses.replace(
+            witness,
+            pinnings={(0, 0): 2},
+            schedule=[],  # free schedule; the pinning decides the run
+        )
+        outcome = replay_witness(wildcard_master_worker_programs(), benign)
+        assert not outcome.confirmed
+        assert "completed without deadlocking" in outcome.reason
+
+    def test_diverging_schedule_reports_replay_failure(self):
+        witness = _master_worker_witness()
+        # The master blocks in its wildcard receive after one issue, so
+        # scheduling it three times in a row diverges from any run the
+        # engine can produce.
+        broken = dataclasses.replace(witness, schedule=[0, 0, 0, 1, 2])
+        outcome = replay_witness(wildcard_master_worker_programs(), broken)
+        assert not outcome.confirmed
+        assert outcome.run is None
+        assert outcome.reason.startswith("replay failed:")
+
+
+# ----------------------------------------------------------------------
+# ScriptedScheduler
+# ----------------------------------------------------------------------
+
+class TestScriptedScheduler:
+    def test_follows_the_script_exactly(self):
+        sched = ScriptedScheduler([0, 1, 0])
+        assert sched.pick([0, 1]) == 0
+        assert sched.pick([0, 1]) == 1
+        # Rank 1's scheduled issues are spent, so it drains first; the
+        # remaining scheduled entry then drives rank 0.
+        assert sched.pick([0, 1]) == 1
+        assert sched.pick([0]) == 0
+        assert sched.exhausted
+
+    def test_drains_exhausted_ranks_first(self):
+        # Rank 2 has no scheduled issues: its terminating resume must
+        # not consume a scheduled entry.
+        sched = ScriptedScheduler([0, 1])
+        assert sched.pick([0, 2]) == 2
+        assert sched.pick([0, 1]) == 0
+        assert sched.pick([1]) == 1
+
+    def test_diverging_rank_fails_loudly(self):
+        # Schedule expects rank 2 next, but only rank 0 (which still has
+        # scheduled issues) is runnable: that is a divergence.
+        sched = ScriptedScheduler([2, 0])
+        with pytest.raises(ReproError, match="diverged"):
+            sched.pick([0])
