@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Aggregate every ``results/BENCH_*.json`` into one trajectory file.
+
+Each bench emits a machine-readable ``BENCH_<name>.json`` payload (see
+``benchmarks/_util.write_bench_json``). This script folds them into
+``results/BENCH_trajectory.json`` so CI can upload one artifact and
+successive runs can be diffed as a perf trajectory.
+
+Run:  python benchmarks/aggregate_trajectory.py
+"""
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+OUTPUT = RESULTS_DIR / "BENCH_trajectory.json"
+FORMAT = "repro-bench-trajectory/1"
+
+
+def aggregate() -> dict:
+    benches = {}
+    skipped = []
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        if path.name == OUTPUT.name:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            skipped.append(f"{path.name}: {exc}")
+            continue
+        name = payload.get("bench", path.stem[len("BENCH_"):])
+        benches[name] = payload
+    return {
+        "format": FORMAT,
+        "count": len(benches),
+        "benches": benches,
+        "skipped": skipped,
+    }
+
+
+def main() -> int:
+    if not RESULTS_DIR.is_dir():
+        print(f"no results directory at {RESULTS_DIR}", file=sys.stderr)
+        return 2
+    doc = aggregate()
+    if not doc["benches"]:
+        print("no BENCH_*.json payloads found", file=sys.stderr)
+        return 2
+    OUTPUT.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"aggregated {doc['count']} bench payload(s) -> {OUTPUT.name}"
+    )
+    for line in doc["skipped"]:
+        print(f"  skipped {line}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,12 @@ Commands
              engine (``--replay``);
 ``stats``    print the observability summary of a run recorded with
              ``--obs-out`` (per-message-type traffic, five-phase
-             detection-time breakdown, exploration counters);
+             detection-time breakdown, exploration counters, unified
+             timeline) or of a raw ``--obs-jsonl`` event stream;
+``blame``    wait-state blame analysis: reconstruct per-rank blocked
+             intervals from a recorded run (or run a rank-program file
+             live), attribute blocked time to root-cause ranks, and
+             print the blame chain + critical path;
 ``figures``  print the Figure 9 / Figure 12 model tables.
 
 Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
@@ -32,12 +37,14 @@ additionally writes a Chrome ``trace_event`` file (open it in
 ``--obs-jsonl FILE`` writes the raw event stream as JSONL.
 
 Exit codes: 0 — clean; 1 — a deadlock was detected (``analyze``,
-``demo``, and ``stats`` when the analyzed run recorded one), an
-error-severity finding reported (``lint``), or a `deadlock-possible`
-verdict (``verify``); 2 — usage error (unknown workload, unreadable
-or malformed input) or, for ``verify``, no deadlock but at least one
-program without a definite verdict (`bound-exceeded` / skipped) —
-`bound-exceeded` is NOT `deadlock-free`.
+``demo``, and ``stats`` when the analyzed run recorded one, ``blame``
+when root causes were found), an error-severity finding reported
+(``lint``), or a `deadlock-possible` verdict (``verify``); 2 — usage
+error (unknown workload, unreadable / malformed / truncated input —
+``stats`` and ``blame`` diagnose the offending line or record) or,
+for ``verify``, no deadlock but at least one program without a
+definite verdict (`bound-exceeded` / skipped) — `bound-exceeded` is
+NOT `deadlock-free`.
 """
 from __future__ import annotations
 
@@ -55,7 +62,6 @@ from repro.mpi.trace import MatchedTrace
 from repro.obs import (
     NULL_OBSERVER,
     Observer,
-    load_run,
     make_observer,
     render_summary,
     write_chrome_trace,
@@ -63,6 +69,7 @@ from repro.obs import (
 )
 from repro.runtime import run_programs
 from repro.util.errors import TraceError
+from repro.wfg.report import render_json_report
 from repro.wfg.simplify import render_aggregated_dot, simplify
 
 
@@ -125,6 +132,7 @@ def _finish_obs(
     *,
     workload: Optional[str],
     deadlocked: bool,
+    ranks: Optional[int] = None,
 ) -> None:
     """Export trace artifacts and print the stats summary."""
     if not observer.enabled:
@@ -133,6 +141,7 @@ def _finish_obs(
     metadata = {
         "workload": workload,
         "deadlocked": bool(deadlocked),
+        "ranks": ranks,
         "metrics": snapshot,
     }
     out = getattr(args, "obs_out", None)
@@ -189,6 +198,7 @@ def _analyze(
                 print("  " + finding.render())
         else:
             print("correctness checks: clean")
+    json_doc: Optional[dict] = None
     if args.adapt:
         adaptive = analyze_with_adaptation(matched, generate_outputs=True)
         print(adaptive.summary())
@@ -197,12 +207,20 @@ def _analyze(
         html = analysis.html_report
         deadlocked = analysis.deadlocked
         graph = analysis.graph
+        if graph is not None and analysis.detection is not None:
+            json_doc = render_json_report(
+                graph, analysis.detection, analysis.conditions
+            )
     elif args.centralized:
         analysis = analyze_trace(matched)
         deadlocked = analysis.deadlocked
         dot_text = analysis.dot_text
         html = analysis.html_report
         graph = analysis.graph
+        if graph is not None and analysis.detection is not None:
+            json_doc = render_json_report(
+                graph, analysis.detection, analysis.conditions
+            )
         print(f"centralized verdict: deadlocked ranks {deadlocked or '()'}")
     else:
         detector = DistributedDeadlockDetector(
@@ -214,6 +232,15 @@ def _analyze(
         dot_text = record.dot_text
         html = record.html_report
         graph = record.graph
+        json_doc = record.json_report
+        if json_doc is None and graph is not None and record.result is not None:
+            json_doc = render_json_report(
+                graph,
+                record.result,
+                record.conditions,
+                flight_tails=record.flight_tails,
+                blame=record.blame,
+            )
         print(
             f"distributed verdict (fan-in {args.fan_in}): deadlocked "
             f"ranks {deadlocked or '()'}"
@@ -238,11 +265,19 @@ def _analyze(
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"wrote {args.dot}")
+    if getattr(args, "json_out", None) and json_doc is not None:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(json_doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
     _finish_obs(
         observer,
         args,
         workload=getattr(args, "workload", None),
         deadlocked=bool(deadlocked),
+        ranks=matched.trace.num_processes,
     )
     return 1 if deadlocked else 0
 
@@ -252,7 +287,13 @@ def _cmd_record(args: argparse.Namespace) -> int:
     matched = _run_workload(args.workload, args.ranks, args.seed, observer)
     save_trace(matched, args.output)
     print(f"wrote {args.output}")
-    _finish_obs(observer, args, workload=args.workload, deadlocked=False)
+    _finish_obs(
+        observer,
+        args,
+        workload=args.workload,
+        deadlocked=False,
+        ranks=matched.trace.num_processes,
+    )
     return 0
 
 
@@ -408,24 +449,99 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.blame import load_events
+    from repro.obs.stats import render_timeline_table
+    from repro.obs.timeline import UnifiedTimeline
+
     try:
-        doc = load_run(args.run)
+        events, meta = load_events(args.run)
     except (OSError, TraceError) as exc:
         print(f"cannot load run {args.run}: {exc}", file=sys.stderr)
         return 2
-    meta = doc["repro"]
+    timeline = UnifiedTimeline(events)
+    if meta is None:
+        # Raw --obs-jsonl stream: no metrics snapshot to summarize.
+        print(f"run: {len(events)} trace events (raw JSONL stream)")
+        lines = render_timeline_table(timeline)
+        if lines:
+            print("\n-- unified timeline --")
+            for line in lines:
+                print(line)
+        return 0
     workload = meta.get("workload")
     deadlocked = bool(meta.get("deadlocked"))
     print(
         f"run: workload={workload or '?'}, "
-        f"{len(doc['traceEvents'])} trace events, "
+        f"{len(events)} trace events, "
         f"verdict: {'deadlock' if deadlocked else 'clean'}"
     )
     if meta.get("dropped_events"):
         print(f"note: {meta['dropped_events']} events dropped (limit)")
     for line in render_summary(meta["metrics"]):
         print(line)
+    lines = render_timeline_table(timeline)
+    if lines:
+        print("\n-- unified timeline --")
+        for line in lines:
+            print(line)
     return 1 if deadlocked else 0
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.blame import (
+        blame_artifact,
+        blame_document,
+        blame_live,
+        check_agreement,
+        render_blame,
+    )
+    from repro.util.errors import ReproError
+
+    source = args.run
+    outcome = None
+    try:
+        if source.endswith(".py"):
+            report, outcome = blame_live(
+                source, ranks=args.ranks, seed=args.seed, fan_in=args.fan_in
+            )
+        else:
+            report = blame_artifact(source)
+    except (OSError, ReproError) as exc:
+        print(f"blame: cannot analyze {source}: {exc}", file=sys.stderr)
+        return 2
+    roots = tuple(report.root_causes)
+    if roots:
+        print(f"blame verdict: deadlock rooted at ranks {roots}")
+    else:
+        print("blame verdict: no deadlock (no root-cause ranks)")
+    if outcome is not None:
+        if check_agreement(report, outcome.deadlocked):
+            print(
+                "runtime WFG agreement: blame root causes match the "
+                "runtime deadlocked set"
+            )
+        else:
+            print(
+                "runtime WFG agreement: MISMATCH -- runtime reported "
+                f"ranks {tuple(outcome.deadlocked)}"
+            )
+    print()
+    for line in render_blame(report):
+        print(line)
+    if args.json_out:
+        doc = blame_document(report, source=source)
+        if outcome is not None:
+            doc["runtime_deadlocked"] = list(outcome.deadlocked)
+            doc["runtime_agreement"] = check_agreement(
+                report, outcome.deadlocked
+            )
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    return 1 if roots else 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -478,6 +594,9 @@ def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
                         help="write the aggregated (simplified) DOT")
     parser.add_argument("--checks", action="store_true",
                         help="also run the non-deadlock correctness checks")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="write the machine-readable deadlock report "
+                        "(conditions, blame chain, flight-recorder tails)")
     parser.add_argument("--seed", type=int, default=0)
     _add_obs_flags(parser)
 
@@ -593,12 +712,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser(
         "stats",
-        help="summarize an observability run recorded with --obs-out",
+        help="summarize an observability run recorded with --obs-out "
+        "or --obs-jsonl",
     )
     stats.add_argument(
-        "run", help="a Chrome trace file written by --obs-out"
+        "run",
+        help="a Chrome trace file written by --obs-out, or a raw "
+        ".jsonl stream written by --obs-jsonl",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    blame = sub.add_parser(
+        "blame",
+        help="wait-state blame analysis: root causes, blocked-time "
+        "attribution, blame chain, critical path",
+    )
+    blame.add_argument(
+        "run",
+        help="a Chrome trace written by --obs-out, a raw .jsonl stream "
+        "written by --obs-jsonl, or a Python rank-program file to run "
+        "live (repro lint conventions)",
+    )
+    blame.add_argument(
+        "-n", "--ranks", type=int, default=4,
+        help="virtual world size for live mode (default 4; a "
+        "module-level LINT_RANKS overrides it)",
+    )
+    blame.add_argument("--seed", type=int, default=0)
+    blame.add_argument(
+        "--fan-in", type=int, default=4,
+        help="TBON fan-in for live mode (default 4)",
+    )
+    blame.add_argument(
+        "--json-out", metavar="FILE",
+        help="write the machine-readable blame document here",
+    )
+    blame.set_defaults(func=_cmd_blame)
 
     figs = sub.add_parser("figures", help="print the overhead models")
     figs.set_defaults(func=_cmd_figures)

@@ -24,6 +24,7 @@ from repro.core.distributed import FirstLayerNode
 from repro.core.messages import NewOpMsg, RankDoneMsg
 from repro.core.treenodes import DetectionRecord, InteriorNode, RootNode
 from repro.mpi.trace import MatchedTrace
+from repro.obs.flight import FlightRecorder
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.tbon.network import LatencyModel, Network, jittered_latency
 from repro.tbon.topology import TbonTopology
@@ -78,10 +79,14 @@ class DistributedDeadlockDetector:
         generate_outputs: bool = True,
         op_gap: float = 1e-6,
         observer: Observer | None = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
         self.matched = matched
         self.trace = matched.trace
         self.observer = observer if observer is not None else NULL_OBSERVER
+        # The flight recorder is ON by default (bounded ring, O(1)
+        # appends); pass a NullFlightRecorder to opt out.
+        self.flight = flight if flight is not None else FlightRecorder()
         p = self.trace.num_processes
         self.topology = TbonTopology.build(p, fan_in)
         self.net = Network(
@@ -96,6 +101,7 @@ class DistributedDeadlockDetector:
                 self.topology,
                 matched.comms,
                 window_limit=window_limit,
+                flight=self.flight,
             )
             self.first_layer[node_id] = node
             self.net.attach(node)
@@ -104,6 +110,7 @@ class DistributedDeadlockDetector:
             self.topology,
             matched.comms,
             generate_outputs=generate_outputs,
+            flight=self.flight,
         )
         self.net.attach(self.root)
         for layer in self.topology.layers[2:-1]:
@@ -202,6 +209,7 @@ def detect_deadlocks_distributed(
     generate_outputs: bool = True,
     window_limit: int = 1_000_000,
     observer: Observer | None = None,
+    flight: FlightRecorder | None = None,
 ) -> DistributedOutcome:
     """One-call convenience wrapper: stream, settle, detect once."""
     detector = DistributedDeadlockDetector(
@@ -211,5 +219,6 @@ def detect_deadlocks_distributed(
         generate_outputs=generate_outputs,
         window_limit=window_limit,
         observer=observer,
+        flight=flight,
     )
     return detector.run()

@@ -45,7 +45,8 @@ from repro.matching.distributed_p2p import MatchEvent, NodeP2PMatcher
 from repro.mpi.communicator import CommRegistry
 from repro.mpi.constants import ANY_SOURCE, PROC_NULL, OpKind
 from repro.mpi.ops import Operation, OpRef
-from repro.obs.events import PID_TBON
+from repro.obs.events import PID_TBON, PID_WAIT
+from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
 from repro.tbon.aggregation import WaveAggregator, WaveContribution
 from repro.tbon.network import Network
 from repro.tbon.topology import TbonTopology
@@ -59,6 +60,41 @@ class _DetectionState:
     acked: bool = False
 
 
+def wait_info_args(info: RankWaitInfo, comms: CommRegistry) -> Dict[str, object]:
+    """Serialize a :class:`RankWaitInfo` into trace-event ``args``.
+
+    This is the wire format :mod:`repro.obs.causal` parses back when it
+    reconstructs wait-for conditions from a trace artifact, so both
+    sides live off this one function. Collective entries carry the
+    communicator group because the artifact reader has no registry to
+    resolve it against.
+    """
+    entries: List[Dict[str, object]] = []
+    for entry in info.entries:
+        if isinstance(entry, P2PWait):
+            entries.append(
+                {"targets": list(entry.or_targets), "reason": entry.reason}
+            )
+        elif isinstance(entry, CollectiveWait):
+            entries.append(
+                {
+                    "collective": {
+                        "comm": entry.comm_id,
+                        "wave": entry.wave_index,
+                        "group": list(comms.get(entry.comm_id).group),
+                    }
+                }
+            )
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown wait entry {entry!r}")
+    return {
+        "rank": info.rank,
+        "op": info.op_description,
+        "or": info.or_semantics,
+        "entries": entries,
+    }
+
+
 class FirstLayerNode:
     """One first-layer tool node: hosts a contiguous block of ranks."""
 
@@ -69,11 +105,22 @@ class FirstLayerNode:
         comms: CommRegistry,
         *,
         window_limit: int = 1_000_000,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.node_id = node_id
         self.topology = topology
         self.comms = comms
+        self.flight = flight if flight is not None else NULL_FLIGHT_RECORDER
         self.hosted: Tuple[int, ...] = topology.ranks_of_host(node_id)
+        # Live ring-buffer handles for the per-op record sites (see
+        # FlightRecorder.live_buffer): the wait-state tracker appends
+        # inline to stay within the observability parity bound.
+        self._flight_bufs = (
+            {rank: self.flight.live_buffer(rank) for rank in self.hosted}
+            if self.flight.enabled
+            else None
+        )
+        self._flight_trim_at = self.flight.trim_at
         self.windows: Dict[int, RankWindow] = {
             rank: RankWindow(rank, max_ops=window_limit)
             for rank in self.hosted
@@ -137,6 +184,12 @@ class FirstLayerNode:
                 f"rank {op.rank} not hosted on node {self.node_id}"
             )
         state = window.add(op)
+        fbufs = self._flight_bufs
+        if fbufs is not None:
+            fbuf = fbufs[op.rank]
+            fbuf.append((net.now, "newOp", op))
+            if len(fbuf) >= self._flight_trim_at:
+                self.flight.trim(op.rank)
         if net.obs.enabled:
             net.obs.metrics.gauge(
                 f"waitstate.window.node{self.node_id}"
@@ -204,8 +257,9 @@ class FirstLayerNode:
         op = state.op
         state.active = True
         state.activated = True
-        if net.obs.enabled:
-            state.activated_at = net.now
+        # Unconditional: one float store; both the dwell events and the
+        # always-on flight recorder need the activation stamp.
+        state.activated_at = net.now
         if op.is_collective():
             wave = self._wave_of(op)
             emitted = self._wave_agg.add(
@@ -294,6 +348,8 @@ class FirstLayerNode:
             return
         window = self.windows[rank]
         obs = net.obs
+        fbufs = self._flight_bufs
+        fbuf = None if fbufs is None else fbufs[rank]
         while True:
             state = window.current_op()
             if state is None:
@@ -301,18 +357,51 @@ class FirstLayerNode:
             if not state.activated:
                 self._activate(state, net)
             if not self._can_advance(state, window):
-                if obs.enabled and not state.was_blocked:
+                if not state.was_blocked:
                     state.was_blocked = True
-                    obs.metrics.inc("waitstate.blocked_ops")
+                    if obs.enabled:
+                        obs.metrics.inc("waitstate.blocked_ops")
+                        # Ops like finalize can stall transiently but
+                        # carry no wait-for description.
+                        op = state.op
+                        if (
+                            op.is_p2p()
+                            or op.is_collective()
+                            or op.is_completion()
+                        ):
+                            state.blocked_info = self._wait_info(
+                                rank, state, window
+                            )
+                    if fbuf is not None:
+                        fbuf.append((net.now, "block", state.op))
+                        if len(fbuf) >= self._flight_trim_at:
+                            self.flight.trim(rank)
                 return
             if obs.enabled:
                 if state.was_blocked:
                     obs.metrics.inc("waitstate.can_advance_flips")
                 if state.activated_at >= 0.0:
-                    obs.metrics.observe(
-                        f"waitstate.dwell.rank{rank}",
-                        net.now - state.activated_at,
-                    )
+                    dwell = net.now - state.activated_at
+                    obs.metrics.observe(f"waitstate.dwell.rank{rank}", dwell)
+                    if state.was_blocked:
+                        args = (
+                            wait_info_args(state.blocked_info, self.comms)
+                            if state.blocked_info is not None
+                            else None
+                        )
+                        obs.tracer.complete(
+                            "dwell",
+                            cat="waitstate.dwell",
+                            ts=state.activated_at * 1e6,
+                            dur=dwell * 1e6,
+                            pid=PID_WAIT,
+                            tid=rank,
+                            args=args,
+                        )
+            if fbuf is not None:
+                fbuf.append((net.now, "advance", state.op))
+                if len(fbuf) >= self._flight_trim_at:
+                    self.flight.trim(rank)
             window.advance()
 
     def _resume_all(self, net: Network) -> None:
@@ -479,6 +568,7 @@ class FirstLayerNode:
 
     def _handle_request_waits(self, msg: RequestWaits, net: Network) -> None:
         infos: List[RankWaitInfo] = []
+        blocked_states: List[OpState] = []
         unblocked: List[int] = []
         finished: List[int] = []
         for rank in self.hosted:
@@ -504,6 +594,7 @@ class FirstLayerNode:
                 unblocked.append(rank)
                 continue
             infos.append(self._wait_info(rank, state, window))
+            blocked_states.append(state)
         reply = WaitInfoMsg(
             detection_id=msg.detection_id,
             node_id=self.node_id,
@@ -518,8 +609,27 @@ class FirstLayerNode:
             reply.wire_size,
         )
         self._detection = None
+        if self.flight.enabled:
+            for info, state in zip(infos, blocked_states):
+                self.flight.record(
+                    info.rank, "blocked@detection", net.now, state.op
+                )
         if net.obs.enabled:
             net.obs.metrics.inc("waitstate.blocked_reported", len(infos))
+            for info, state in zip(infos, blocked_states):
+                # Terminal wait state of this rank at the consistent
+                # cut: the raw material for `repro blame` on artifacts.
+                args = wait_info_args(info, self.comms)
+                args["since"] = state.activated_at * 1e6
+                args["detection"] = msg.detection_id
+                net.obs.tracer.instant(
+                    "blocked",
+                    cat="waitstate.final",
+                    ts=net.now * 1e6,
+                    pid=PID_WAIT,
+                    tid=info.rank,
+                    args=args,
+                )
             net.obs.tracer.instant(
                 "resume",
                 cat="detection",
@@ -531,6 +641,8 @@ class FirstLayerNode:
                     "blocked": len(infos),
                     "unblocked": len(unblocked),
                     "finished": len(finished),
+                    "finished_ranks": list(finished),
+                    "unblocked_ranks": list(unblocked),
                 },
             )
         self._resume_all(net)

@@ -63,9 +63,12 @@ class OpState:
     #: Observability: simulated time of activation (-1 = untracked);
     #: the dwell-time histograms measure activation -> advance.
     activated_at: float = -1.0
-    #: Observability: ``canAdvance`` evaluated False at least once, so
-    #: a later advance counts as a canAdvance flip.
+    #: ``canAdvance`` evaluated False at least once, so a later advance
+    #: counts as a canAdvance flip (also feeds the flight recorder).
     was_blocked: bool = False
+    #: Observability: the wait info captured when the op first blocked
+    #: (serialized into the dwell span's args for blame analysis).
+    blocked_info: Optional[object] = None
 
     @property
     def ref(self) -> OpRef:

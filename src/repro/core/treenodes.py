@@ -34,6 +34,7 @@ from repro.core.messages import (
 from repro.core.waitfor import WaitForCondition, WaitTarget, intern_target
 from repro.mpi.communicator import CommRegistry
 from repro.obs.events import PID_TBON
+from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
 from repro.perf.timers import (
     PHASE_DEADLOCK_CHECK,
     PHASE_GRAPH_BUILD,
@@ -49,7 +50,7 @@ from repro.util.errors import ProtocolError
 from repro.wfg.detect import DetectionResult, detect_deadlock
 from repro.wfg.dot import render_dot
 from repro.wfg.graph import WaitForGraph
-from repro.wfg.report import render_html_report
+from repro.wfg.report import render_html_report, render_json_report
 
 
 class InteriorNode:
@@ -143,6 +144,12 @@ class DetectionRecord:
     timers: PhaseTimers = field(default_factory=PhaseTimers)
     dot_text: Optional[str] = None
     html_report: Optional[str] = None
+    #: Flight-recorder tails of the deadlocked ranks (rank -> events).
+    flight_tails: Dict[int, List[dict]] = field(default_factory=dict)
+    #: Human-readable blame chain along the witness cycle.
+    blame: Tuple[str, ...] = ()
+    #: Machine-readable deadlock report (``repro-deadlock-report/1``).
+    json_report: Optional[dict] = None
 
     @property
     def complete(self) -> bool:
@@ -163,11 +170,13 @@ class RootNode:
         comms: CommRegistry,
         *,
         generate_outputs: bool = True,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.node_id = node_id
         self.topology = topology
         self.comms = comms
         self.generate_outputs = generate_outputs
+        self.flight = flight if flight is not None else NULL_FLIGHT_RECORDER
         self._agg = WaveAggregator()
         self._detections: Dict[int, DetectionRecord] = {}
         self._next_detection = 0
@@ -315,11 +324,36 @@ class RootNode:
         record.graph = graph
         record.result = result
         record.conditions = conditions
+        if result.has_deadlock:
+            # Imported lazily: repro.obs.causal itself builds on the
+            # core WFG types, so a module-level import would cycle.
+            from repro.obs.causal import blame_chain
+
+            record.blame = tuple(blame_chain(graph, result, conditions))
         if self.generate_outputs and result.has_deadlock:
             with record.timers.phase(PHASE_OUTPUT):
+                # Tails are rendered here, not on the tracking path:
+                # snapshotting describes every retained operation, which
+                # is report-generation work, not wait-state tracking.
+                if self.flight.enabled:
+                    record.flight_tails = self.flight.snapshot(
+                        sorted(result.deadlocked)
+                    )
                 record.dot_text = render_dot(graph, result)
                 record.html_report = render_html_report(
-                    graph, result, conditions, dot_text=record.dot_text
+                    graph,
+                    result,
+                    conditions,
+                    dot_text=record.dot_text,
+                    flight_tails=record.flight_tails,
+                    blame=record.blame,
+                )
+                record.json_report = render_json_report(
+                    graph,
+                    result,
+                    conditions,
+                    flight_tails=record.flight_tails,
+                    blame=record.blame,
                 )
         if net is not None and net.obs.enabled:
             obs = net.obs

@@ -5,12 +5,20 @@ of the reproduction:
 
 * :mod:`repro.obs.tracer` — structured span/event records on explicit
   clocks (wall-clock for the engine, the simulated network clock for
-  the TBON) with a hard event limit;
+  the TBON and the per-rank wait-state rows) with a hard event limit
+  that leaves a ``truncated`` marker behind;
 * :mod:`repro.obs.metrics` — counters, gauges, and histograms keyed by
   dotted names, generalizing :class:`repro.perf.timers.PhaseTimers`
   into one registry;
 * :mod:`repro.obs.exporters` — JSONL and Chrome ``trace_event``
   exporters (a run opens directly in ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.flight` — the always-on flight recorder: a bounded
+  per-rank ring of the last N events, embedded in deadlock reports;
+* :mod:`repro.obs.timeline` — aligns the engine's wall clock and the
+  TBON's simulated clock into one unified timeline;
+* :mod:`repro.obs.causal` — wait-state blame analysis: blocked-interval
+  reconstruction, blocked-time attribution to root-cause ranks, blame
+  chains, and the critical path (``repro blame``);
 * :mod:`repro.obs.stats` — the ``repro stats`` summary tables
   (per-message-type traffic and the Figure 10(b)/11(b) five-phase
   detection-time breakdown, from an actual run rather than a model).
@@ -19,13 +27,32 @@ The default backend is :data:`NULL_OBSERVER`: a disabled observer with
 no-op tracer/metrics, so every instrumented hot path costs exactly one
 attribute check when observability is off.
 """
-from repro.obs.events import PID_ENGINE, PID_TBON, TraceEvent
+from repro.obs.causal import (
+    BlameReport,
+    BlockedInterval,
+    analyze_events,
+    blame_chain,
+)
+from repro.obs.events import (
+    CLOCK_OF,
+    CLOCK_SIMULATED,
+    CLOCK_WALL,
+    PID_ENGINE,
+    PID_TBON,
+    PID_WAIT,
+    TraceEvent,
+)
 from repro.obs.exporters import (
     chrome_trace_document,
     load_run,
     read_jsonl,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.flight import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
 )
 from repro.obs.metrics import (
     Counter,
@@ -35,12 +62,22 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer, make_observer
-from repro.obs.stats import render_explore_table, render_summary
+from repro.obs.stats import (
+    render_explore_table,
+    render_summary,
+    render_timeline_table,
+    render_tracer_health,
+)
+from repro.obs.timeline import UnifiedTimeline
 from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = [
     "PID_ENGINE",
     "PID_TBON",
+    "PID_WAIT",
+    "CLOCK_OF",
+    "CLOCK_SIMULATED",
+    "CLOCK_WALL",
     "TraceEvent",
     "Tracer",
     "NullTracer",
@@ -52,6 +89,14 @@ __all__ = [
     "Observer",
     "NULL_OBSERVER",
     "make_observer",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT_RECORDER",
+    "UnifiedTimeline",
+    "BlameReport",
+    "BlockedInterval",
+    "analyze_events",
+    "blame_chain",
     "chrome_trace_document",
     "write_chrome_trace",
     "write_jsonl",
@@ -59,4 +104,6 @@ __all__ = [
     "load_run",
     "render_explore_table",
     "render_summary",
+    "render_timeline_table",
+    "render_tracer_health",
 ]

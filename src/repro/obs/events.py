@@ -10,9 +10,14 @@ separate the reproduction's two clock domains:
   application rank.
 * :data:`PID_TBON` — the tool network, *simulated* seconds scaled to
   microseconds; ``tid`` is the TBON node id.
+* :data:`PID_WAIT` — per-rank wait states as seen by the first-layer
+  trackers, on the *simulated* clock; ``tid`` is the application rank,
+  so Perfetto shows one row of blocked intervals per rank.
 
 Keeping the domains on separate pids means Perfetto renders them as
-separate processes instead of interleaving incomparable clocks.
+separate processes instead of interleaving incomparable clocks; the
+pid → clock mapping (:data:`CLOCK_WALL` / :data:`CLOCK_SIMULATED`) is
+what :mod:`repro.obs.timeline` uses to align the domains afterwards.
 """
 from __future__ import annotations
 
@@ -23,10 +28,26 @@ from typing import Any, Dict, Optional
 PID_ENGINE = 1
 #: TBON events (simulated clock, tid = tool node id).
 PID_TBON = 2
+#: Wait-state events (simulated clock, tid = application rank).
+PID_WAIT = 3
+
+#: Clock-domain labels, keyed by :data:`CLOCK_OF`.
+CLOCK_WALL = "wall"
+CLOCK_SIMULATED = "simulated"
+
+#: Which clock each pid stamps its timestamps with. Pids sharing a
+#: clock (TBON nodes and per-rank wait states both run on the simulated
+#: clock) are directly comparable and must shift together when aligned.
+CLOCK_OF = {
+    PID_ENGINE: CLOCK_WALL,
+    PID_TBON: CLOCK_SIMULATED,
+    PID_WAIT: CLOCK_SIMULATED,
+}
 
 _PID_NAMES = {
     PID_ENGINE: "engine (wall clock)",
     PID_TBON: "tbon (simulated clock)",
+    PID_WAIT: "wait states (simulated clock)",
 }
 
 
@@ -73,7 +94,7 @@ class TraceEvent:
 
 
 def process_name_metadata() -> list:
-    """Chrome ``M``-phase records naming the two clock domains."""
+    """Chrome ``M``-phase records naming the trace's processes."""
     return [
         TraceEvent(
             name="process_name",

@@ -61,7 +61,7 @@ def read_jsonl(path: str) -> List[TraceEvent]:
                 continue
             try:
                 events.append(TraceEvent.from_json(json.loads(line)))
-            except (ValueError, KeyError) as exc:
+            except (ValueError, KeyError, TypeError) as exc:
                 raise TraceError(
                     f"{path}:{lineno}: malformed event record: {exc}"
                 ) from exc

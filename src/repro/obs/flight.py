@@ -1,0 +1,169 @@
+"""The flight recorder: an always-on bounded event tail per rank.
+
+Deadlock reports are forensic artifacts: when detection fires, the
+question is *what the rank did just before it stopped*. Full tracing
+answers that but is opt-in (``--obs``) and unbounded; the flight
+recorder is the always-on counterpart — a fixed-size ring buffer of
+the last N engine/tracker events per rank, with O(1) append and the
+same one-attribute-check disabled cost as the observer
+(``if flight.enabled:``). Because the ring is bounded, it stays on by
+default at a small N; the consistent-state snapshot then embeds each
+deadlocked rank's tail into the JSON and HTML deadlock reports.
+
+Entries are cheap at record time (one C-level list append plus an
+amortized batch trim that keeps memory bounded by two ring widths;
+operation details are kept as references and only rendered when a
+tail is snapshotted), so the hot-path overhead stays inside the
+observability parity bound even with the recorder enabled.
+"""
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Default ring capacity: small enough to be always-on, large enough
+#: to cover the protocol exchanges leading into a blocked state.
+DEFAULT_CAPACITY = 64
+
+
+def _render_detail(detail: Any) -> Optional[str]:
+    if detail is None:
+        return None
+    describe = getattr(detail, "describe", None)
+    if callable(describe):
+        return describe()
+    return str(detail)
+
+
+class FlightRecorder:
+    """Fixed-size per-rank ring buffers of recent events."""
+
+    enabled = True
+
+    __slots__ = ("capacity", "trim_at", "_rings")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("flight-recorder capacity must be positive")
+        self.capacity = capacity
+        #: Buffer length at which callers must invoke :meth:`trim`.
+        self.trim_at = 2 * capacity
+        # rank -> [trimmed_count, entries]: appends hit a plain list
+        # (C speed, no modulo); once the list doubles the ring width
+        # the oldest half is dropped in one batch, so the append stays
+        # amortized O(1) and memory stays bounded.
+        self._rings: Dict[int, List[Any]] = {}
+
+    # -- recording (hot path) -------------------------------------------
+
+    def record(
+        self, rank: int, kind: str, ts: float, detail: Any = None
+    ) -> None:
+        """Append one event to ``rank``'s ring (O(1), overwrites oldest)."""
+        try:
+            ring = self._rings[rank]
+        except KeyError:
+            ring = self._rings[rank] = [0, []]
+        buf = ring[1]
+        buf.append((ts, kind, detail))
+        if len(buf) >= self.trim_at:
+            cut = len(buf) - self.capacity
+            del buf[:cut]
+            ring[0] += cut
+
+    def live_buffer(self, rank: int) -> List[Any]:
+        """The raw entry list for ``rank`` — the inline fast path.
+
+        Scheduler-loop call sites sit on paths where even a bound
+        method call per event is measurable against the observability
+        parity bound, so they hold this list and append
+        ``(ts, kind, detail)`` tuples directly. The contract: after an
+        append that leaves ``len(buf) >= trim_at``, call
+        :meth:`trim`. Everyone else should use :meth:`record`.
+        """
+        try:
+            ring = self._rings[rank]
+        except KeyError:
+            ring = self._rings[rank] = [0, []]
+        return ring[1]
+
+    def trim(self, rank: int) -> None:
+        """Batch-drop the oldest entries of an over-full live buffer."""
+        ring = self._rings[rank]
+        buf = ring[1]
+        cut = len(buf) - self.capacity
+        if cut > 0:
+            del buf[:cut]
+            ring[0] += cut
+
+    # -- introspection ---------------------------------------------------
+
+    def ranks(self) -> List[int]:
+        return sorted(self._rings)
+
+    def count(self, rank: int) -> int:
+        """Total events ever recorded for ``rank``."""
+        ring = self._rings.get(rank)
+        return 0 if ring is None else ring[0] + len(ring[1])
+
+    def dropped(self, rank: int) -> int:
+        """Events overwritten by the ring for ``rank``."""
+        return max(0, self.count(rank) - self.capacity)
+
+    def tail(
+        self, rank: int, _memo: Optional[Dict[int, Optional[str]]] = None
+    ) -> List[Dict[str, Any]]:
+        """The retained events of ``rank``, oldest first, rendered.
+
+        ``_memo`` caches rendered details by object identity for the
+        duration of one snapshot: the same operation appears in several
+        ring entries (issue/block/advance), and all details are kept
+        alive by the buffers, so identity keys cannot be recycled here.
+        """
+        ring = self._rings.get(rank)
+        if ring is None:
+            return []
+        buf = ring[1]
+        retained = buf[-self.capacity:]
+        seq = ring[0] + len(buf) - len(retained)
+        out: List[Dict[str, Any]] = []
+        for ts, kind, detail in retained:
+            entry: Dict[str, Any] = {"seq": seq, "ts": ts, "event": kind}
+            seq += 1
+            if _memo is None:
+                rendered = _render_detail(detail)
+            else:
+                key = id(detail)
+                try:
+                    rendered = _memo[key]
+                except KeyError:
+                    rendered = _memo[key] = _render_detail(detail)
+            if rendered is not None:
+                entry["detail"] = rendered
+            out.append(entry)
+        return out
+
+    def snapshot(
+        self, ranks: Optional[Sequence[int]] = None
+    ) -> Dict[int, List[Dict[str, Any]]]:
+        """Tails for the given ranks (default: every recorded rank)."""
+        selected = self.ranks() if ranks is None else list(ranks)
+        memo: Dict[int, Optional[str]] = {}
+        return {rank: self.tail(rank, memo) for rank in selected}
+
+
+class NullFlightRecorder(FlightRecorder):
+    """The disabled backend: records nothing, costs one attribute check."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def record(self, rank, kind, ts, detail=None) -> None:  # pragma: no cover
+        pass
+
+
+#: Shared disabled recorder for call sites that opt out explicitly.
+NULL_FLIGHT_RECORDER = NullFlightRecorder()

@@ -34,6 +34,8 @@ class Observer:
         self.enabled = enabled
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if enabled:
+            self.tracer.bind_metrics(self.metrics)
 
 
 #: The default backend: disabled, with inert tracer and metrics.

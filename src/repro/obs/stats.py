@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping
 
+from repro.obs.timeline import UnifiedTimeline
 from repro.perf.timers import ALL_PHASES
 
 #: Counter prefixes written by the Network instrumentation.
@@ -143,6 +144,42 @@ def render_explore_table(snapshot: Mapping[str, object]) -> List[str]:
     return lines
 
 
+def render_timeline_table(timeline: UnifiedTimeline) -> List[str]:
+    """Per-clock-domain rows of the unified timeline."""
+    rows = timeline.summary()
+    if not rows:
+        return []
+    lines = [
+        f"{'clock domain':<16} {'events':>8} {'span ms':>12} "
+        f"{'offset ms':>12} {'pids':<12}"
+    ]
+    for row in rows:
+        pids = ",".join(str(p) for p in row["pids"])
+        lines.append(
+            f"{row['clock']:<16} {row['events']:>8,} "
+            f"{row['span_us'] / 1e3:>12.3f} {row['offset_us'] / 1e3:>12.3f} "
+            f"{pids:<12}"
+        )
+    lines.append(
+        f"{'unified (' + timeline.mode + ')':<16} "
+        f"{len(timeline.events):>8,} {timeline.total_span_us / 1e3:>12.3f}"
+    )
+    return lines
+
+
+def render_tracer_health(snapshot: Mapping[str, object]) -> List[str]:
+    """Warning lines about dropped trace events, if any."""
+    counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+    dropped = counters.get("obs.tracer.dropped", 0)
+    if not dropped:
+        return []
+    return [
+        f"WARNING: tracer event limit hit -- {dropped:,} event(s) dropped; "
+        "the artifact ends with a 'truncated' marker and analyses of it "
+        "are incomplete"
+    ]
+
+
 def render_summary(snapshot: Mapping[str, object]) -> List[str]:
     """The full ``repro stats`` body: traffic, phases, wait states,
     and (when present) match-set exploration counters."""
@@ -161,4 +198,8 @@ def render_summary(snapshot: Mapping[str, object]) -> List[str]:
         lines.append("")
         lines.append("-- match-set exploration (repro verify) --")
         lines += explore
+    health = render_tracer_health(snapshot)
+    if health:
+        lines.append("")
+        lines += health
     return lines

@@ -1,0 +1,159 @@
+"""Unified timeline: aligning the trace's two clock domains.
+
+A trace artifact mixes two incomparable clocks. Engine events
+(:data:`~repro.obs.events.PID_ENGINE`) are stamped with wall-clock
+microseconds since the tracer epoch; TBON and wait-state events
+(:data:`~repro.obs.events.PID_TBON`, :data:`~repro.obs.events.PID_WAIT`)
+carry the *simulated* network clock scaled to microseconds. Their
+origins and rates are unrelated — the engine finishes its wall-clock
+run before the simulated detection network even starts, and one
+simulated second costs nowhere near one wall second to compute.
+
+:class:`UnifiedTimeline` groups events by clock domain (via
+:data:`~repro.obs.events.CLOCK_OF`; pids sharing a clock shift
+together), rebases each domain so its earliest timestamp sits at 0,
+and places the domains on one axis in either of two modes:
+
+* ``"pipeline"`` (default) — domains are concatenated in dataflow
+  order (wall-clock engine run, then the simulated detection pass),
+  mirroring how a run actually unfolds: the recorded program is
+  replayed first, the TBON consumes its window stream after. Unified
+  time is therefore a single monotone axis and cross-domain ordering
+  is meaningful.
+* ``"overlay"`` — every domain is anchored at 0, for comparing
+  *shapes* (e.g. dwell spans against TBON message activity) rather
+  than sequencing them.
+
+The unified axis is what ``repro stats`` renders as the timeline
+table and what :mod:`repro.obs.causal` uses to order blocked
+intervals against detection events.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.obs.events import CLOCK_OF, CLOCK_SIMULATED, CLOCK_WALL, TraceEvent
+
+#: Dataflow order of the known clock domains in ``"pipeline"`` mode.
+DOMAIN_ORDER = (CLOCK_WALL, CLOCK_SIMULATED)
+
+ALIGNMENT_MODES = ("pipeline", "overlay")
+
+
+def _clock_of(pid: int) -> str:
+    return CLOCK_OF.get(pid, "pid%d" % pid)
+
+
+def _extent_of(event: TraceEvent) -> Tuple[float, float]:
+    start = event.ts
+    end = event.ts + (event.dur or 0.0)
+    return start, end
+
+
+@dataclass
+class DomainExtent:
+    """One clock domain's raw extent and its placement on the axis."""
+
+    clock: str
+    begin: float = float("inf")
+    end: float = float("-inf")
+    count: int = 0
+    pids: List[int] = field(default_factory=list)
+    #: Unified-axis position of this domain's ``begin``.
+    offset: float = 0.0
+
+    @property
+    def span_us(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.end - self.begin
+
+    def rebase(self, ts: float) -> float:
+        """Map a raw in-domain timestamp onto the unified axis."""
+        return self.offset + (ts - self.begin)
+
+
+class UnifiedTimeline:
+    """One monotone axis over the trace's separate clock domains."""
+
+    def __init__(
+        self, events: Iterable[TraceEvent], *, mode: str = "pipeline"
+    ) -> None:
+        if mode not in ALIGNMENT_MODES:
+            raise ValueError(
+                "unknown alignment mode %r (expected one of %s)"
+                % (mode, ", ".join(ALIGNMENT_MODES))
+            )
+        self.mode = mode
+        self.events: List[TraceEvent] = [
+            ev for ev in events if ev.ph != "M"
+        ]
+        self.domains: Dict[str, DomainExtent] = {}
+        for ev in self.events:
+            clock = _clock_of(ev.pid)
+            dom = self.domains.get(clock)
+            if dom is None:
+                dom = self.domains[clock] = DomainExtent(clock=clock)
+            start, end = _extent_of(ev)
+            dom.begin = min(dom.begin, start)
+            dom.end = max(dom.end, end)
+            dom.count += 1
+            if ev.pid not in dom.pids:
+                dom.pids.append(ev.pid)
+        self._place_domains()
+
+    # -- alignment -------------------------------------------------------
+
+    def _ordered_clocks(self) -> List[str]:
+        known = [c for c in DOMAIN_ORDER if c in self.domains]
+        extra = sorted(c for c in self.domains if c not in DOMAIN_ORDER)
+        return known + extra
+
+    def _place_domains(self) -> None:
+        cursor = 0.0
+        for clock in self._ordered_clocks():
+            dom = self.domains[clock]
+            if self.mode == "overlay":
+                dom.offset = 0.0
+            else:  # pipeline: concatenate in dataflow order
+                dom.offset = cursor
+                cursor += dom.span_us
+            dom.pids.sort()
+
+    # -- queries ---------------------------------------------------------
+
+    def unified_ts(self, event: TraceEvent) -> float:
+        """The event's start position on the unified axis."""
+        return self.domains[_clock_of(event.pid)].rebase(event.ts)
+
+    def iter_unified(self) -> Iterator[Tuple[float, TraceEvent]]:
+        """Events as ``(unified_ts, event)``, sorted by unified time."""
+        pairs = [(self.unified_ts(ev), ev) for ev in self.events]
+        pairs.sort(key=lambda p: p[0])
+        return iter(pairs)
+
+    @property
+    def total_span_us(self) -> float:
+        """Extent of the unified axis."""
+        best = 0.0
+        for dom in self.domains.values():
+            if dom.count:
+                best = max(best, dom.offset + dom.span_us)
+        return best
+
+    def summary(self) -> List[Dict[str, object]]:
+        """Per-domain rows for table rendering / JSON export."""
+        rows = []
+        for clock in self._ordered_clocks():
+            dom = self.domains[clock]
+            rows.append(
+                {
+                    "clock": dom.clock,
+                    "pids": list(dom.pids),
+                    "events": dom.count,
+                    "span_us": dom.span_us,
+                    "offset_us": dom.offset,
+                }
+            )
+        return rows

@@ -4,7 +4,11 @@
 call sites provide timestamps explicitly (the TBON passes its simulated
 clock) or fall back to the wall clock via :meth:`Tracer.now_us`. A hard
 event limit bounds memory on pathological runs: past the limit events
-are dropped and counted, never silently.
+are dropped and counted, never silently — the first drop appends one
+final ``truncated`` instant marker so the artifact itself records that
+it is incomplete, and when a metrics registry is bound via
+:meth:`Tracer.bind_metrics` every drop also bumps the
+``obs.tracer.dropped`` counter surfaced by ``repro stats``.
 
 :class:`NullTracer` is the disabled backend: every method is a no-op
 and ``enabled`` is False, so instrumented hot paths can guard with one
@@ -33,7 +37,12 @@ class Tracer:
         self.limit = limit
         self.events: List[TraceEvent] = []
         self.dropped = 0
+        self._metrics = None
         self._epoch = time.perf_counter()
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror drop counts into ``obs.tracer.dropped`` on ``metrics``."""
+        self._metrics = metrics
 
     # -- clock ----------------------------------------------------------
 
@@ -45,7 +54,23 @@ class Tracer:
 
     def _push(self, event: TraceEvent) -> None:
         if len(self.events) >= self.limit:
+            if self.dropped == 0:
+                # One final marker, past the cap, so readers of the
+                # artifact can tell truncation from a clean ending.
+                self.events.append(
+                    TraceEvent(
+                        name="truncated",
+                        cat="tracer",
+                        ph="i",
+                        ts=event.ts,
+                        pid=event.pid,
+                        tid=event.tid,
+                        args={"limit": self.limit},
+                    )
+                )
             self.dropped += 1
+            if self._metrics is not None:
+                self._metrics.inc("obs.tracer.dropped")
             return
         self.events.append(event)
 

@@ -18,10 +18,6 @@ PHASE_GRAPH_BUILD = "graph_build"
 PHASE_DEADLOCK_CHECK = "deadlock_check"
 PHASE_OUTPUT = "output_generation"
 
-#: Deprecated misspelled alias of :data:`PHASE_SYNCHRONIZATION`; kept
-#: for one release, remove in the next.
-PHASE_SYNchronization = PHASE_SYNCHRONIZATION
-
 ALL_PHASES = (
     PHASE_SYNCHRONIZATION,
     PHASE_WFG_GATHER,

@@ -32,6 +32,7 @@ from repro.mpi.constants import (
 from repro.mpi.ops import Operation, OpRef
 from repro.mpi.trace import CollectiveMatch, MatchedTrace, PendingCollective, Trace
 from repro.obs.events import PID_ENGINE
+from repro.obs.flight import FlightRecorder
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.runtime.matchstate import CollectiveWave, MatchState, PendingSend
 from repro.runtime.program import Call, Rank, Status
@@ -96,6 +97,8 @@ class RunResult:
     steps: int = 0
     #: Messages sent but never received (potential lost messages).
     unreceived_messages: int = 0
+    #: The engine's flight recorder (per-rank tails of recent calls).
+    flight: Optional[FlightRecorder] = None
 
     @property
     def trace(self) -> Trace:
@@ -123,10 +126,24 @@ class Engine:
         observer: Observer | None = None,
         scheduler: Scheduler | None = None,
         wildcard_pinnings: Dict[OpRef, int] | None = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
         if not programs:
             raise ValueError("need at least one rank program")
         self.obs = observer if observer is not None else NULL_OBSERVER
+        # The flight recorder is ON by default: a bounded per-rank ring
+        # whose append is O(1); logical step counts serve as timestamps.
+        self.flight = flight if flight is not None else FlightRecorder()
+        # The per-op record sites sit on the scheduler hot path, where
+        # even a bound method call per event is measurable: hold each
+        # rank's live ring buffer and append inline (trim stays rare).
+        self._flight_bufs = (
+            [self.flight.live_buffer(r) for r in range(len(programs))]
+            if self.flight.enabled
+            else None
+        )
+        self._flight_trim_at = self.flight.trim_at
+        self._step_count = 0
         self.semantics = semantics or BlockingSemantics.relaxed()
         self.comms = CommRegistry(len(programs))
         self.match = MatchState(
@@ -176,6 +193,7 @@ class Engine:
         run_start = obs.tracer.now_us() if obs.enabled else 0.0
         while self._runnable:
             steps += 1
+            self._step_count = steps
             if steps > self.max_steps:
                 raise ReproError(
                     f"engine exceeded {self.max_steps} steps (livelock?)"
@@ -228,6 +246,7 @@ class Engine:
             hung=hung,
             steps=steps,
             unreceived_messages=self.match.unmatched_send_count(),
+            flight=self.flight,
         )
 
     def _step(self, rank: int) -> None:
@@ -256,6 +275,15 @@ class Engine:
             raise ProtocolError(
                 f"rank {rank} woken twice before stepping"
             )
+        bufs = self._flight_bufs
+        if bufs is not None and rs.blocked_ref is not None:
+            ref = rs.blocked_ref
+            buf = bufs[rank]
+            buf.append(
+                (self._step_count, "resume", self._seqs[ref[0]][ref[1]])
+            )
+            if len(buf) >= self._flight_trim_at:
+                self.flight.trim(rank)
         rs.inbox = result
         rs.blocked_call = None
         rs.blocked_ref = None
@@ -267,6 +295,14 @@ class Engine:
         rs.status = _PARKED
         rs.blocked_call = call
         rs.blocked_ref = ref
+        bufs = self._flight_bufs
+        if bufs is not None:
+            buf = bufs[rank]
+            buf.append(
+                (self._step_count, "block", self._seqs[ref[0]][ref[1]])
+            )
+            if len(buf) >= self._flight_trim_at:
+                self.flight.trim(rank)
 
     # ------------------------------------------------------------------
     # call issue & completion
@@ -313,6 +349,12 @@ class Engine:
             location=call.location,
         )
         self._seqs[rank].append(op)
+        bufs = self._flight_bufs
+        if bufs is not None:
+            buf = bufs[rank]
+            buf.append((self._step_count, "issue", op))
+            if len(buf) >= self._flight_trim_at:
+                self.flight.trim(rank)
         if self.obs.enabled:
             self._observe_op(op)
         return op
@@ -856,6 +898,7 @@ def run_programs(
     observer: Observer | None = None,
     scheduler: Scheduler | None = None,
     wildcard_pinnings: Dict[OpRef, int] | None = None,
+    flight: FlightRecorder | None = None,
 ) -> RunResult:
     """Execute ``programs`` on the virtual runtime and return the result."""
     engine = Engine(
@@ -868,5 +911,6 @@ def run_programs(
         observer=observer,
         scheduler=scheduler,
         wildcard_pinnings=wildcard_pinnings,
+        flight=flight,
     )
     return engine.run()

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import html
 import io
-from typing import Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.transition import UnexpectedMatch
 from repro.core.waitfor import WaitForCondition
@@ -35,6 +35,8 @@ def render_html_report(
     *,
     dot_text: Optional[str] = None,
     unexpected: Sequence[UnexpectedMatch] = (),
+    flight_tails: Optional[Mapping[int, Sequence[Mapping[str, Any]]]] = None,
+    blame: Sequence[str] = (),
     title: str = "MUST-style deadlock report",
 ) -> str:
     """Produce the HTML report text for one detection run."""
@@ -81,6 +83,30 @@ def render_html_report(
             )
         out.write("</ul>\n")
 
+    if blame:
+        out.write("<h2>Blame chain</h2>\n<ol>\n")
+        for line in blame:
+            out.write(f"<li>{html.escape(line)}</li>\n")
+        out.write("</ol>\n")
+
+    if flight_tails:
+        out.write("<h2>Flight recorder: last events per deadlocked rank"
+                  "</h2>\n")
+        for rank in sorted(flight_tails):
+            tail = flight_tails[rank]
+            out.write(f"<h3>Rank {rank} ({len(tail)} event(s))</h3>\n")
+            out.write("<table><tr><th>#</th><th>t (sim s)</th>"
+                      "<th>Event</th><th>Operation</th></tr>\n")
+            for entry in tail:
+                detail = entry.get("detail", "")
+                out.write(
+                    f"<tr><td>{entry.get('seq', '')}</td>"
+                    f"<td>{entry.get('ts', '')}</td>"
+                    f"<td>{html.escape(str(entry.get('event', '')))}</td>"
+                    f"<td><code>{html.escape(str(detail))}</code></td></tr>\n"
+                )
+            out.write("</table>\n")
+
     out.write(f"<p>Wait-for graph: {len(graph.nodes)} node(s), "
               f"{graph.arc_count()} arc(s).</p>\n")
     if dot_text is not None:
@@ -88,6 +114,45 @@ def render_html_report(
         out.write(f"<pre>{html.escape(dot_text)}</pre>\n")
     out.write("</body></html>\n")
     return out.getvalue()
+
+
+def render_json_report(
+    graph: WaitForGraph,
+    result: DetectionResult,
+    conditions: Mapping[int, WaitForCondition],
+    *,
+    flight_tails: Optional[Mapping[int, Sequence[Mapping[str, Any]]]] = None,
+    blame: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """The machine-readable counterpart of the HTML report."""
+    cond_docs: List[Dict[str, Any]] = []
+    dead = set(result.deadlocked)
+    for rank in sorted(conditions):
+        cond = conditions[rank]
+        cond_docs.append(
+            {
+                "rank": rank,
+                "op": cond.op_description,
+                "deadlocked": rank in dead,
+                "clauses": [
+                    [{"rank": t.rank, "reason": t.reason} for t in clause]
+                    for clause in cond.clauses
+                ],
+            }
+        )
+    return {
+        "format": "repro-deadlock-report/1",
+        "deadlocked": list(result.deadlocked),
+        "releasable": list(result.releasable),
+        "witness_cycle": list(result.witness_cycle),
+        "conditions": cond_docs,
+        "blame_chain": list(blame),
+        "flight_tails": {
+            str(rank): list(tail)
+            for rank, tail in sorted((flight_tails or {}).items())
+        },
+        "wfg": {"nodes": len(graph.nodes), "arcs": graph.arc_count()},
+    }
 
 
 def _render_condition(cond: WaitForCondition) -> str:

@@ -1,0 +1,162 @@
+"""``repro blame``: live mode, artifact mode, and malformed input."""
+import json
+
+from repro.cli import main
+
+LAMMPS = "examples/lammps_potential_deadlock.py"
+
+
+def test_blame_live_lammps_agrees_with_runtime_wfg(tmp_path, capsys):
+    out_json = tmp_path / "blame.json"
+    code = main(["blame", LAMMPS, "--json-out", str(out_json)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "blame verdict: deadlock rooted at ranks" in out
+    assert "root causes match the runtime deadlocked set" in out
+    assert "-- blame chain (witness cycle) --" in out
+    assert "-- critical path --" in out
+    assert "-- unified timeline --" in out
+
+    doc = json.loads(out_json.read_text())
+    assert doc["format"] == "repro-blame/1"
+    assert doc["deadlock"] is True
+    # The lammps ring deadlocks all 12 ranks, and the acceptance bar:
+    # >= 90% of blocked time lands on the reported root causes.
+    assert doc["root_causes"] == list(range(12))
+    assert doc["runtime_agreement"] is True
+    assert doc["runtime_deadlocked"] == doc["root_causes"]
+    assert doc["attributed_ratio"] >= 0.9
+    assert doc["total_blocked_us"] > 0
+    assert len(doc["blame_chain"]) == 12
+    assert len(doc["critical_path"]) == 12
+    assert doc["num_ranks"] == 12
+    assert any(iv["terminal"] for iv in doc["intervals"])
+    assert [row["clock"] for row in doc["timeline"]] == [
+        "wall", "simulated",
+    ]
+
+
+def test_blame_artifact_chrome_trace_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "run.trace.json"
+    code = main([
+        "demo", "lammps", "-n", "12", "--obs-out", str(trace),
+    ])
+    capsys.readouterr()
+    assert code == 1
+
+    out_json = tmp_path / "blame.json"
+    code = main(["blame", str(trace), "--json-out", str(out_json)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "deadlock rooted at ranks" in out
+    doc = json.loads(out_json.read_text())
+    assert doc["deadlock"] is True
+    assert doc["attributed_ratio"] >= 0.9
+    # Artifact mode has no live runtime to cross-check against.
+    assert "runtime_agreement" not in doc
+
+
+def test_blame_artifact_jsonl_roundtrip(tmp_path, capsys):
+    jsonl = tmp_path / "run.events.jsonl"
+    code = main([
+        "demo", "lammps", "-n", "12", "--obs-jsonl", str(jsonl),
+    ])
+    capsys.readouterr()
+    assert code == 1
+    code = main(["blame", str(jsonl)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "deadlock rooted at ranks" in out
+
+
+def test_blame_clean_run_exits_zero(tmp_path, capsys):
+    trace = tmp_path / "run.trace.json"
+    code = main(["demo", "stress", "-n", "4", "--obs-out", str(trace)])
+    capsys.readouterr()
+    assert code == 0
+    code = main(["blame", str(trace)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no deadlock" in out
+
+
+def test_deadlock_report_json_embeds_flight_tails(tmp_path, capsys):
+    report_json = tmp_path / "report.json"
+    code = main([
+        "demo", "lammps", "-n", "12", "--json-out", str(report_json),
+    ])
+    capsys.readouterr()
+    assert code == 1
+    doc = json.loads(report_json.read_text())
+    assert doc["format"] == "repro-deadlock-report/1"
+    assert doc["deadlocked"] == list(range(12))
+    assert len(doc["blame_chain"]) == 12
+    # One flight tail per deadlocked rank, ending at the detection cut.
+    assert sorted(doc["flight_tails"], key=int) == [
+        str(r) for r in range(12)
+    ]
+    for tail in doc["flight_tails"].values():
+        assert tail, "flight tail must not be empty"
+        assert tail[-1]["event"] == "blocked@detection"
+
+
+def test_deadlock_report_html_embeds_flight_tails(tmp_path, capsys):
+    report = tmp_path / "report.html"
+    code = main(["demo", "lammps", "-n", "12", "--report", str(report)])
+    capsys.readouterr()
+    assert code == 1
+    html = report.read_text()
+    assert "Blame chain" in html
+    assert "Flight recorder" in html
+    assert "blocked@detection" in html
+
+
+class TestMalformedInput:
+    def test_stats_corrupt_jsonl_names_the_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name": "a", "ph": "i", "ts": 1}\n{oops\n')
+        code = main(["stats", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert f"{bad}:2" in err
+        assert "malformed event record" in err
+
+    def test_blame_corrupt_jsonl_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        code = main(["blame", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "malformed event record" in err
+
+    def test_blame_jsonl_non_object_line_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("[1, 2, 3]\n")
+        code = main(["blame", str(bad)])
+        assert code == 2
+
+    def test_blame_truncated_chrome_doc_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [')
+        code = main(["blame", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot analyze" in err
+
+    def test_stats_truncated_chrome_doc_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [')
+        code = main(["stats", str(bad)])
+        assert code == 2
+
+    def test_blame_missing_file_exits_two(self, tmp_path, capsys):
+        code = main(["blame", str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_blame_python_file_without_programs(self, tmp_path, capsys):
+        src = tmp_path / "empty.py"
+        src.write_text("X = 1\n")
+        code = main(["blame", str(src)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no rank programs" in err

@@ -1,0 +1,218 @@
+"""Blame analysis over synthetic wait-state event streams."""
+from repro.obs.causal import (
+    analyze_events,
+    blame_chain,
+    conditions_from_wait_args,
+)
+from repro.obs.events import PID_TBON, PID_WAIT, TraceEvent
+from repro.wfg.detect import detect_deadlock
+from repro.wfg.graph import WaitForGraph
+
+
+def _dwell(rank, start, dur, targets, op="MPI_Recv"):
+    return TraceEvent(
+        name="dwell",
+        cat="waitstate.dwell",
+        ph="X",
+        ts=start,
+        pid=PID_WAIT,
+        tid=rank,
+        dur=dur,
+        args={
+            "rank": rank,
+            "op": op,
+            "or": False,
+            "entries": [{"targets": list(targets), "reason": "r"}],
+        },
+    )
+
+
+def _final(rank, since, ts, targets, *, detection=1, op="MPI_Send"):
+    return TraceEvent(
+        name="blocked",
+        cat="waitstate.final",
+        ph="i",
+        ts=ts,
+        pid=PID_WAIT,
+        tid=rank,
+        args={
+            "rank": rank,
+            "op": op,
+            "or": False,
+            "entries": [
+                {"targets": list(targets), "reason": "no matching receive"}
+            ],
+            "since": since,
+            "detection": detection,
+        },
+    )
+
+
+def _resume(detection, finished=(), unblocked=()):
+    return TraceEvent(
+        name="resume",
+        cat="detection",
+        ph="i",
+        ts=999.0,
+        pid=PID_TBON,
+        tid=0,
+        args={
+            "detection": detection,
+            "finished_ranks": list(finished),
+            "unblocked_ranks": list(unblocked),
+        },
+    )
+
+
+class TestDeadlockReconstruction:
+    def test_two_rank_cycle_roots_and_full_attribution(self):
+        events = [
+            _final(0, 10.0, 100.0, [1]),
+            _final(1, 20.0, 100.0, [0]),
+            _resume(1),
+        ]
+        report = analyze_events(events)
+        assert report.num_ranks == 2
+        assert set(report.root_causes) == {0, 1}
+        assert report.has_deadlock
+        # rank 0 blames its deadlocked successor 1 and vice versa.
+        blamed = {iv.rank: iv.blamed for iv in report.intervals}
+        assert blamed == {0: 1, 1: 0}
+        assert report.total_blocked_us == 90.0 + 80.0
+        assert report.attributed_ratio == 1.0
+        assert len(report.chain) == 2
+        assert "waits for" in report.chain[0]
+
+    def test_critical_path_follows_the_cycle(self):
+        events = [
+            _final(0, 10.0, 100.0, [1]),  # 90us blocked
+            _final(1, 60.0, 100.0, [0]),  # 40us blocked
+        ]
+        report = analyze_events(events)
+        path = report.critical_path
+        # Starts at the longest-blocked deadlocked rank.
+        assert [hop["rank"] for hop in path] == [0, 1]
+        assert path[0]["waits_for"] == 1
+        assert path[0]["blocked_us"] == 90.0
+
+    def test_only_last_detection_counts(self):
+        events = [
+            _final(0, 10.0, 50.0, [1], detection=1),
+            _final(0, 10.0, 100.0, [1], detection=2),
+            _final(1, 20.0, 100.0, [0], detection=2),
+        ]
+        report = analyze_events(events)
+        terminal = [iv for iv in report.intervals if iv.terminal]
+        assert len(terminal) == 2
+        assert all(iv.detection == 2 for iv in terminal)
+
+    def test_transient_dwell_blames_immediate_blocker(self):
+        events = [
+            _dwell(2, 0.0, 30.0, [0]),
+            _final(0, 10.0, 100.0, [1]),
+            _final(1, 20.0, 100.0, [0]),
+        ]
+        report = analyze_events(events)
+        dwell_iv = next(iv for iv in report.intervals if not iv.terminal)
+        assert dwell_iv.blamed == 0
+        # 30us of transient wait + 170us terminal, all on roots {0,1}.
+        assert report.attributed_ratio == 1.0
+        assert report.num_ranks == 3
+
+    def test_releasable_blocked_rank_blames_nearest_deadlocked(self):
+        # 2 waits on 0; {0,1} form the cycle. The fixpoint marks 2
+        # deadlocked too (its only provider is dead), so its terminal
+        # time lands on a deadlocked rank either way.
+        events = [
+            _final(0, 10.0, 100.0, [1]),
+            _final(1, 20.0, 100.0, [0]),
+            _final(2, 30.0, 100.0, [0]),
+        ]
+        report = analyze_events(events)
+        blamed = {iv.rank: iv.blamed for iv in report.intervals}
+        assert blamed[2] == 0
+        assert report.attributed_ratio == 1.0
+
+
+class TestNoDeadlock:
+    def test_dwell_only_run_has_no_roots(self):
+        events = [
+            _dwell(0, 0.0, 10.0, [1]),
+            _dwell(1, 5.0, 20.0, [0]),
+            _resume(1, finished=(0, 1)),
+        ]
+        report = analyze_events(events)
+        assert not report.has_deadlock
+        assert report.root_causes == ()
+        assert report.attributed_ratio == 0.0
+        assert report.total_blocked_us == 30.0
+        assert report.chain == ()
+        assert report.critical_path == []
+
+    def test_empty_event_stream(self):
+        report = analyze_events([])
+        assert report.num_ranks == 1
+        assert not report.has_deadlock
+        assert report.intervals == []
+
+    def test_finished_ranks_flow_into_the_graph(self):
+        # Rank 1 finished: a wait targeting only finished ranks is
+        # permanently unsatisfiable, so rank 0 IS deadlocked — same
+        # semantics as the runtime WFG.
+        events = [
+            _final(0, 10.0, 100.0, [1]),
+            _resume(1, finished=(1,)),
+        ]
+        report = analyze_events(events)
+        assert report.finished == {1}
+        assert set(report.root_causes) == {0}
+
+
+class TestConditionMirror:
+    def test_collective_wave_expansion(self):
+        # 0 and 1 blocked in wave (7, 3); 2 has not activated it.
+        coll = {"comm": 7, "wave": 3, "group": [0, 1, 2]}
+        args = {
+            0: {"rank": 0, "op": "MPI_Barrier", "or": False,
+                "entries": [{"collective": dict(coll)}]},
+            1: {"rank": 1, "op": "MPI_Barrier", "or": False,
+                "entries": [{"collective": dict(coll)}]},
+        }
+        conditions = conditions_from_wait_args(args)
+        # Each waits only on rank 2 (the one not in the wave).
+        for rank in (0, 1):
+            clauses = conditions[rank].clauses
+            assert [[t.rank for t in clause] for clause in clauses] == [[2]]
+        graph = WaitForGraph.from_conditions(3, conditions.values())
+        result = detect_deadlock(graph)
+        assert not result.deadlocked  # 2 is unblocked -> wave can form
+
+    def test_or_semantics_flatten_into_one_clause(self):
+        args = {
+            0: {
+                "rank": 0,
+                "op": "MPI_Waitany",
+                "or": True,
+                "entries": [
+                    {"targets": [1], "reason": "a"},
+                    {"targets": [2], "reason": "b"},
+                ],
+            },
+        }
+        conditions = conditions_from_wait_args(args)
+        (clause,) = conditions[0].clauses
+        assert sorted(t.rank for t in clause) == [1, 2]
+
+    def test_blame_chain_lines_carry_reasons(self):
+        args = {
+            0: {"rank": 0, "op": "MPI_Send(to=1)", "or": False,
+                "entries": [{"targets": [1], "reason": "no recv"}]},
+            1: {"rank": 1, "op": "MPI_Send(to=0)", "or": False,
+                "entries": [{"targets": [0], "reason": "no recv"}]},
+        }
+        conditions = conditions_from_wait_args(args)
+        graph = WaitForGraph.from_conditions(2, conditions.values())
+        result = detect_deadlock(graph)
+        lines = blame_chain(graph, result, conditions)
+        assert len(lines) == 2
+        assert all("no recv" in line for line in lines)

@@ -58,8 +58,26 @@ class TestTracer:
         tracer = Tracer(limit=3)
         for i in range(5):
             tracer.instant(f"e{i}", cat="c", pid=1, tid=0, ts=float(i))
-        assert len(tracer.events) == 3
+        # The limit keeps 3 events plus one final 'truncated' marker.
+        assert len(tracer.events) == 4
+        assert [e.name for e in tracer.events[:3]] == ["e0", "e1", "e2"]
+        marker = tracer.events[-1]
+        assert marker.name == "truncated" and marker.cat == "tracer"
+        assert marker.args == {"limit": 3}
         assert tracer.dropped == 2
+
+    def test_event_limit_increments_bound_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        tracer = Tracer(limit=2)
+        metrics = MetricsRegistry()
+        tracer.bind_metrics(metrics)
+        for i in range(5):
+            tracer.instant(f"e{i}", cat="c", pid=1, tid=0, ts=float(i))
+        counters = metrics.snapshot()["counters"]
+        assert counters["obs.tracer.dropped"] == 3
+        # Only one truncation marker, no matter how many drops follow.
+        assert [e.name for e in tracer.events].count("truncated") == 1
 
     def test_counter_events(self):
         tracer = Tracer()
@@ -221,9 +239,10 @@ class TestExporters:
         assert isinstance(doc["traceEvents"], list)
         for event in doc["traceEvents"]:
             assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
-        # The two clock domains are named via metadata records.
+        # The engine, TBON, and wait-state rows are named via metadata
+        # records.
         names = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-        assert len(names) == 2
+        assert len(names) == 3
 
     def test_chrome_document_embeds_run_metadata(self):
         doc = chrome_trace_document(
@@ -279,10 +298,10 @@ class TestStatsRendering:
         assert "no tool messages recorded" in text
 
 
-def test_phase_constant_fixed_with_deprecated_alias():
+def test_phase_constant_fixed_and_alias_removed():
     from repro.perf import timers
 
     assert timers.PHASE_SYNCHRONIZATION == "synchronization"
-    # The misspelled name stays importable for one release.
-    assert timers.PHASE_SYNchronization is timers.PHASE_SYNCHRONIZATION
+    # The misspelled compatibility alias is gone.
+    assert not hasattr(timers, "PHASE_SYNchronization")
     assert timers.ALL_PHASES[0] == timers.PHASE_SYNCHRONIZATION

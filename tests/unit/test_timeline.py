@@ -1,0 +1,97 @@
+"""Unified timeline: aligning wall and simulated clock domains."""
+import pytest
+
+from repro.obs.events import (
+    PID_ENGINE,
+    PID_TBON,
+    PID_WAIT,
+    TraceEvent,
+)
+from repro.obs.timeline import UnifiedTimeline
+
+
+def _ev(name, ts, pid, *, dur=None, ph="i", tid=0):
+    return TraceEvent(
+        name=name, cat="t", ph=ph, ts=ts, pid=pid, tid=tid, dur=dur
+    )
+
+
+def _mixed_events():
+    return [
+        _ev("a", 1000.0, PID_ENGINE),
+        _ev("b", 2000.0, PID_ENGINE),
+        _ev("c", 50.0, PID_TBON),
+        _ev("d", 60.0, PID_TBON),
+        _ev("e", 55.0, PID_WAIT, dur=15.0, ph="X"),
+    ]
+
+
+class TestPipeline:
+    def test_domains_concatenate_in_dataflow_order(self):
+        tl = UnifiedTimeline(_mixed_events(), mode="pipeline")
+        rows = tl.summary()
+        assert [r["clock"] for r in rows] == ["wall", "simulated"]
+        wall, sim = rows
+        assert wall["offset_us"] == 0.0
+        assert wall["span_us"] == 1000.0
+        # The simulated domain starts where the wall domain ends.
+        assert sim["offset_us"] == 1000.0
+        # pid 2 (TBON) and pid 3 (wait states) share the simulated
+        # clock: one domain, one extent 50..70 (the X event has dur).
+        assert sorted(sim["pids"]) == [PID_TBON, PID_WAIT]
+        assert sim["span_us"] == 20.0
+        assert tl.total_span_us == 1020.0
+
+    def test_unified_ts_rebases_each_domain(self):
+        tl = UnifiedTimeline(_mixed_events(), mode="pipeline")
+        by_name = {e.name: e for e in _mixed_events()}
+        assert tl.unified_ts(by_name["a"]) == 0.0
+        assert tl.unified_ts(by_name["b"]) == 1000.0
+        assert tl.unified_ts(by_name["c"]) == 1000.0
+        assert tl.unified_ts(by_name["e"]) == 1005.0
+
+    def test_iter_unified_is_sorted(self):
+        tl = UnifiedTimeline(_mixed_events(), mode="pipeline")
+        stamps = [ts for ts, _ in tl.iter_unified()]
+        assert stamps == sorted(stamps)
+
+
+class TestOverlay:
+    def test_all_domains_anchor_at_zero(self):
+        tl = UnifiedTimeline(_mixed_events(), mode="overlay")
+        for row in tl.summary():
+            assert row["offset_us"] == 0.0
+        # Overlay span is the longest single domain.
+        assert tl.total_span_us == 1000.0
+
+    def test_simulated_events_rebase_to_zero(self):
+        tl = UnifiedTimeline(_mixed_events(), mode="overlay")
+        by_name = {e.name: e for e in _mixed_events()}
+        assert tl.unified_ts(by_name["c"]) == 0.0
+        assert tl.unified_ts(by_name["e"]) == 5.0
+
+
+class TestEdges:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            UnifiedTimeline([], mode="sideways")
+
+    def test_metadata_events_are_ignored(self):
+        events = [
+            _ev("process_name", 0.0, PID_ENGINE, ph="M"),
+            _ev("a", 10.0, PID_ENGINE),
+        ]
+        tl = UnifiedTimeline(events)
+        assert len(tl.events) == 1
+        assert tl.summary()[0]["events"] == 1
+
+    def test_empty_timeline(self):
+        tl = UnifiedTimeline([])
+        assert tl.summary() == []
+        assert tl.total_span_us == 0.0
+
+    def test_unknown_pid_gets_its_own_domain(self):
+        events = [_ev("a", 5.0, 42), _ev("b", 1.0, PID_ENGINE)]
+        tl = UnifiedTimeline(events)
+        clocks = [r["clock"] for r in tl.summary()]
+        assert "wall" in clocks and "pid42" in clocks
