@@ -1,0 +1,147 @@
+"""Shard-scaling of the parallel analysis backend.
+
+The sharded backend's claim: the first tool layer — p2p matching and
+wait-state tracking, the bulk of the analysis at scale — parallelizes
+across worker processes while the root/WFG stays centralized, so
+detection latency approaches ``coordinator + first_layer / shards``.
+
+This bench records one stress trace per process count and replays it
+through ``ShardedBackend`` at 1, 2, 4, and 8 shards. Two series per
+cell:
+
+* **wall** — observed wall-clock of the run. On a machine with fewer
+  free cores than shards (CI containers often pin one), workers are
+  time-sliced and wall degrades toward the busy-time *sum*; it is
+  reported for honesty, not scored.
+* **modeled** — the per-core critical path the backend derives from
+  its own busy-time accounting (``coordinator_busy + max(shard
+  busy)``, see ``ShardedBackend.last_timing``): the detection latency
+  on a machine with at least ``shards + 1`` free cores, measured —
+  not simulated — from the actual per-process work done.
+
+Scored claim: >= 1.8x modeled speedup at 4 shards, 256 processes,
+against the same backend at 1 shard.
+"""
+import gc
+import time
+
+from repro.backend.sharded import ShardedBackend
+from repro.mpi.blocking import BlockingSemantics
+from repro.runtime import run_programs
+from repro.workloads import stress_programs
+
+from _util import fmt_table, scale_points, write_result
+
+PROCESS_COUNTS = scale_points(default=(64, 128, 256), full=(64, 128, 256, 1024))
+SHARD_COUNTS = (1, 2, 4, 8)
+SAMPLES = 3
+#: Scored speedup floor: modeled latency, 4 shards vs 1, largest
+#: default scale (p=256).
+SPEEDUP_FLOOR = 1.8
+_CLAIM_P = 256
+_CLAIM_SHARDS = 4
+
+
+def _record(p):
+    res = run_programs(
+        stress_programs(p, iterations=20),
+        semantics=BlockingSemantics.relaxed(),
+        seed=1,
+    )
+    return res.matched
+
+
+def _measure(matched, shards):
+    """Best-of-N modeled latency (and its wall clock) for one cell.
+
+    Noise only adds time, so the minimum modeled sample is the
+    cleanest estimate of the true critical path.
+    """
+    best = None
+    gc.disable()
+    try:
+        for _ in range(SAMPLES):
+            backend = ShardedBackend(shards=shards)
+            t0 = time.perf_counter()
+            outcome = backend.run(matched, generate_outputs=False)
+            wall = time.perf_counter() - t0
+            assert not outcome.has_deadlock
+            timing = dict(backend.last_timing)
+            timing["wall_seconds"] = wall
+            if best is None or (
+                timing["modeled_latency_seconds"]
+                < best["modeled_latency_seconds"]
+            ):
+                best = timing
+    finally:
+        gc.enable()
+    return best
+
+
+def main() -> int:
+    rows = []
+    cells = {}
+    for p in PROCESS_COUNTS:
+        matched = _record(p)
+        base = None
+        for shards in SHARD_COUNTS:
+            timing = _measure(matched, shards)
+            if shards == 1:
+                base = timing["modeled_latency_seconds"]
+            speedup = base / timing["modeled_latency_seconds"]
+            cells[(p, shards)] = {**timing, "modeled_speedup": speedup}
+            rows.append(
+                (
+                    p,
+                    timing["shards"],
+                    timing["rounds"],
+                    timing["cross_shard_messages"],
+                    f"{timing['wall_seconds'] * 1e3:.1f}",
+                    f"{timing['modeled_latency_seconds'] * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                )
+            )
+
+    lines = fmt_table(
+        ("procs", "shards", "rounds", "x-shard msgs", "wall ms",
+         "modeled ms", "speedup"),
+        rows,
+    )
+    claim = cells[(_CLAIM_P, _CLAIM_SHARDS)]["modeled_speedup"]
+    lines.append("")
+    lines.append(
+        f"modeled speedup at {_CLAIM_SHARDS} shards, p={_CLAIM_P}: "
+        f"{claim:.2f}x (floor: {SPEEDUP_FLOOR}x)"
+    )
+    write_result(
+        "parallel_shards",
+        lines,
+        data={
+            "workload": "stress",
+            "iterations": 20,
+            "samples": SAMPLES,
+            "shard_counts": list(SHARD_COUNTS),
+            "process_counts": list(PROCESS_COUNTS),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "claim": {
+                "p": _CLAIM_P,
+                "shards": _CLAIM_SHARDS,
+                "modeled_speedup": claim,
+            },
+            "cells": {
+                f"p{p}_s{s}": cell for (p, s), cell in cells.items()
+            },
+        },
+    )
+    if claim < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: modeled speedup {claim:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor"
+        )
+        return 1
+    print(f"PASS: modeled speedup {claim:.2f}x >= {SPEEDUP_FLOOR}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ performance model that regenerates the paper's evaluation figures.
 
 Quickstart::
 
-    from repro import run_programs, analyze_trace
+    from repro import Session
 
     def worker(rank):
         peer = 1 - rank.rank
@@ -19,10 +19,27 @@ Quickstart::
         yield rank.send(dest=peer)
         yield rank.finalize()
 
-    result = run_programs([worker, worker])
-    analysis = analyze_trace(result.matched)
-    assert analysis.has_deadlock
+    with Session() as session:
+        outcome = session.run([worker, worker])
+        assert outcome.has_deadlock
+
+The :class:`Session` facade (with :class:`AnalysisConfig`) is the
+stable entry point; ``Session(backend="sharded", shards=4)`` runs the
+analysis across worker processes. The older free functions
+(:func:`run_programs`, :func:`analyze_trace`,
+:func:`detect_deadlocks_distributed`) remain importable here as
+deprecation shims for one release.
 """
+import functools as _functools
+import warnings as _warnings
+
+from repro.api import AnalysisConfig, Session
+from repro.backend import (
+    AnalysisBackend,
+    InlineBackend,
+    ShardedBackend,
+    make_backend,
+)
 from repro.core import (
     AdaptiveAnalysis,
     Verdict,
@@ -31,8 +48,8 @@ from repro.core import (
     DistributedDeadlockDetector,
     DistributedOutcome,
     TransitionSystem,
-    analyze_trace,
-    detect_deadlocks_distributed,
+    analyze_trace as _analyze_trace,
+    detect_deadlocks_distributed as _detect_deadlocks_distributed,
 )
 from repro.mpi import (
     ANY_SOURCE,
@@ -43,13 +60,47 @@ from repro.mpi import (
     OpKind,
     Trace,
 )
-from repro.runtime import Rank, RunResult, run_programs
+from repro.runtime import Rank, RunResult, run_programs as _run_programs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def _deprecated_shim(func, replacement: str):
+    """Wrap a legacy free function with a DeprecationWarning.
+
+    The shims keep the exact signature and behaviour of the originals
+    (which stay importable, warning-free, from their home modules) for
+    one release — see README "Backends & the Session API".
+    """
+
+    @_functools.wraps(func)
+    def shim(*args, **kwargs):
+        _warnings.warn(
+            f"repro.{func.__name__} is deprecated; use {replacement}. "
+            "The shim will be removed one release after 1.1.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    return shim
+
+
+run_programs = _deprecated_shim(
+    _run_programs, "repro.Session(...).record(programs)"
+)
+analyze_trace = _deprecated_shim(
+    _analyze_trace, "repro.Session(...).analyze(trace) (inline backend)"
+)
+detect_deadlocks_distributed = _deprecated_shim(
+    _detect_deadlocks_distributed, "repro.Session(...).analyze(trace)"
+)
 
 __all__ = [
     "ANY_SOURCE",
     "AdaptiveAnalysis",
+    "AnalysisBackend",
+    "AnalysisConfig",
     "Verdict",
     "analyze_with_adaptation",
     "ANY_TAG",
@@ -58,14 +109,18 @@ __all__ = [
     "DeadlockAnalysis",
     "DistributedDeadlockDetector",
     "DistributedOutcome",
+    "InlineBackend",
     "MatchedTrace",
     "OpKind",
     "Rank",
     "RunResult",
+    "Session",
+    "ShardedBackend",
     "Trace",
     "TransitionSystem",
     "analyze_trace",
     "detect_deadlocks_distributed",
+    "make_backend",
     "run_programs",
     "__version__",
 ]

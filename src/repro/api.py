@@ -1,0 +1,233 @@
+"""The stable public facade: :class:`AnalysisConfig` + :class:`Session`.
+
+One object carries the knobs that used to be scattered across
+``run_programs`` / ``analyze_trace`` / ``detect_deadlocks_distributed``
+keyword lists, and one session object runs the whole pipeline with
+them::
+
+    from repro import AnalysisConfig, Session
+
+    config = AnalysisConfig(backend="sharded", shards=4, fan_in=8)
+    with Session(config) as session:
+        run = session.record(programs)        # virtual-runtime execution
+        outcome = session.analyze(run)        # distributed detection
+        if outcome.has_deadlock:
+            print(outcome.detection.blame)
+
+The session owns the observer (one metrics registry + tracer across
+record, analyze, and verify calls) and exports the configured
+observability sinks once, on :meth:`Session.export` (or on leaving the
+``with`` block). The free functions remain importable from ``repro``
+as deprecation shims for one release — see the README's "Backends &
+the Session API" section.
+"""
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple, Union
+
+from repro.backend import AnalysisBackend, DEFAULT_SHARDS, make_backend
+from repro.core.detector import DistributedOutcome
+from repro.mpi.blocking import BlockingSemantics
+from repro.mpi.trace import MatchedTrace
+from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
+from repro.obs.observer import Observer, make_observer
+from repro.runtime import RunResult, run_programs as _run_programs
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Everything a :class:`Session` needs, in one value object.
+
+    Execution: ``semantics`` (None = the runtime's relaxed default),
+    ``seed``, ``max_steps``. Analysis: ``fan_in``, ``window_limit``,
+    ``backend`` (``"inline"`` or ``"sharded"``) with ``shards``,
+    ``detect_at`` (mid-run detection timeouts in simulated seconds —
+    inline backend only) and ``detect_at_end``. Observability:
+    ``observe`` turns on metrics + tracing, ``trace_out`` /
+    ``jsonl_out`` name export sinks (either implies ``observe``), and
+    ``flight`` keeps the always-on flight recorder.
+    """
+
+    semantics: Optional[BlockingSemantics] = None
+    seed: int = 0
+    max_steps: int = 10_000_000
+    fan_in: int = 4
+    window_limit: int = 1_000_000
+    generate_outputs: bool = True
+    backend: str = "inline"
+    shards: int = DEFAULT_SHARDS
+    detect_at: Tuple[float, ...] = ()
+    detect_at_end: bool = True
+    observe: bool = False
+    trace_out: Optional[str] = None
+    jsonl_out: Optional[str] = None
+    flight: bool = True
+
+    def replace(self, **changes: Any) -> "AnalysisConfig":
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def observability_wanted(self) -> bool:
+        return bool(self.observe or self.trace_out or self.jsonl_out)
+
+    def build_backend(self) -> AnalysisBackend:
+        return make_backend(self.backend, shards=self.shards)
+
+
+class Session:
+    """A configured analysis pipeline: record, analyze, verify, blame.
+
+    Construct with an :class:`AnalysisConfig`, keyword overrides, or
+    both (overrides win)::
+
+        Session(AnalysisConfig(fan_in=8), backend="sharded")
+
+    All methods share the session's observer and flight recorder, so a
+    record + analyze pair lands in one unified trace artifact.
+    """
+
+    def __init__(
+        self, config: Optional[AnalysisConfig] = None, **overrides: Any
+    ) -> None:
+        config = config or AnalysisConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.backend = config.build_backend()
+        self.observer: Observer = make_observer(config.observability_wanted)
+        self.flight: FlightRecorder = (
+            FlightRecorder() if config.flight else NULL_FLIGHT_RECORDER
+        )
+        self.last_run: Optional[RunResult] = None
+        self.last_outcome: Optional[DistributedOutcome] = None
+        self._exported = False
+
+    # -- pipeline stages -------------------------------------------------
+
+    def record(
+        self, programs: Sequence[Any], *, seed: Optional[int] = None
+    ) -> RunResult:
+        """Execute rank programs on the virtual runtime."""
+        result = _run_programs(
+            programs,
+            semantics=self.config.semantics,
+            seed=self.config.seed if seed is None else seed,
+            max_steps=self.config.max_steps,
+            observer=self.observer,
+            flight=self.flight,
+        )
+        self.last_run = result
+        return result
+
+    def analyze(
+        self, trace: Union[MatchedTrace, RunResult, None] = None
+    ) -> DistributedOutcome:
+        """Run distributed deadlock detection on a matched trace.
+
+        Accepts a :class:`MatchedTrace`, a :class:`RunResult` (its
+        matched trace is used), or nothing (the most recent
+        :meth:`record` result).
+        """
+        if trace is None:
+            if self.last_run is None:
+                raise ValueError("nothing to analyze: record a run first")
+            trace = self.last_run
+        matched = trace.matched if isinstance(trace, RunResult) else trace
+        outcome = self.backend.run(
+            matched,
+            fan_in=self.config.fan_in,
+            seed=self.config.seed,
+            window_limit=self.config.window_limit,
+            generate_outputs=self.config.generate_outputs,
+            observer=self.observer,
+            flight=self.flight,
+            detect_at=self.config.detect_at,
+            detect_at_end=self.config.detect_at_end,
+        )
+        self.last_outcome = outcome
+        return outcome
+
+    def run(self, programs: Sequence[Any]) -> DistributedOutcome:
+        """Record + analyze in one call."""
+        return self.analyze(self.record(programs))
+
+    def verify(
+        self,
+        path: str,
+        *,
+        ranks: int = 4,
+        max_states: int = 200_000,
+        max_depth: int = 1_000_000,
+        por: bool = True,
+        replay: bool = False,
+    ):
+        """Bounded wildcard-aware verification of a rank-program file
+        (see :func:`repro.analysis.verify_path`); exploration counters
+        land in the session's metrics."""
+        from repro.analysis import verify_path
+
+        return verify_path(
+            path,
+            ranks=ranks,
+            max_states=max_states,
+            max_depth=max_depth,
+            por=por,
+            replay=replay,
+            metrics=self.observer.metrics if self.observer.enabled else None,
+        )
+
+    def blame(self, run: str, *, ranks: int = 4):
+        """Wait-state blame analysis of a recorded artifact or a
+        rank-program file (live mode, using the session's fan-in and
+        seed). Returns ``(report, outcome)``; ``outcome`` is None in
+        artifact mode."""
+        from repro.obs.blame import blame_artifact, blame_live
+
+        if run.endswith(".py"):
+            report, outcome = blame_live(
+                run,
+                ranks=ranks,
+                seed=self.config.seed,
+                fan_in=self.config.fan_in,
+            )
+            self.last_outcome = outcome
+            return report, outcome
+        return blame_artifact(run), None
+
+    # -- observability export --------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        return self.observer.metrics.snapshot()
+
+    def export(self) -> None:
+        """Write the configured observability sinks (idempotent)."""
+        if self._exported or not self.observer.enabled:
+            return
+        self._exported = True
+        if self.config.trace_out:
+            from repro.obs.exporters import write_chrome_trace
+
+            outcome = self.last_outcome
+            metadata = {
+                "deadlocked": bool(outcome and outcome.has_deadlock),
+                "ranks": (
+                    outcome.topology.num_ranks if outcome else None
+                ),
+                "metrics": self.observer.metrics.snapshot(),
+            }
+            write_chrome_trace(
+                self.config.trace_out, self.observer.tracer, metadata=metadata
+            )
+        if self.config.jsonl_out:
+            from repro.obs.exporters import write_jsonl
+
+            write_jsonl(self.config.jsonl_out, self.observer.tracer)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.export()

@@ -1,0 +1,26 @@
+"""Pluggable execution backends for the distributed analysis.
+
+:func:`make_backend` maps the CLI/config names to implementations:
+``inline`` (single-process simulated network, the default) and
+``sharded`` (first-layer nodes across ``multiprocessing`` workers).
+Both produce identical verdicts, wait-for graphs, and blame roots —
+see :mod:`repro.backend.sharded` for why.
+"""
+from repro.backend.base import (
+    DEFAULT_SHARDS,
+    AnalysisBackend,
+    InlineBackend,
+    make_backend,
+)
+from repro.backend.plan import plan_shards, shard_of_node
+from repro.backend.sharded import ShardedBackend
+
+__all__ = [
+    "AnalysisBackend",
+    "DEFAULT_SHARDS",
+    "InlineBackend",
+    "ShardedBackend",
+    "make_backend",
+    "plan_shards",
+    "shard_of_node",
+]

@@ -1,0 +1,107 @@
+"""Execution backends for the distributed analysis.
+
+A backend takes a matched trace and produces a
+:class:`~repro.core.detector.DistributedOutcome` by running the
+first-layer wait-state trackers, the TBON aggregation layers, and the
+Section 5 detection protocol. Two implementations exist:
+
+* :class:`InlineBackend` — everything on one deterministic simulated
+  network in the calling process (the default; byte-for-byte the
+  behaviour of :class:`repro.core.detector.DistributedDeadlockDetector`);
+* :class:`~repro.backend.sharded.ShardedBackend` — first-layer nodes
+  partitioned across ``multiprocessing`` workers, exchanging batched
+  protocol messages, with WFG construction still centralized at the
+  coordinator's root node.
+
+Both yield identical verdicts, wait-for graphs, and blame roots for
+the same trace (pinned by ``tests/property/test_backend_equivalence``);
+they differ only in wall-clock behaviour and in which clock stamps the
+observability events.
+"""
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.detector import (
+    DistributedDeadlockDetector,
+    DistributedOutcome,
+)
+from repro.mpi.trace import MatchedTrace
+from repro.obs.flight import FlightRecorder
+from repro.obs.observer import Observer
+from repro.tbon.network import LatencyModel
+
+#: Default shard count for the sharded backend.
+DEFAULT_SHARDS = 2
+
+
+class AnalysisBackend:
+    """Common interface of the analysis execution backends."""
+
+    name = "abstract"
+
+    def run(
+        self,
+        matched: MatchedTrace,
+        *,
+        fan_in: int = 4,
+        seed: int = 0,
+        window_limit: int = 1_000_000,
+        generate_outputs: bool = True,
+        observer: Optional[Observer] = None,
+        flight: Optional[FlightRecorder] = None,
+        latency_model: Optional[LatencyModel] = None,
+        detect_at: Sequence[float] = (),
+        detect_at_end: bool = True,
+    ) -> DistributedOutcome:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class InlineBackend(AnalysisBackend):
+    """The single-process simulated-network backend (default)."""
+
+    name = "inline"
+
+    def run(
+        self,
+        matched: MatchedTrace,
+        *,
+        fan_in: int = 4,
+        seed: int = 0,
+        window_limit: int = 1_000_000,
+        generate_outputs: bool = True,
+        observer: Optional[Observer] = None,
+        flight: Optional[FlightRecorder] = None,
+        latency_model: Optional[LatencyModel] = None,
+        detect_at: Sequence[float] = (),
+        detect_at_end: bool = True,
+    ) -> DistributedOutcome:
+        detector = DistributedDeadlockDetector(
+            matched,
+            fan_in=fan_in,
+            seed=seed,
+            latency_model=latency_model,
+            window_limit=window_limit,
+            generate_outputs=generate_outputs,
+            observer=observer,
+            flight=flight,
+        )
+        return detector.run(detect_at=detect_at, detect_at_end=detect_at_end)
+
+
+def make_backend(
+    name: str, *, shards: int = DEFAULT_SHARDS
+) -> AnalysisBackend:
+    """Backend factory keyed by CLI/config name."""
+    if name == "inline":
+        return InlineBackend()
+    if name == "sharded":
+        from repro.backend.sharded import ShardedBackend
+
+        return ShardedBackend(shards=shards)
+    raise ValueError(
+        f"unknown analysis backend {name!r} (choose 'inline' or 'sharded')"
+    )

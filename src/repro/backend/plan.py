@@ -1,0 +1,94 @@
+"""Shard planning: partition the first tool layer across workers.
+
+A shard is a set of first-layer TBON nodes that one worker process
+owns. Two constraints shape the partition:
+
+* **Contiguity.** First-layer nodes host contiguous rank blocks, and
+  most wait-state traffic (``passSend`` / ``recvActive`` /
+  ``recvActiveAck``) flows between neighbouring ranks; contiguous
+  shards keep that traffic inside one worker where delivery is a local
+  deque append instead of a cross-process hop.
+* **Placement alignment.** The cluster model
+  (:class:`repro.perf.placement.Placement`) places ranks consecutively,
+  ``cores_per_node`` per host. When a shard cut can fall on a host
+  boundary at no balance cost, it should: rank pairs that share a
+  physical host communicate the most, so a host split across shards
+  maximizes cross-process messages for the hottest channels.
+
+The planner is deterministic: same topology, shard count, and
+placement always yield the same partition (the backend-equivalence
+property suite relies on this).
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.perf.placement import Placement
+from repro.tbon.topology import TbonTopology
+
+#: How far (in first-layer nodes) a cut may move from its balanced
+#: position to snap onto a placement host boundary.
+_SNAP_WINDOW = 2
+
+
+def plan_shards(
+    topology: TbonTopology,
+    shards: int,
+    placement: Optional[Placement] = None,
+) -> Tuple[Tuple[int, ...], ...]:
+    """Partition ``topology.first_layer`` into ``shards`` node groups.
+
+    Returns one tuple of first-layer node ids per shard, in node
+    order. ``shards`` is clamped to the number of first-layer nodes
+    (a shard must own at least one node); values below one raise.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    nodes = topology.first_layer
+    shards = min(shards, len(nodes))
+    if shards == 1:
+        return (tuple(nodes),)
+    placement = placement or Placement()
+    cuts = _plan_cuts(topology, nodes, shards, placement)
+    groups: List[Tuple[int, ...]] = []
+    prev = 0
+    for cut in cuts + [len(nodes)]:
+        groups.append(tuple(nodes[prev:cut]))
+        prev = cut
+    return tuple(groups)
+
+
+def _plan_cuts(
+    topology: TbonTopology,
+    nodes: Tuple[int, ...],
+    shards: int,
+    placement: Placement,
+) -> List[int]:
+    """Cut indices into ``nodes`` (exclusive ends of each shard)."""
+    n = len(nodes)
+    cuts: List[int] = []
+    prev = 0
+    for s in range(1, shards):
+        ideal = round(s * n / shards)
+        # Keep every shard non-empty: strictly after the previous cut,
+        # and leave one node for each remaining shard.
+        lo = max(prev + 1, ideal - _SNAP_WINDOW)
+        hi = min(n - (shards - s), ideal + _SNAP_WINDOW)
+        best = min(max(ideal, lo), hi)
+        for cand in sorted(range(lo, hi + 1), key=lambda i: abs(i - ideal)):
+            first_rank = topology.ranks_of_host(nodes[cand])[0]
+            if placement.starts_host(first_rank):
+                best = cand
+                break
+        cuts.append(best)
+        prev = best
+    return cuts
+
+
+def shard_of_node(
+    plan: Tuple[Tuple[int, ...], ...]
+) -> dict:
+    """Inverse lookup: first-layer node id -> shard index."""
+    return {
+        node: shard for shard, group in enumerate(plan) for node in group
+    }

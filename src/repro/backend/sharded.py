@@ -1,0 +1,697 @@
+"""The sharded backend: first-layer nodes across worker processes.
+
+The first tool layer does the heavy lifting of the analysis — p2p
+matching, wait-state tracking, the Figure 8 freeze handshake — and its
+nodes only talk to each other and to their tree parent. That makes the
+layer the natural unit of parallelism: this backend partitions the
+first-layer :class:`~repro.core.distributed.FirstLayerNode`s across
+``multiprocessing`` workers (one shard = one or more nodes, cut along
+:mod:`repro.backend.plan`'s placement-aligned contiguous groups) while
+the root and interior nodes — WFG construction, collective matching,
+report generation — stay centralized in the coordinator process.
+
+Execution is a bulk-synchronous round loop:
+
+* the coordinator ships each shard the batch of protocol messages
+  addressed to its nodes, and every worker delivers them, pumps its
+  local queue to quiescence, and replies with the messages it produced
+  for other shards or for the tree;
+* inside a worker, intra-shard traffic is a plain deque append —
+  cross-process hops are paid only on shard boundaries — and outbound
+  messages are coalesced into batches that flush on a size limit or at
+  the round watermark (the BSP round end, this backend's stand-in for
+  a virtual-time watermark);
+* batches are built and routed in send order, so the per-(sender,
+  receiver) FIFO guarantee the Section 5 protocol needs survives the
+  process boundary end to end.
+
+Correctness leans on the protocol's confluence (the terminal
+distributed state is independent of message interleaving given FIFO
+channels — property-tested in ``tests/property/test_confluence.py``)
+and on the deterministic receiver-side matcher: detections run after
+global quiescence, so the sharded execution reaches the same verdicts,
+wait-for graphs, and blame roots as the inline backend even though no
+global virtual clock is replicated. Mid-run detections (``detect_at``)
+would need exactly that clock and are rejected.
+
+Cross-process messages travel through the wire codec of
+:mod:`repro.mpi.serialize`; per-worker metrics, tracer events, and
+flight-recorder rings are shipped back at join and folded into the
+coordinator's observer.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.base import DEFAULT_SHARDS, AnalysisBackend
+from repro.backend.plan import plan_shards, shard_of_node
+from repro.core.detector import DistributedOutcome
+from repro.core.distributed import FirstLayerNode
+from repro.core.messages import NewOpMsg, RankDoneMsg
+from repro.core.treenodes import InteriorNode, RootNode
+from repro.mpi.serialize import decode_message, encode_message
+from repro.mpi.trace import MatchedTrace
+from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.perf.placement import Placement
+from repro.tbon.network import LatencyModel, Network, jittered_latency
+from repro.tbon.topology import TbonTopology
+from repro.util.errors import ProtocolError
+
+#: Outbox size at which a worker flushes mid-round.
+DEFAULT_FLUSH_LIMIT = 64
+
+#: Seconds to wait on a queue before declaring a worker dead. Rounds
+#: are milliseconds of work; this only fires when a worker crashed
+#: hard enough to skip its "error" reply.
+_QUEUE_TIMEOUT = 120.0
+
+#: A batched wire entry: (src, dst, codec tag, codec payload, size).
+_WireEntry = Tuple[int, int, str, tuple, int]
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap, shares the trace pages);
+    the worker protocol is spawn-compatible — specs and wire entries
+    are plain picklable data — so spawn-only platforms work too."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context("spawn")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ShardSpec:
+    """Everything a worker needs to rebuild its slice of the tool."""
+
+    shard_id: int
+    node_ids: Tuple[int, ...]
+    matched: MatchedTrace
+    num_ranks: int
+    fan_in: int
+    window_limit: int
+    flush_limit: int
+    obs_enabled: bool
+    #: Ring capacity for the worker's flight recorder; 0 disables it.
+    flight_capacity: int
+
+
+class ShardNetwork:
+    """The :class:`~repro.tbon.network.Transport` of one shard worker.
+
+    Satisfies the same contract the simulated ``Network`` gives node
+    handlers — FIFO ``send``, monotonic ``now``, an observer — but
+    delivers differently: messages for nodes in this shard go onto a
+    local deque (drained by :meth:`pump`), everything else is encoded
+    into the outbox and flushed to the coordinator in ordered batches.
+    ``now`` is a per-worker delivery counter; it orders this worker's
+    flight/trace events but is not a global clock.
+    """
+
+    def __init__(
+        self,
+        local_nodes: Dict[int, FirstLayerNode],
+        emit,
+        observer: Observer,
+        flush_limit: int = DEFAULT_FLUSH_LIMIT,
+    ) -> None:
+        self.obs = observer
+        self._local = local_nodes
+        self._emit = emit
+        self._flush_limit = max(1, flush_limit)
+        self._queue: deque = deque()
+        self._outbox: List[_WireEntry] = []
+        self._now = 0.0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.flushes = 0
+        self.peak_queue = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def send(self, src: int, dst: int, msg: object, size: int = 64) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if dst in self._local:
+            self._queue.append((src, dst, msg))
+            if len(self._queue) > self.peak_queue:
+                self.peak_queue = len(self._queue)
+            return
+        tag, payload = encode_message(msg)
+        self._outbox.append((src, dst, tag, payload, size))
+        if len(self._outbox) >= self._flush_limit:
+            self.flush()
+
+    def deliver(self, src: int, dst: int, msg: object) -> None:
+        """Queue an inbound (already-sent) message; no send accounting."""
+        if dst not in self._local:
+            raise ProtocolError(f"message for node {dst} routed to wrong shard")
+        self._queue.append((src, dst, msg))
+        if len(self._queue) > self.peak_queue:
+            self.peak_queue = len(self._queue)
+
+    def flush(self) -> None:
+        """Release the coalesced outbox (size limit or round watermark)."""
+        if self._outbox:
+            self._emit(self._outbox)
+            self._outbox = []
+            self.flushes += 1
+
+    def pump(self) -> None:
+        """Drain the local queue, handling each message in FIFO order."""
+        q = self._queue
+        while q:
+            src, dst, msg = q.popleft()
+            self._now += 1e-6
+            self._local[dst].handle(msg, self, src)
+
+
+def _inject_app_events(
+    spec: _ShardSpec, topology: TbonTopology, net: ShardNetwork
+) -> None:
+    """Stream the hosted ranks' traces into the shard's nodes.
+
+    Rank-major order differs from the inline backend's seeded
+    interleaving; the protocol's confluence makes the terminal state
+    (and hence every detection) identical regardless. Injection goes
+    through ``send`` so the rank-to-tool hop is counted, as it is on
+    the inline network.
+    """
+    trace = spec.matched.trace
+    for node_id in spec.node_ids:
+        for rank in topology.ranks_of_host(node_id):
+            for op in trace.sequence(rank):
+                net.send(rank, node_id, NewOpMsg(op), NewOpMsg.wire_size)
+            net.send(rank, node_id, RankDoneMsg(rank), RankDoneMsg.wire_size)
+
+
+def _shard_worker(spec: _ShardSpec, cmd_q, res_q) -> None:
+    """Worker entry point: host ``spec.node_ids`` until told to stop.
+
+    Commands: ``("run", batch)`` — deliver, pump to quiescence, flush,
+    reply ``("done", shard_id, stats)`` (partial flushes emit
+    ``("msgs", shard_id, batch)`` first); ``("flight", ranks)`` — reply
+    the flight tails; ``("finish",)`` — reply the final state payload;
+    ``("stop",)`` — exit.
+    """
+    try:
+        topology = TbonTopology.build(spec.num_ranks, spec.fan_in)
+        observer = Observer() if spec.obs_enabled else NULL_OBSERVER
+        flight = (
+            FlightRecorder(spec.flight_capacity)
+            if spec.flight_capacity > 0
+            else NULL_FLIGHT_RECORDER
+        )
+        local: Dict[int, FirstLayerNode] = {}
+        net = ShardNetwork(
+            local,
+            emit=lambda batch: res_q.put(("msgs", spec.shard_id, batch)),
+            observer=observer,
+            flush_limit=spec.flush_limit,
+        )
+        for node_id in spec.node_ids:
+            local[node_id] = FirstLayerNode(
+                node_id,
+                topology,
+                spec.matched.comms,
+                window_limit=spec.window_limit,
+                flight=flight,
+            )
+        busy = 0.0
+        started = False
+        while True:
+            cmd = cmd_q.get()
+            kind = cmd[0]
+            if kind == "run":
+                # CPU time, not wall: concurrent shards time-slicing a
+                # core must not count each other's work as their own.
+                t0 = time.process_time()
+                if not started:
+                    started = True
+                    _inject_app_events(spec, topology, net)
+                for src, dst, tag, payload, _size in cmd[1]:
+                    net.deliver(src, dst, decode_message((tag, payload)))
+                net.pump()
+                net.flush()
+                busy += time.process_time() - t0
+                res_q.put(("done", spec.shard_id))
+            elif kind == "flight":
+                res_q.put(("flight", spec.shard_id, flight.snapshot(cmd[1])))
+            elif kind == "finish":
+                res_q.put(
+                    ("finish", spec.shard_id, _finish_payload(
+                        spec, local, net, observer, busy
+                    ))
+                )
+            elif kind == "stop":
+                return
+            else:
+                raise ProtocolError(f"unknown shard command {kind!r}")
+    except Exception:  # pragma: no cover - crash path
+        res_q.put(("error", spec.shard_id, traceback.format_exc()))
+
+
+def _finish_payload(
+    spec: _ShardSpec,
+    local: Dict[int, FirstLayerNode],
+    net: ShardNetwork,
+    observer: Observer,
+    busy: float,
+) -> Dict[str, Any]:
+    state: Dict[int, int] = {}
+    peak = 0
+    node_stats: Dict[int, Dict[str, int]] = {}
+    for node in local.values():
+        state.update(node.state_vector())
+        peak = max(peak, node.peak_window_size())
+        node_stats[node.node_id] = dict(node.stats)
+    if observer.enabled:
+        sid = spec.shard_id
+        metrics = observer.metrics
+        metrics.set_gauge(f"backend.shard{sid}.queue_depth", net.peak_queue)
+        metrics.set_gauge(
+            f"backend.shard{sid}.pending_receives",
+            sum(n.matcher.stats()["pending_receives"] for n in local.values()),
+        )
+        metrics.set_gauge(
+            f"backend.shard{sid}.stored_sends",
+            sum(n.matcher.stats()["stored_sends"] for n in local.values()),
+        )
+        metrics.inc(f"backend.shard{sid}.outbox_flushes", net.flushes)
+    return {
+        "state": state,
+        "peak": peak,
+        "node_stats": node_stats,
+        "messages_sent": net.messages_sent,
+        "bytes_sent": net.bytes_sent,
+        "busy_seconds": busy,
+        "metrics": observer.metrics.dump_state() if observer.enabled else None,
+        "events": list(observer.tracer.events) if observer.enabled else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+
+class _ShardProxy:
+    """Coordinator-side stand-in for a first-layer node.
+
+    Attached to the coordinator network under the real node id, so the
+    root's broadcasts and the interiors' relays need no special casing:
+    whatever reaches the proxy is encoded into the owning shard's
+    pending batch and shipped next round.
+    """
+
+    __slots__ = ("node_id", "_pending")
+
+    def __init__(self, node_id: int, pending: List[_WireEntry]) -> None:
+        self.node_id = node_id
+        self._pending = pending
+
+    def handle(self, msg: object, net, src: int) -> None:
+        tag, payload = encode_message(msg)
+        self._pending.append(
+            (src, self.node_id, tag, payload, getattr(msg, "wire_size", 64))
+        )
+
+
+class _FlightGather:
+    """The root's flight handle when the rings live in the workers.
+
+    Only the snapshot path is needed — first-layer nodes record into
+    their worker-local rings, the root merely embeds tails into
+    reports. Snapshotting does synchronous per-shard round trips, which
+    is safe because the root builds reports between rounds, when every
+    worker is idle-blocked on its command queue.
+    """
+
+    enabled = True
+
+    def __init__(self, run: "_ShardedRun") -> None:
+        self._run = run
+
+    def snapshot(self, ranks: Sequence[int]) -> Dict[int, List[dict]]:
+        return self._run.gather_flight(ranks)
+
+
+class _ShardedRun:
+    """One sharded analysis: workers, round loop, outcome assembly."""
+
+    def __init__(
+        self,
+        backend: "ShardedBackend",
+        matched: MatchedTrace,
+        *,
+        fan_in: int,
+        seed: int,
+        window_limit: int,
+        generate_outputs: bool,
+        observer: Observer,
+        flight: FlightRecorder,
+        latency_model: Optional[LatencyModel],
+        detect_at_end: bool,
+    ) -> None:
+        self.backend = backend
+        self.matched = matched
+        self.observer = observer
+        self.flight = flight
+        self.detect_at_end = detect_at_end
+        self.fan_in = fan_in
+        self.window_limit = window_limit
+        p = matched.trace.num_processes
+        self.topology = TbonTopology.build(p, fan_in)
+        self.plan = plan_shards(
+            self.topology, backend.shards, backend.placement
+        )
+        self.shard_of = shard_of_node(self.plan)
+        self.num_shards = len(self.plan)
+        self.net = Network(
+            latency_model or jittered_latency(seed), observer=observer
+        )
+        flight_proxy = (
+            _FlightGather(self) if flight.enabled else NULL_FLIGHT_RECORDER
+        )
+        self.root = RootNode(
+            self.topology.root,
+            self.topology,
+            matched.comms,
+            generate_outputs=generate_outputs,
+            flight=flight_proxy,
+        )
+        self.net.attach(self.root)
+        for layer in self.topology.layers[2:-1]:
+            for node_id in layer:
+                self.net.attach(
+                    InteriorNode(node_id, self.topology, matched.comms)
+                )
+        #: Per-shard batches awaiting the next round. The lists are
+        #: shared with the proxies and must stay identity-stable.
+        self.pending: List[List[_WireEntry]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        for node_id in self.topology.first_layer:
+            self.net.attach(
+                _ShardProxy(node_id, self.pending[self.shard_of[node_id]])
+            )
+        self.relayed = 0
+        self.relayed_bytes = 0
+        self.cross_shard = 0
+        self.rounds = 0
+        self.blocked_seconds = 0.0
+        self._cmd_qs: List[Any] = []
+        self._res_q: Any = None
+        self._procs: List[Any] = []
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _start_workers(self) -> None:
+        ctx = _mp_context()
+        self._res_q = ctx.Queue()
+        for sid, node_ids in enumerate(self.plan):
+            spec = _ShardSpec(
+                shard_id=sid,
+                node_ids=node_ids,
+                matched=self.matched,
+                num_ranks=self.topology.num_ranks,
+                fan_in=self.fan_in,
+                window_limit=self.window_limit,
+                flush_limit=self.backend.flush_limit,
+                obs_enabled=self.observer.enabled,
+                flight_capacity=(
+                    self.flight.capacity if self.flight.enabled else 0
+                ),
+            )
+            cmd_q = ctx.Queue()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(spec, cmd_q, self._res_q),
+                daemon=True,
+            )
+            proc.start()
+            self._cmd_qs.append(cmd_q)
+            self._procs.append(proc)
+
+    def _stop_workers(self) -> None:
+        for cmd_q in self._cmd_qs:
+            try:
+                cmd_q.put(("stop",))
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=10)
+
+    def _reply(self) -> tuple:
+        """Next worker reply; queue-blocked time is tracked separately
+        so the coordinator's own busy time can be reported."""
+        t0 = time.perf_counter()
+        try:
+            reply = self._res_q.get(timeout=_QUEUE_TIMEOUT)
+        except queue_mod.Empty:  # pragma: no cover - dead worker
+            raise ProtocolError("shard worker unresponsive") from None
+        self.blocked_seconds += time.perf_counter() - t0
+        if reply[0] == "error":
+            raise ProtocolError(f"shard {reply[1]} failed:\n{reply[2]}")
+        return reply
+
+    # -- the BSP round loop ----------------------------------------------
+
+    def _exchange_round(self) -> None:
+        """Ship pending batches, collect every shard's output, route it."""
+        self.rounds += 1
+        for sid, cmd_q in enumerate(self._cmd_qs):
+            batch = list(self.pending[sid])
+            self.pending[sid].clear()
+            cmd_q.put(("run", batch))
+        done = 0
+        while done < self.num_shards:
+            reply = self._reply()
+            if reply[0] == "msgs":
+                self._route(reply[2])
+            elif reply[0] == "done":
+                done += 1
+            else:
+                raise ProtocolError(f"unexpected shard reply {reply[0]!r}")
+
+    def _route(self, batch: List[_WireEntry]) -> None:
+        """Route one worker batch, preserving its (send) order.
+
+        First-layer destinations go to the owning shard's pending
+        batch; tree destinations are decoded and re-sent on the
+        coordinator network (those re-sends are subtracted from the
+        totals — the worker already counted them).
+        """
+        for entry in batch:
+            src, dst, tag, payload, size = entry
+            if self.topology.is_first_layer(dst):
+                self.pending[self.shard_of[dst]].append(entry)
+                self.cross_shard += 1
+            else:
+                self.net.send(src, dst, decode_message((tag, payload)), size)
+                self.relayed += 1
+                self.relayed_bytes += size
+
+    def _settle(self) -> None:
+        """Alternate coordinator processing and shard rounds until no
+        messages remain anywhere."""
+        while True:
+            self.net.run()
+            if not any(self.pending):
+                return
+            self._exchange_round()
+
+    def gather_flight(self, ranks: Sequence[int]) -> Dict[int, List[dict]]:
+        by_shard: Dict[int, List[int]] = {}
+        for rank in ranks:
+            node = self.topology.host_of_rank(rank)
+            by_shard.setdefault(self.shard_of[node], []).append(rank)
+        for sid, shard_ranks in by_shard.items():
+            self._cmd_qs[sid].put(("flight", tuple(shard_ranks)))
+        tails: Dict[int, List[dict]] = {}
+        for _ in range(len(by_shard)):
+            reply = self._reply()
+            if reply[0] != "flight":  # pragma: no cover - protocol bug
+                raise ProtocolError(f"unexpected shard reply {reply[0]!r}")
+            tails.update(reply[2])
+        return {rank: tails.get(rank, []) for rank in ranks}
+
+    # -- driving ---------------------------------------------------------
+
+    def execute(self) -> DistributedOutcome:
+        wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self._start_workers()
+        try:
+            # Kick-off round: batches are empty, but the first "run"
+            # makes every worker inject and pump its ranks' traces.
+            self._exchange_round()
+            self._settle()
+            if self.detect_at_end:
+                self.root.start_detection(self.net)
+                self._settle()
+            if not self.net.idle() or any(self.pending):
+                raise ProtocolError("sharded analysis did not quiesce")
+            for record in self.root.completed_detections:
+                if not record.complete:
+                    raise ProtocolError(
+                        f"detection {record.detection_id} incomplete"
+                    )
+            payloads = self._collect_payloads()
+        finally:
+            self._stop_workers()
+        return self._assemble(payloads, wall0)
+
+    def _collect_payloads(self) -> Dict[int, Dict[str, Any]]:
+        for cmd_q in self._cmd_qs:
+            cmd_q.put(("finish",))
+        payloads: Dict[int, Dict[str, Any]] = {}
+        while len(payloads) < self.num_shards:
+            reply = self._reply()
+            if reply[0] != "finish":  # pragma: no cover - protocol bug
+                raise ProtocolError(f"unexpected shard reply {reply[0]!r}")
+            payloads[reply[1]] = reply[2]
+        return payloads
+
+    def _assemble(
+        self, payloads: Dict[int, Dict[str, Any]], wall0: float
+    ) -> DistributedOutcome:
+        state = [0] * self.topology.num_ranks
+        peak = 0
+        node_stats: Dict[int, Dict[str, int]] = {}
+        worker_msgs = 0
+        worker_bytes = 0
+        shard_busy: List[float] = []
+        for sid in range(self.num_shards):
+            payload = payloads[sid]
+            for rank, level in payload["state"].items():
+                state[rank] = level
+            peak = max(peak, payload["peak"])
+            node_stats.update(payload["node_stats"])
+            worker_msgs += payload["messages_sent"]
+            worker_bytes += payload["bytes_sent"]
+            shard_busy.append(payload["busy_seconds"])
+            if self.observer.enabled:
+                if payload["metrics"]:
+                    self.observer.metrics.merge_state(payload["metrics"])
+                if payload["events"]:
+                    self.observer.tracer.absorb(payload["events"])
+        node_stats[self.root.node_id] = dict(self.root.stats)
+        wall = time.perf_counter() - wall0
+        # CPU time for the same reason as in the workers: on a machine
+        # with fewer free cores than shards the coordinator's wall
+        # minus queue-blocked time still absorbs time-sliced worker
+        # work, while its own CPU seconds do not.
+        coordinator_busy = time.process_time() - self._cpu0
+        self.backend.last_timing = {
+            "shards": self.num_shards,
+            "rounds": self.rounds,
+            "wall_seconds": wall,
+            "coordinator_busy_seconds": coordinator_busy,
+            "shard_busy_seconds": shard_busy,
+            # Per-core critical path: the coordinator plus the slowest
+            # shard. On a machine with >= shards+1 free cores this is
+            # the detection latency; on fewer cores the wall clock
+            # degrades towards the busy-time sum but the model holds.
+            "modeled_latency_seconds": coordinator_busy + max(
+                shard_busy, default=0.0
+            ),
+            "cross_shard_messages": self.cross_shard,
+        }
+        if self.observer.enabled:
+            metrics = self.observer.metrics
+            metrics.set_gauge("backend.shards", self.num_shards)
+            metrics.set_gauge("backend.rounds", self.rounds)
+            metrics.inc("backend.cross_shard_msgs", self.cross_shard)
+            metrics.inc("backend.relayed_msgs", self.relayed)
+            metrics.set_gauge("tbon.peak_window", peak)
+        return DistributedOutcome(
+            topology=self.topology,
+            stable_state=tuple(state),
+            detections=list(self.root.completed_detections),
+            messages_sent=worker_msgs + self.net.messages_sent - self.relayed,
+            bytes_sent=worker_bytes + self.net.bytes_sent - self.relayed_bytes,
+            simulated_seconds=self.net.now,
+            peak_window=peak,
+            node_stats=node_stats,
+        )
+
+
+class ShardedBackend(AnalysisBackend):
+    """Partition the first layer across worker processes.
+
+    ``shards`` is clamped to the number of first-layer nodes;
+    ``flush_limit`` bounds how many outbound messages a worker coalesces
+    before flushing mid-round; ``placement`` aligns shard cuts with the
+    modeled cluster layout (defaults to :class:`Placement()`).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARDS,
+        *,
+        flush_limit: int = DEFAULT_FLUSH_LIMIT,
+        placement: Optional[Placement] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.flush_limit = flush_limit
+        self.placement = placement
+        #: Timing of the most recent run (set by :meth:`run`); the
+        #: shard-scaling benchmark reads this.
+        self.last_timing: Optional[Dict[str, Any]] = None
+
+    def describe(self) -> str:
+        return f"sharded(shards={self.shards})"
+
+    def run(
+        self,
+        matched: MatchedTrace,
+        *,
+        fan_in: int = 4,
+        seed: int = 0,
+        window_limit: int = 1_000_000,
+        generate_outputs: bool = True,
+        observer: Optional[Observer] = None,
+        flight: Optional[FlightRecorder] = None,
+        latency_model: Optional[LatencyModel] = None,
+        detect_at: Sequence[float] = (),
+        detect_at_end: bool = True,
+    ) -> DistributedOutcome:
+        if detect_at:
+            raise ValueError(
+                "the sharded backend has no global virtual clock; mid-run "
+                "detections (detect_at) need the inline backend"
+            )
+        run = _ShardedRun(
+            self,
+            matched,
+            fan_in=fan_in,
+            seed=seed,
+            window_limit=window_limit,
+            generate_outputs=generate_outputs,
+            observer=observer if observer is not None else NULL_OBSERVER,
+            flight=flight if flight is not None else FlightRecorder(),
+            latency_model=latency_model,
+            detect_at_end=detect_at_end,
+        )
+        return run.execute()

@@ -18,9 +18,9 @@ Commands
              and optionally replay the deadlock witness through the
              engine (``--replay``);
 ``stats``    print the observability summary of a run recorded with
-             ``--obs-out`` (per-message-type traffic, five-phase
+             ``--obs-trace`` (per-message-type traffic, five-phase
              detection-time breakdown, exploration counters, unified
-             timeline) or of a raw ``--obs-jsonl`` event stream;
+             timeline) or of a raw JSONL event stream;
 ``blame``    wait-state blame analysis: reconstruct per-rank blocked
              intervals from a recorded run (or run a rank-program file
              live), attribute blocked time to root-cause ranks, and
@@ -30,11 +30,24 @@ Commands
 Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
 gapgeofem, halo2d, persistent-ring.
 
+Unified output: every subcommand takes ``--out PATH`` and ``--format
+{json,jsonl,html,dot}`` for its primary artifact — the deadlock report
+(``analyze``/``demo``: ``json``, ``html``, or ``dot``), the findings /
+verdict / blame / stats document (``lint``/``verify``/``blame``/
+``stats``: ``json``), the model tables (``figures``: ``json``), the
+recorded trace (``record``: ``json``) — and ``--format jsonl`` selects
+the raw observability event stream where a run happens. Backends:
+``--backend {inline,sharded}`` and ``--shards N`` choose how the
+distributed analysis executes (single simulated network vs. first-layer
+nodes across worker processes; identical verdicts either way).
+
 Observability: ``--obs`` instruments the run (engine + TBON + the
-distributed protocol) and prints a stats summary; ``--obs-out FILE``
+distributed protocol) and prints a stats summary; ``--obs-trace FILE``
 additionally writes a Chrome ``trace_event`` file (open it in
-``chrome://tracing`` or Perfetto) embedding the metrics snapshot;
-``--obs-jsonl FILE`` writes the raw event stream as JSONL.
+``chrome://tracing`` or Perfetto) embedding the metrics snapshot.
+The pre-1.1 spellings ``--obs-out``, ``--obs-jsonl``, and
+``--json-out`` still work as hidden aliases and print a deprecation
+notice on stderr.
 
 Exit codes: 0 — clean; 1 — a deadlock was detected (``analyze``,
 ``demo``, and ``stats`` when the analyzed run recorded one, ``blame``
@@ -51,10 +64,10 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.backend import DEFAULT_SHARDS, make_backend
 from repro.core.adaptation import analyze_with_adaptation
-from repro.core.detector import DistributedDeadlockDetector
 from repro.core.waitstate import analyze_trace
 from repro.mpi.blocking import BlockingSemantics
 from repro.mpi.serialize import load_trace, save_trace
@@ -116,14 +129,113 @@ def _workloads() -> Dict[str, Callable[[int], list]]:
     }
 
 
+#: Formats ``--out`` understands, per subcommand. ``json`` is the
+#: primary machine-readable artifact everywhere; ``jsonl`` selects the
+#: raw observability event stream where a run happens; ``html``/``dot``
+#: are the rendered deadlock reports of ``analyze``/``demo``.
+_FORMATS: Dict[str, Tuple[str, ...]] = {
+    "record": ("json", "jsonl"),
+    "analyze": ("json", "jsonl", "html", "dot"),
+    "demo": ("json", "jsonl", "html", "dot"),
+    "lint": ("json",),
+    "verify": ("json", "jsonl"),
+    "stats": ("json",),
+    "blame": ("json",),
+    "figures": ("json",),
+}
+
+
+def _add_common_flags(
+    parser: argparse.ArgumentParser, command: str
+) -> None:
+    """The unified ``--out/--format/--backend/--shards`` quartet."""
+    formats = _FORMATS[command]
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the command's primary artifact here (see --format)",
+    )
+    parser.add_argument(
+        "--format", choices=formats, default="json",
+        help="artifact format for --out "
+        f"(this command supports: {', '.join(formats)}; default json)",
+    )
+    parser.add_argument(
+        "--backend", choices=("inline", "sharded"), default="inline",
+        help="execution backend wherever a distributed analysis runs "
+        "(default inline)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=DEFAULT_SHARDS,
+        help="worker processes for --backend sharded "
+        f"(default {DEFAULT_SHARDS})",
+    )
+
+
+def _normalize_args(args: argparse.Namespace) -> Optional[int]:
+    """Resolve deprecated aliases and route ``--out``/``--format``.
+
+    Returns an exit code for usage errors, None to proceed.
+    """
+
+    def notice(old: str, new: str) -> None:
+        print(f"note: {old} is deprecated; use {new}", file=sys.stderr)
+
+    if getattr(args, "obs_out", None):
+        notice("--obs-out", "--obs-trace")
+        if not getattr(args, "obs_trace", None):
+            args.obs_trace = args.obs_out
+    if getattr(args, "obs_jsonl", None):
+        notice("--obs-jsonl", "--out FILE --format jsonl")
+    if getattr(args, "json_out", None):
+        notice("--json-out", "--out FILE --format json")
+    out = getattr(args, "out", None)
+    if out:
+        fmt = getattr(args, "format", "json")
+        if fmt == "jsonl":
+            args.obs_jsonl = out
+        elif fmt == "html":
+            args.report = out
+        elif fmt == "dot":
+            args.dot = out
+        elif fmt == "json" and hasattr(args, "json_out"):
+            args.json_out = out
+        # json for record/lint/stats/figures is read by the command
+        # itself via _out_path.
+    if args.command == "record":
+        if not getattr(args, "output", None):
+            args.output = _out_path(args, "json")
+        if not args.output:
+            print(
+                "record: an output path is required "
+                "(-o FILE or --out FILE --format json)",
+                file=sys.stderr,
+            )
+            return 2
+    return None
+
+
 def _make_observer(args: argparse.Namespace) -> Observer:
     """A live observer when any ``--obs*`` flag was given, else null."""
     wanted = bool(
         getattr(args, "obs", False)
-        or getattr(args, "obs_out", None)
+        or getattr(args, "obs_trace", None)
         or getattr(args, "obs_jsonl", None)
     )
     return make_observer(wanted)
+
+
+def _out_path(args: argparse.Namespace, fmt: str) -> Optional[str]:
+    """``--out`` when ``--format`` selects ``fmt``, else None."""
+    if getattr(args, "out", None) and getattr(args, "format", "json") == fmt:
+        return args.out
+    return None
+
+
+def _make_backend(args: argparse.Namespace):
+    return make_backend(
+        getattr(args, "backend", "inline"),
+        shards=getattr(args, "shards", DEFAULT_SHARDS),
+    )
 
 
 def _finish_obs(
@@ -144,7 +256,7 @@ def _finish_obs(
         "ranks": ranks,
         "metrics": snapshot,
     }
-    out = getattr(args, "obs_out", None)
+    out = getattr(args, "obs_trace", None)
     if out:
         write_chrome_trace(out, observer.tracer, metadata=metadata)
         print(f"wrote {out} (open in chrome://tracing or Perfetto)")
@@ -223,10 +335,10 @@ def _analyze(
             )
         print(f"centralized verdict: deadlocked ranks {deadlocked or '()'}")
     else:
-        detector = DistributedDeadlockDetector(
+        backend = _make_backend(args)
+        outcome = backend.run(
             matched, fan_in=args.fan_in, seed=args.seed, observer=observer
         )
-        outcome = detector.run()
         record = outcome.detection
         deadlocked = outcome.deadlocked
         dot_text = record.dot_text
@@ -242,7 +354,8 @@ def _analyze(
                 blame=record.blame,
             )
         print(
-            f"distributed verdict (fan-in {args.fan_in}): deadlocked "
+            f"distributed verdict (fan-in {args.fan_in}, backend "
+            f"{backend.describe()}): deadlocked "
             f"ranks {deadlocked or '()'}"
         )
         print(
@@ -310,16 +423,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return _analyze(matched, args, _make_observer(args))
 
 
+def _write_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import lint_path
 
     any_errors = False
+    doc: Dict[str, list] = {}
     for path in args.paths:
         try:
             report = lint_path(path, ranks=args.ranks)
         except (OSError, TraceError) as exc:
             print(f"lint: cannot analyze {path}: {exc}", file=sys.stderr)
             return 2
+        doc[path] = [
+            {
+                "check": f.check,
+                "severity": f.severity.value,
+                "rank": f.rank,
+                "message": f.message,
+            }
+            for f in report.findings
+        ]
         if report.findings:
             errors = len(report.errors())
             warnings = len(report.findings) - errors
@@ -335,6 +467,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             for note in report.notes:
                 print(f"  note: {note}")
         any_errors = any_errors or report.has_errors
+    out = _out_path(args, "json")
+    if out:
+        _write_json(out, {"format": "repro-lint/1", "findings": doc})
     return 1 if any_errors else 0
 
 
@@ -459,14 +594,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"cannot load run {args.run}: {exc}", file=sys.stderr)
         return 2
     timeline = UnifiedTimeline(events)
+    out = _out_path(args, "json")
     if meta is None:
-        # Raw --obs-jsonl stream: no metrics snapshot to summarize.
+        # Raw JSONL event stream: no metrics snapshot to summarize.
         print(f"run: {len(events)} trace events (raw JSONL stream)")
         lines = render_timeline_table(timeline)
         if lines:
             print("\n-- unified timeline --")
             for line in lines:
                 print(line)
+        if out:
+            _write_json(
+                out,
+                {"format": "repro-stats/1", "events": len(events)},
+            )
         return 0
     workload = meta.get("workload")
     deadlocked = bool(meta.get("deadlocked"))
@@ -484,6 +625,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("\n-- unified timeline --")
         for line in lines:
             print(line)
+    if out:
+        _write_json(
+            out,
+            {
+                "format": "repro-stats/1",
+                "workload": workload,
+                "deadlocked": deadlocked,
+                "events": len(events),
+                "metrics": meta["metrics"],
+            },
+        )
     return 1 if deadlocked else 0
 
 
@@ -504,7 +656,11 @@ def _cmd_blame(args: argparse.Namespace) -> int:
     try:
         if source.endswith(".py"):
             report, outcome = blame_live(
-                source, ranks=args.ranks, seed=args.seed, fan_in=args.fan_in
+                source,
+                ranks=args.ranks,
+                seed=args.seed,
+                fan_in=args.fan_in,
+                backend=_make_backend(args),
             )
         else:
             report = blame_artifact(source)
@@ -576,10 +732,30 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         f"\naverage at 2048 (excl. {', '.join(EXCLUDED_FROM_AVERAGE)}): "
         f"{sum(included) / len(included):.2f}x (paper: 1.34x)"
     )
+    out = _out_path(args, "json")
+    if out:
+        _write_json(
+            out,
+            {
+                "format": "repro-figures/1",
+                "figure9": {"p": ps, **{k: data[k] for k in keys}},
+                "figure12": {
+                    name: {
+                        str(p): spec_slowdown(profile, p) for p in scales
+                    }
+                    for name, profile in sorted(SPEC_PROFILES.items())
+                },
+                "figure12_average_at_2048": (
+                    sum(included) / len(included)
+                ),
+            },
+        )
     return 0
 
 
-def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
+def _add_analysis_flags(
+    parser: argparse.ArgumentParser, command: str
+) -> None:
     parser.add_argument("--fan-in", type=int, default=4,
                         help="TBON fan-in (default 4)")
     parser.add_argument("--centralized", action="store_true",
@@ -594,10 +770,11 @@ def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
                         help="write the aggregated (simplified) DOT")
     parser.add_argument("--checks", action="store_true",
                         help="also run the non-deadlock correctness checks")
+    # Deprecated alias for --out FILE --format json.
     parser.add_argument("--json-out", metavar="FILE",
-                        help="write the machine-readable deadlock report "
-                        "(conditions, blame chain, flight-recorder tails)")
+                        help=argparse.SUPPRESS)
     parser.add_argument("--seed", type=int, default=0)
+    _add_common_flags(parser, command)
     _add_obs_flags(parser)
 
 
@@ -607,14 +784,17 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="instrument the run and print an observability summary",
     )
     parser.add_argument(
-        "--obs-out", metavar="FILE",
+        "--obs-trace", metavar="FILE",
         help="write a Chrome trace_event file (Perfetto-compatible) "
         "with the metrics snapshot embedded; implies --obs",
     )
+    # Deprecated aliases (pre-1.1 spellings): --obs-out FILE is
+    # --obs-trace FILE; --obs-jsonl FILE is --out FILE --format jsonl.
     parser.add_argument(
-        "--obs-jsonl", metavar="FILE",
-        help="write the raw structured event stream as JSONL; "
-        "implies --obs",
+        "--obs-out", metavar="FILE", help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--obs-jsonl", metavar="FILE", help=argparse.SUPPRESS,
     )
 
 
@@ -628,21 +808,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     rec = sub.add_parser("record", help="run a workload, save its trace")
     rec.add_argument("workload")
-    rec.add_argument("-o", "--output", required=True)
+    rec.add_argument(
+        "-o", "--output",
+        help="trace output path (or --out FILE --format json)",
+    )
     rec.add_argument("-n", "--ranks", type=int, default=8)
     rec.add_argument("--seed", type=int, default=0)
+    _add_common_flags(rec, "record")
     _add_obs_flags(rec)
     rec.set_defaults(func=_cmd_record)
 
     ana = sub.add_parser("analyze", help="detect deadlocks in a trace")
     ana.add_argument("trace")
-    _add_analysis_flags(ana)
+    _add_analysis_flags(ana, "analyze")
     ana.set_defaults(func=_cmd_analyze)
 
     demo = sub.add_parser("demo", help="record + analyze a workload")
     demo.add_argument("workload")
     demo.add_argument("-n", "--ranks", type=int, default=8)
-    _add_analysis_flags(demo)
+    _add_analysis_flags(demo, "demo")
     demo.set_defaults(func=_cmd_demo)
 
     lint = sub.add_parser(
@@ -662,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true",
         help="also print analysis notes (skipped passes etc.)",
     )
+    _add_common_flags(lint, "lint")
     lint.set_defaults(func=_cmd_lint)
 
     verify = sub.add_parser(
@@ -702,11 +887,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--witness-dir", metavar="DIR",
         help="save every deadlock witness as JSON into this directory",
     )
+    # Deprecated alias for --out FILE --format json.
     verify.add_argument(
-        "--json-out", metavar="FILE",
-        help="write a machine-readable verdict summary (for CI golden "
-        "comparisons)",
+        "--json-out", metavar="FILE", help=argparse.SUPPRESS,
     )
+    _add_common_flags(verify, "verify")
     _add_obs_flags(verify)
     verify.set_defaults(func=_cmd_verify)
 
@@ -717,9 +902,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "run",
-        help="a Chrome trace file written by --obs-out, or a raw "
-        ".jsonl stream written by --obs-jsonl",
+        help="a Chrome trace file written by --obs-trace, or a raw "
+        ".jsonl stream written by --out FILE --format jsonl",
     )
+    _add_common_flags(stats, "stats")
     stats.set_defaults(func=_cmd_stats)
 
     blame = sub.add_parser(
@@ -729,9 +915,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     blame.add_argument(
         "run",
-        help="a Chrome trace written by --obs-out, a raw .jsonl stream "
-        "written by --obs-jsonl, or a Python rank-program file to run "
-        "live (repro lint conventions)",
+        help="a Chrome trace written by --obs-trace, a raw .jsonl "
+        "event stream, or a Python rank-program file to run live "
+        "(repro lint conventions)",
     )
     blame.add_argument(
         "-n", "--ranks", type=int, default=4,
@@ -743,13 +929,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fan-in", type=int, default=4,
         help="TBON fan-in for live mode (default 4)",
     )
+    # Deprecated alias for --out FILE --format json.
     blame.add_argument(
-        "--json-out", metavar="FILE",
-        help="write the machine-readable blame document here",
+        "--json-out", metavar="FILE", help=argparse.SUPPRESS,
     )
+    _add_common_flags(blame, "blame")
     blame.set_defaults(func=_cmd_blame)
 
     figs = sub.add_parser("figures", help="print the overhead models")
+    _add_common_flags(figs, "figures")
     figs.set_defaults(func=_cmd_figures)
 
     return parser
@@ -757,6 +945,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    code = _normalize_args(args)
+    if code is not None:
+        return code
     return args.func(args)
 
 

@@ -48,7 +48,7 @@ from repro.mpi.ops import Operation, OpRef
 from repro.obs.events import PID_TBON, PID_WAIT
 from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
 from repro.tbon.aggregation import WaveAggregator, WaveContribution
-from repro.tbon.network import Network
+from repro.tbon.network import Transport
 from repro.tbon.topology import TbonTopology
 from repro.util.errors import ProtocolError
 
@@ -144,7 +144,7 @@ class FirstLayerNode:
     # dispatch
     # ------------------------------------------------------------------
 
-    def handle(self, msg: object, net: Network, src: int) -> None:
+    def handle(self, msg: object, net: Transport, src: int) -> None:
         self.stats[type(msg).__name__] = self.stats.get(type(msg).__name__, 0) + 1
         if isinstance(msg, NewOpMsg):
             self._handle_new_op(msg.op, net)
@@ -177,7 +177,7 @@ class FirstLayerNode:
     # newOp / activate / advance (Figure 7 core)
     # ------------------------------------------------------------------
 
-    def _handle_new_op(self, op: Operation, net: Network) -> None:
+    def _handle_new_op(self, op: Operation, net: Transport) -> None:
         window = self.windows.get(op.rank)
         if window is None:
             raise ProtocolError(
@@ -230,7 +230,7 @@ class FirstLayerNode:
                 self._wave_key_by_op[op.ref] = wave
         self._try_advance(op.rank, net)
 
-    def _handle_rank_done(self, msg: RankDoneMsg, net: Network) -> None:
+    def _handle_rank_done(self, msg: RankDoneMsg, net: Transport) -> None:
         window = self.windows.get(msg.rank)
         if window is None:
             raise ProtocolError(
@@ -252,7 +252,7 @@ class FirstLayerNode:
             self._local_participant_cache[comm_id] = cached
         return cached
 
-    def _activate(self, state: OpState, net: Network) -> None:
+    def _activate(self, state: OpState, net: Transport) -> None:
         """The transition system reached this operation (Figure 7)."""
         op = state.op
         state.active = True
@@ -293,7 +293,7 @@ class FirstLayerNode:
                 self._send_ack(probe_ref, probe=True, net=net)
             state.pending_probe_acks.clear()
 
-    def _send_recv_active(self, state: OpState, net: Network) -> None:
+    def _send_recv_active(self, state: OpState, net: Transport) -> None:
         assert state.matched_send is not None
         send_rank, send_ts = state.matched_send
         msg = RecvActive(
@@ -311,7 +311,7 @@ class FirstLayerNode:
         )
 
     def _send_ack(
-        self, recv_ref: Optional[OpRef], probe: bool, net: Network
+        self, recv_ref: Optional[OpRef], probe: bool, net: Transport
     ) -> None:
         if recv_ref is None:
             raise ProtocolError("acknowledging unknown receive")
@@ -343,7 +343,7 @@ class FirstLayerNode:
             return window.completion_ready(state)
         return False
 
-    def _try_advance(self, rank: int, net: Network) -> None:
+    def _try_advance(self, rank: int, net: Transport) -> None:
         if self.frozen:
             return
         window = self.windows[rank]
@@ -404,7 +404,7 @@ class FirstLayerNode:
                     self.flight.trim(rank)
             window.advance()
 
-    def _resume_all(self, net: Network) -> None:
+    def _resume_all(self, net: Transport) -> None:
         self.frozen = False
         for rank in self.hosted:
             self._try_advance(rank, net)
@@ -413,7 +413,7 @@ class FirstLayerNode:
     # intralayer handlers (Figure 7)
     # ------------------------------------------------------------------
 
-    def _process_match(self, event: MatchEvent, net: Network) -> None:
+    def _process_match(self, event: MatchEvent, net: Transport) -> None:
         recv_rank, recv_ts = event.recv_ref
         window = self.windows[recv_rank]
         state = window.require(recv_ts)
@@ -421,11 +421,11 @@ class FirstLayerNode:
         if state.activated:
             self._send_recv_active(state, net)
 
-    def _handle_pass_send(self, msg: PassSend, net: Network) -> None:
+    def _handle_pass_send(self, msg: PassSend, net: Transport) -> None:
         for event in self.matcher.store_send(msg):
             self._process_match(event, net)
 
-    def _handle_recv_active(self, msg: RecvActive, net: Network) -> None:
+    def _handle_recv_active(self, msg: RecvActive, net: Transport) -> None:
         window = self.windows.get(msg.send_rank)
         if window is None:
             raise ProtocolError(
@@ -447,7 +447,7 @@ class FirstLayerNode:
             window.evict_completed_send(msg.send_ts)
         self._try_advance(msg.send_rank, net)
 
-    def _handle_recv_active_ack(self, msg: RecvActiveAck, net: Network) -> None:
+    def _handle_recv_active_ack(self, msg: RecvActiveAck, net: Transport) -> None:
         window = self.windows.get(msg.recv_rank)
         if window is None:
             raise ProtocolError(
@@ -459,7 +459,7 @@ class FirstLayerNode:
         state.completion_satisfied = True
         self._try_advance(msg.recv_rank, net)
 
-    def _handle_collective_ack(self, msg: CollectiveAck, net: Network) -> None:
+    def _handle_collective_ack(self, msg: CollectiveAck, net: Transport) -> None:
         # A root ack implies every participant (including all hosted
         # ones) already activated its wave op, so the local records are
         # complete and can be retired after marking.
@@ -478,7 +478,7 @@ class FirstLayerNode:
     # ------------------------------------------------------------------
 
     def _handle_request_consistent_state(
-        self, msg: RequestConsistentState, net: Network
+        self, msg: RequestConsistentState, net: Transport
     ) -> None:
         """Figure 8, with a symmetric ping set.
 
@@ -536,7 +536,7 @@ class FirstLayerNode:
                 self.node_id, peer, Ping(msg.detection_id, 1), Ping.wire_size
             )
 
-    def _handle_pong(self, msg: Pong, net: Network, src: int) -> None:
+    def _handle_pong(self, msg: Pong, net: Transport, src: int) -> None:
         detection = self._detection
         if detection is None or detection.detection_id != msg.detection_id:
             raise ProtocolError(
@@ -555,7 +555,7 @@ class FirstLayerNode:
         if not detection.outstanding_pongs:
             self._ack_consistent(net)
 
-    def _ack_consistent(self, net: Network) -> None:
+    def _ack_consistent(self, net: Transport) -> None:
         detection = self._detection
         assert detection is not None and not detection.acked
         detection.acked = True
@@ -566,7 +566,7 @@ class FirstLayerNode:
             AckConsistentState.wire_size,
         )
 
-    def _handle_request_waits(self, msg: RequestWaits, net: Network) -> None:
+    def _handle_request_waits(self, msg: RequestWaits, net: Transport) -> None:
         infos: List[RankWaitInfo] = []
         blocked_states: List[OpState] = []
         unblocked: List[int] = []

@@ -44,7 +44,7 @@ from repro.perf.timers import (
     PhaseTimers,
 )
 from repro.tbon.aggregation import WaveAggregator, WaveContribution
-from repro.tbon.network import Network
+from repro.tbon.network import Transport
 from repro.tbon.topology import TbonTopology
 from repro.util.errors import ProtocolError
 from repro.wfg.detect import DetectionResult, detect_deadlock
@@ -72,7 +72,7 @@ class InteriorNode:
         self._participant_cache: Dict[int, int] = {}
         self.stats: Dict[str, int] = {}
 
-    def handle(self, msg: object, net: Network, src: int) -> None:
+    def handle(self, msg: object, net: Transport, src: int) -> None:
         self.stats[type(msg).__name__] = self.stats.get(type(msg).__name__, 0) + 1
         parent = self.topology.parent(self.node_id)
         if isinstance(msg, CollectiveReady):
@@ -189,7 +189,7 @@ class RootNode:
 
     # -- message handling --------------------------------------------------
 
-    def handle(self, msg: object, net: Network, src: int) -> None:
+    def handle(self, msg: object, net: Transport, src: int) -> None:
         self.stats[type(msg).__name__] = self.stats.get(type(msg).__name__, 0) + 1
         if isinstance(msg, CollectiveReady):
             group_size = self.comms.get(msg.comm_id).size
@@ -211,13 +211,13 @@ class RootNode:
                 f"root cannot handle {type(msg).__name__}"
             )
 
-    def _broadcast(self, net: Network, msg: object) -> None:
+    def _broadcast(self, net: Transport, msg: object) -> None:
         for child in self.topology.children(self.node_id):
             net.send(self.node_id, child, msg, getattr(msg, "wire_size", 32))
 
     # -- detection protocol ---------------------------------------------------
 
-    def start_detection(self, net: Network) -> int:
+    def start_detection(self, net: Transport) -> int:
         """Timeout fired: request a consistent state (Section 5).
 
         Detections are strictly serialized, as in MUST (the next
@@ -240,7 +240,7 @@ class RootNode:
         self._broadcast(net, RequestConsistentState(detection_id))
         return detection_id
 
-    def _handle_ack(self, msg: AckConsistentState, net: Network) -> None:
+    def _handle_ack(self, msg: AckConsistentState, net: Transport) -> None:
         record = self._detections.get(msg.detection_id)
         if record is None:
             raise ProtocolError(f"ack for unknown detection {msg.detection_id}")
@@ -267,7 +267,7 @@ class RootNode:
             )
         self._broadcast(net, RequestWaits(msg.detection_id))
 
-    def _handle_wait_info(self, msg: WaitInfoMsg, net: Network) -> None:
+    def _handle_wait_info(self, msg: WaitInfoMsg, net: Transport) -> None:
         record = self._detections.get(msg.detection_id)
         if record is None:
             raise ProtocolError(

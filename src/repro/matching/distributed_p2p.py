@@ -140,3 +140,10 @@ class NodeP2PMatcher:
         return sum(
             1 for lst in self._sends.values() for s in lst if not s.consumed
         )
+
+    def stats(self) -> Dict[str, int]:
+        """Residual matcher state, for per-shard gauges at join."""
+        return {
+            "pending_receives": self.pending_receive_count(),
+            "stored_sends": self.stored_send_count(),
+        }

@@ -1,15 +1,24 @@
-"""Trace (de)serialization: record once, analyze anywhere.
+"""Trace and message (de)serialization: record once, analyze anywhere.
 
 Matched traces serialize to a versioned JSON document so runs recorded
 by the virtual runtime (or, in principle, a real PMPI interception
 layer producing the same schema) can be stored, shipped, and analyzed
 offline. The format is intentionally plain: one object per operation
 with only the fields deadlock analysis consumes.
+
+The second half is the wire codec for the distributed tool's message
+vocabulary (:mod:`repro.core.messages`): :func:`encode_message` turns
+any protocol message into a plain ``(tag, payload)`` tuple of
+primitives and :func:`decode_message` reverses it. The sharded
+analysis backend ships batches of these tuples across process
+boundaries — plain tuples pickle an order of magnitude faster than
+dataclass instances and pin the cross-process wire format explicitly
+instead of leaning on pickle's class-by-reference behaviour.
 """
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.mpi.communicator import CommRegistry
 from repro.mpi.constants import OpKind, WORLD_COMM_ID
@@ -196,3 +205,142 @@ def load_trace(path: str) -> MatchedTrace:
     if not isinstance(document, dict):
         raise TraceError(f"{path} does not hold a trace document")
     return matched_trace_from_dict(document)
+
+
+# ----------------------------------------------------------------------
+# protocol message codec (cross-process wire format)
+# ----------------------------------------------------------------------
+
+#: tag -> (encode(msg) -> payload, decode(payload) -> msg). Built
+#: lazily: repro.core.messages sits above this module in the import
+#: graph (it pulls in repro.mpi.constants, which initializes the
+#: repro.mpi package, which imports this module), so binding the
+#: message classes at import time would trip the partial-init cycle.
+_CODEC: Dict[str, Tuple[Callable[[Any], tuple], Callable[[tuple], Any]]] = {}
+_TAG_OF: Dict[type, str] = {}
+
+
+def _encode_wait_entry(entry: Any) -> tuple:
+    from repro.core.messages import CollectiveWait, P2PWait
+
+    if isinstance(entry, P2PWait):
+        return ("p", tuple(entry.or_targets), entry.reason)
+    if isinstance(entry, CollectiveWait):
+        return ("c", entry.comm_id, entry.wave_index)
+    raise TraceError(f"cannot encode wait entry {type(entry).__name__}")
+
+
+def _decode_wait_entry(data: tuple) -> Any:
+    from repro.core.messages import CollectiveWait, P2PWait
+
+    if data[0] == "p":
+        return P2PWait(or_targets=tuple(data[1]), reason=data[2])
+    if data[0] == "c":
+        return CollectiveWait(comm_id=data[1], wave_index=data[2])
+    raise TraceError(f"cannot decode wait entry tagged {data[0]!r}")
+
+
+def _encode_wait_info(info: Any) -> tuple:
+    return (
+        info.rank,
+        info.op_description,
+        tuple(_encode_wait_entry(e) for e in info.entries),
+        info.or_semantics,
+    )
+
+
+def _decode_wait_info(data: tuple) -> Any:
+    from repro.core.messages import RankWaitInfo
+
+    return RankWaitInfo(
+        rank=data[0],
+        op_description=data[1],
+        entries=tuple(_decode_wait_entry(e) for e in data[2]),
+        or_semantics=data[3],
+    )
+
+
+def _build_codec() -> None:
+    from repro.core import messages as m
+
+    def fields(cls: type, *names: str) -> None:
+        tag = cls.__name__
+
+        def enc(msg: Any, _names=names) -> tuple:
+            return tuple(getattr(msg, n) for n in _names)
+
+        def dec(payload: tuple, _cls=cls, _names=names) -> Any:
+            return _cls(**dict(zip(_names, payload)))
+
+        _CODEC[tag] = (enc, dec)
+        _TAG_OF[cls] = tag
+
+    fields(m.RankDoneMsg, "rank")
+    fields(m.PassSend, "send_rank", "send_ts", "comm_id", "dest", "tag",
+           "nbytes")
+    fields(m.RecvActive, "send_rank", "send_ts", "recv_rank", "recv_ts",
+           "probe")
+    fields(m.RecvActiveAck, "recv_rank", "recv_ts", "probe")
+    fields(m.CollectiveAck, "comm_id", "wave_index")
+    fields(m.RequestConsistentState, "detection_id")
+    fields(m.Ping, "detection_id", "remaining")
+    fields(m.Pong, "detection_id", "remaining")
+    fields(m.AckConsistentState, "detection_id", "count")
+    fields(m.RequestWaits, "detection_id")
+
+    _CODEC["NewOpMsg"] = (
+        lambda msg: (msg.op.rank, msg.op.ts, _op_to_dict(msg.op)),
+        lambda p: m.NewOpMsg(_op_from_dict(p[0], p[1], p[2])),
+    )
+    _TAG_OF[m.NewOpMsg] = "NewOpMsg"
+    _CODEC["CollectiveReady"] = (
+        lambda msg: (msg.comm_id, msg.wave_index, msg.kind.name, msg.root,
+                     msg.count),
+        lambda p: m.CollectiveReady(
+            comm_id=p[0], wave_index=p[1], kind=_KIND_BY_NAME[p[2]],
+            root=p[3], count=p[4],
+        ),
+    )
+    _TAG_OF[m.CollectiveReady] = "CollectiveReady"
+    _CODEC["WaitInfoMsg"] = (
+        lambda msg: (
+            msg.detection_id,
+            msg.node_id,
+            tuple(_encode_wait_info(i) for i in msg.infos),
+            tuple(msg.unblocked),
+            tuple(msg.finished),
+        ),
+        lambda p: m.WaitInfoMsg(
+            detection_id=p[0],
+            node_id=p[1],
+            infos=tuple(_decode_wait_info(i) for i in p[2]),
+            unblocked=tuple(p[3]),
+            finished=tuple(p[4]),
+        ),
+    )
+    _TAG_OF[m.WaitInfoMsg] = "WaitInfoMsg"
+
+
+def encode_message(msg: Any) -> Tuple[str, tuple]:
+    """Encode a protocol message as a ``(tag, payload)`` primitive tuple."""
+    if not _TAG_OF:
+        _build_codec()
+    try:
+        tag = _TAG_OF[type(msg)]
+    except KeyError:
+        raise TraceError(
+            f"no wire codec for message type {type(msg).__name__}"
+        ) from None
+    return (tag, _CODEC[tag][0](msg))
+
+
+def decode_message(data: Tuple[str, tuple]) -> Any:
+    """Reverse of :func:`encode_message`."""
+    if not _CODEC:
+        _build_codec()
+    tag, payload = data
+    try:
+        decoder = _CODEC[tag][1]
+    except KeyError:
+        raise TraceError(f"no wire codec for message tag {tag!r}") from None
+    return decoder(payload)

@@ -108,9 +108,14 @@ def blame_programs(
     *,
     seed: int = 0,
     fan_in: int = 4,
+    backend: Any = None,
 ) -> Tuple[BlameReport, Any]:
-    """Run rank programs, detect, blame. Returns (report, outcome)."""
-    from repro.core.detector import DistributedDeadlockDetector
+    """Run rank programs, detect, blame. Returns (report, outcome).
+
+    ``backend`` is an :class:`repro.backend.AnalysisBackend` (default:
+    the inline one); either backend yields the same blame roots.
+    """
+    from repro.backend import InlineBackend
     from repro.mpi.blocking import BlockingSemantics
     from repro.runtime.engine import run_programs
 
@@ -121,10 +126,11 @@ def blame_programs(
         seed=seed,
         observer=observer,
     )
-    detector = DistributedDeadlockDetector(
+    if backend is None:
+        backend = InlineBackend()
+    outcome = backend.run(
         run.matched, fan_in=fan_in, seed=seed, observer=observer
     )
-    outcome = detector.run()
     report = analyze_events(
         list(observer.tracer.events), num_ranks=len(programs)
     )
@@ -137,10 +143,13 @@ def blame_live(
     ranks: int = 4,
     seed: int = 0,
     fan_in: int = 4,
+    backend: Any = None,
 ) -> Tuple[BlameReport, Any]:
     """Live mode: run the file, detect, blame. Returns (report, outcome)."""
     programs = load_programs(path, ranks)
-    return blame_programs(programs, seed=seed, fan_in=fan_in)
+    return blame_programs(
+        programs, seed=seed, fan_in=fan_in, backend=backend
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -167,6 +167,44 @@ class MetricsRegistry:
             if name.startswith(prefix)
         }
 
+    def dump_state(self) -> Dict[str, object]:
+        """A picklable full-fidelity dump (raw histogram observations).
+
+        Unlike :meth:`snapshot` (which summarizes histograms), the dump
+        can be merged losslessly into another registry — the sharded
+        backend ships each worker's registry back at join and folds it
+        into the coordinator's via :meth:`merge_state`.
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {
+                n: (g.value, g.max_value) for n, g in self._gauges.items()
+            },
+            "histograms": {
+                n: list(h._values) for n, h in self._histograms.items()
+            },
+        }
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add, gauge high-water marks take the max (the value
+        itself keeps the later write), histograms concatenate raw
+        observations — so per-shard queue-depth gauges and dwell
+        histograms merge at join without losing percentiles.
+        """
+        for name, value in state.get("counters", {}).items():  # type: ignore[union-attr]
+            self.counter(name).inc(value)
+        for name, (value, max_value) in state.get("gauges", {}).items():  # type: ignore[union-attr]
+            gauge = self.gauge(name)
+            gauge.set(value)
+            if max_value > gauge.max_value:
+                gauge.max_value = max_value
+        for name, values in state.get("histograms", {}).items():  # type: ignore[union-attr]
+            hist = self.histogram(name)
+            for value in values:
+                hist.observe(value)
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-serializable view of every instrument."""
         return {

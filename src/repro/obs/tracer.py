@@ -128,6 +128,17 @@ class Tracer:
             )
         )
 
+    def absorb(self, events: List[TraceEvent]) -> None:
+        """Merge events recorded by another tracer into this one.
+
+        The sharded backend records wait-state events on per-worker
+        tracers and folds them into the coordinator's at join; the
+        event limit (and its truncation marker) applies to the merged
+        stream as usual.
+        """
+        for event in events:
+            self._push(event)
+
     @contextmanager
     def span(
         self,

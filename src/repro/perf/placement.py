@@ -25,6 +25,16 @@ class Placement:
     def same_host(self, a: int, b: int) -> bool:
         return self.host_of(a) == self.host_of(b)
 
+    def starts_host(self, rank: int) -> bool:
+        """True when ``rank`` is the first core of a placement host.
+
+        Shard planning prefers cutting the first tool layer at these
+        ranks: a shard boundary that coincides with a host boundary
+        keeps intra-host rank communication (the cheap kind) inside
+        one shard's address space.
+        """
+        return rank % self.cores_per_node == 0
+
     def hosts_for(self, num_ranks: int) -> int:
         return -(-num_ranks // self.cores_per_node)
 

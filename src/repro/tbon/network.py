@@ -30,7 +30,28 @@ class Node(Protocol):
 
     node_id: int
 
-    def handle(self, msg: object, net: "Network", src: int) -> None:
+    def handle(self, msg: object, net: "Transport", src: int) -> None:
+        ...
+
+
+class Transport(Protocol):
+    """What a node may assume about its transport.
+
+    Both the simulated :class:`Network` (the inline backend) and the
+    sharded backend's per-worker ``ShardNetwork`` satisfy this: a FIFO
+    ``send``, a monotonic clock ``now``, and the observer handle. Node
+    implementations (`repro.core.distributed` / `repro.core.treenodes`)
+    are written against this protocol so the same handler code runs
+    unchanged in-process and across shard workers.
+    """
+
+    obs: object
+
+    @property
+    def now(self) -> float:
+        ...
+
+    def send(self, src: int, dst: int, msg: object, size: int = 64) -> None:
         ...
 
 
@@ -154,7 +175,12 @@ class Network:
     def run(self, until: float | None = None) -> float:
         """Process events (optionally up to simulated time ``until``).
 
-        Returns the simulated time when the queue drained (or ``until``).
+        Returns the current simulated time: ``until`` when a bound was
+        given (the clock always advances to it, even when the event
+        heap drains early), otherwise the time the queue drained at.
+        ``idle()`` afterwards answers whether events remain past the
+        bound — a drained heap at ``now == until`` is idle, a bounded
+        stop with later events pending is not.
         """
         processed = 0
         while self._queue:
@@ -194,7 +220,17 @@ class Network:
                     args={"src": event.src},
                 )
             node.handle(event.msg, self, event.src)
+        # The heap drained. A bounded run still owes the caller the
+        # full interval: without this, run(until=T) returned the
+        # pre-drain clock (the last event's time) whenever the heap
+        # emptied at or before T, so back-to-back bounded runs saw
+        # time jump backwards relative to the requested horizon.
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
 
     def idle(self) -> bool:
+        """True when no events are pending (consistent with ``run``:
+        after a bounded run, idle means the drain — not the bound —
+        ended it)."""
         return not self._queue

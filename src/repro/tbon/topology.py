@@ -107,6 +107,16 @@ class TbonTopology:
                 return idx
         raise KeyError(f"unknown node {node}")
 
+    def is_first_layer(self, node: int) -> bool:
+        """True when ``node`` is a first-layer tool node.
+
+        Layer membership is contiguous by construction (first-layer
+        ids directly follow the application ranks), so this is an O(1)
+        range check — the sharded backend calls it per routed message.
+        """
+        first = self.layers[1]
+        return first[0] <= node <= first[-1]
+
     def host_of_rank(self, rank: int) -> int:
         """The first-layer tool node that hosts application rank ``rank``."""
         if not (0 <= rank < self.num_ranks):

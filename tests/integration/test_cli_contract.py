@@ -1,0 +1,183 @@
+"""The CLI's public contract, pinned.
+
+* every subcommand accepts the unified ``--out/--format/--backend/
+  --shards`` quartet (``--format`` choices vary per command);
+* the pre-1.1 spellings (``--json-out``, ``--obs-out``, ``--obs-jsonl``)
+  keep working as hidden aliases and print a deprecation notice on
+  stderr;
+* the exit-code contract is unchanged: 0 clean, 1 deadlock/error
+  finding, 2 usage error.
+"""
+import json
+
+import pytest
+
+from repro.cli import _FORMATS, build_parser, main
+
+FIG2A = 1  # fig2a always deadlocks -> exit 1
+
+
+def _parse(argv):
+    return build_parser().parse_args(argv)
+
+
+class TestUnifiedFlags:
+    COMMAND_STUBS = {
+        "record": ["record", "fig2a", "-o", "x.json"],
+        "analyze": ["analyze", "t.json"],
+        "demo": ["demo", "fig2a"],
+        "lint": ["lint", "x.py"],
+        "verify": ["verify", "x.py"],
+        "stats": ["stats", "run.json"],
+        "blame": ["blame", "run.json"],
+        "figures": ["figures"],
+    }
+
+    @pytest.mark.parametrize("command", sorted(COMMAND_STUBS))
+    def test_every_subcommand_takes_the_quartet(self, command):
+        argv = self.COMMAND_STUBS[command] + [
+            "--out", "artifact",
+            "--format", _FORMATS[command][0],
+            "--backend", "sharded",
+            "--shards", "4",
+        ]
+        args = _parse(argv)
+        assert args.out == "artifact"
+        assert args.backend == "sharded"
+        assert args.shards == 4
+
+    @pytest.mark.parametrize("command", sorted(COMMAND_STUBS))
+    def test_unsupported_format_is_a_usage_error(self, command):
+        unsupported = [
+            f for f in ("json", "jsonl", "html", "dot")
+            if f not in _FORMATS[command]
+        ]
+        if not unsupported:
+            pytest.skip("command supports every format")
+        with pytest.raises(SystemExit) as excinfo:
+            _parse(
+                self.COMMAND_STUBS[command]
+                + ["--out", "x", "--format", unsupported[0]]
+            )
+        assert excinfo.value.code == 2
+
+    def test_unknown_backend_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse(["demo", "fig2a", "--backend", "turbo"])
+        assert excinfo.value.code == 2
+
+    def test_out_json_writes_the_deadlock_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["demo", "fig2a", "--out", str(out), "--format", "json"])
+        assert code == FIG2A
+        doc = json.loads(out.read_text())
+        assert doc["deadlocked"] == [0, 1]
+
+    def test_out_dot_and_html_route_to_the_renderers(self, tmp_path):
+        dot = tmp_path / "wfg.dot"
+        html = tmp_path / "report.html"
+        assert main(
+            ["demo", "fig2a", "--out", str(dot), "--format", "dot"]
+        ) == FIG2A
+        assert "digraph" in dot.read_text()
+        assert main(
+            ["demo", "fig2a", "--out", str(html), "--format", "html"]
+        ) == FIG2A
+        assert "<html" in html.read_text().lower()
+
+    def test_out_jsonl_captures_the_event_stream(self, tmp_path):
+        jsonl = tmp_path / "events.jsonl"
+        assert main(
+            ["demo", "fig2a", "--out", str(jsonl), "--format", "jsonl"]
+        ) == FIG2A
+        lines = jsonl.read_text().strip().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+
+    def test_record_accepts_out_as_the_trace_path(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["record", "fig2a", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())
+
+    def test_record_without_any_output_is_a_usage_error(self, capsys):
+        assert main(["record", "fig2a"]) == 2
+        assert "output path" in capsys.readouterr().err
+
+
+class TestShardedBackendFlag:
+    def test_demo_sharded_reaches_the_inline_verdict(self, capsys):
+        code = main(["demo", "fig2a", "--backend", "sharded", "--shards", "2"])
+        assert code == FIG2A
+        out = capsys.readouterr().out
+        assert "deadlocked ranks (0, 1)" in out
+        assert "backend sharded" in out
+
+    def test_clean_workload_stays_exit_zero(self):
+        assert main(
+            ["demo", "stress", "-n", "4", "--backend", "sharded",
+             "--shards", "2"]
+        ) == 0
+
+    def test_blame_live_accepts_the_backend_flag(self, tmp_path, capsys):
+        prog = tmp_path / "dl.py"
+        prog.write_text(
+            "def worker(rank):\n"
+            "    peer = 1 - rank.rank\n"
+            "    yield rank.recv(source=peer)\n"
+            "    yield rank.send(dest=peer)\n"
+            "    yield rank.finalize()\n"
+            "LINT_RANKS = 2\n"
+        )
+        code = main(
+            ["blame", str(prog), "-n", "2", "--backend", "sharded",
+             "--shards", "2"]
+        )
+        assert code == 1
+        assert "rooted at ranks" in capsys.readouterr().out
+
+
+class TestDeprecatedAliases:
+    def test_json_out_still_writes_and_warns(self, tmp_path, capsys):
+        out = tmp_path / "old.json"
+        code = main(["demo", "fig2a", "--json-out", str(out)])
+        assert code == FIG2A
+        assert json.loads(out.read_text())["deadlocked"] == [0, 1]
+        err = capsys.readouterr().err
+        assert "--json-out is deprecated" in err
+        assert "--out FILE --format json" in err
+
+    def test_obs_out_still_writes_and_warns(self, tmp_path, capsys):
+        trace = tmp_path / "old.trace.json"
+        code = main(["demo", "fig2a", "--obs-out", str(trace)])
+        assert code == FIG2A
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert "--obs-out is deprecated" in capsys.readouterr().err
+
+    def test_obs_jsonl_still_writes_and_warns(self, tmp_path, capsys):
+        jsonl = tmp_path / "old.jsonl"
+        code = main(["demo", "fig2a", "--obs-jsonl", str(jsonl)])
+        assert code == FIG2A
+        assert jsonl.read_text().strip()
+        assert "--obs-jsonl is deprecated" in capsys.readouterr().err
+
+    def test_new_spellings_stay_silent(self, tmp_path, capsys):
+        trace = tmp_path / "new.trace.json"
+        code = main(["demo", "fig2a", "--obs-trace", str(trace)])
+        assert code == FIG2A
+        assert "deprecated" not in capsys.readouterr().err
+
+
+class TestExitCodeContract:
+    def test_clean_run_is_zero(self):
+        assert main(["demo", "stress", "-n", "4"]) == 0
+
+    def test_deadlock_is_one(self):
+        assert main(["demo", "fig2a"]) == 1
+
+    def test_unknown_workload_is_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_unreadable_trace_is_two(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["analyze", str(missing)]) == 2

@@ -1,0 +1,124 @@
+"""The ``repro.api`` facade: AnalysisConfig, Session, and the
+one-release deprecation shims for the legacy free functions."""
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.api import AnalysisConfig, Session
+from repro.backend import InlineBackend, ShardedBackend
+from repro.workloads import fig2a_programs, stress_programs
+
+
+class TestAnalysisConfig:
+    def test_defaults_build_the_inline_backend(self):
+        config = AnalysisConfig()
+        assert isinstance(config.build_backend(), InlineBackend)
+        assert not config.observability_wanted
+
+    def test_backend_selection(self):
+        config = AnalysisConfig(backend="sharded", shards=4)
+        backend = config.build_backend()
+        assert isinstance(backend, ShardedBackend)
+        assert backend.shards == 4
+
+    def test_replace_returns_a_new_value(self):
+        config = AnalysisConfig()
+        other = config.replace(fan_in=8)
+        assert other.fan_in == 8 and config.fan_in == 4
+
+    def test_sinks_imply_observability(self):
+        assert AnalysisConfig(trace_out="x.json").observability_wanted
+        assert AnalysisConfig(jsonl_out="x.jsonl").observability_wanted
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AnalysisConfig().fan_in = 8
+
+
+class TestSession:
+    def test_record_analyze_pipeline(self):
+        session = Session()
+        run = session.record(fig2a_programs())
+        assert session.last_run is run
+        outcome = session.analyze()
+        assert outcome.deadlocked == (0, 1)
+        assert session.last_outcome is outcome
+
+    def test_run_is_record_plus_analyze(self):
+        outcome = Session().run(fig2a_programs())
+        assert outcome.has_deadlock
+
+    def test_analyze_without_record_raises(self):
+        with pytest.raises(ValueError, match="record a run first"):
+            Session().analyze()
+
+    def test_analyze_accepts_a_matched_trace(self):
+        session = Session()
+        run = session.record(stress_programs(4, iterations=3))
+        outcome = session.analyze(run.matched)
+        assert not outcome.has_deadlock
+
+    def test_overrides_win_over_config(self):
+        session = Session(AnalysisConfig(fan_in=8), backend="sharded")
+        assert session.config.fan_in == 8
+        assert isinstance(session.backend, ShardedBackend)
+
+    def test_sharded_session_reaches_the_same_verdict(self):
+        outcome = Session(backend="sharded", shards=2).run(fig2a_programs())
+        assert outcome.deadlocked == (0, 1)
+
+    def test_context_manager_exports_sinks(self, tmp_path):
+        trace = tmp_path / "session.trace.json"
+        jsonl = tmp_path / "session.jsonl"
+        with Session(
+            trace_out=str(trace), jsonl_out=str(jsonl)
+        ) as session:
+            session.run(fig2a_programs())
+        doc = json.loads(trace.read_text())
+        assert doc["repro"]["deadlocked"] is True
+        assert doc["traceEvents"]
+        assert jsonl.read_text().strip()
+
+    def test_export_is_idempotent(self, tmp_path):
+        trace = tmp_path / "once.trace.json"
+        session = Session(trace_out=str(trace))
+        session.run(fig2a_programs())
+        session.export()
+        stamp = trace.stat().st_mtime_ns
+        trace.unlink()
+        session.export()  # second call must not rewrite
+        assert not trace.exists()
+        assert stamp
+
+
+class TestDeprecationShims:
+    def test_run_programs_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="Session"):
+            result = repro.run_programs(fig2a_programs())
+        assert result.deadlocked
+
+    def test_analyze_trace_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run = repro.run_programs(fig2a_programs())
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            analysis = repro.analyze_trace(run.matched)
+        assert analysis.deadlocked == (0, 1)
+
+    def test_detect_deadlocks_distributed_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run = repro.run_programs(fig2a_programs())
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            outcome = repro.detect_deadlocks_distributed(run.matched)
+        assert outcome.deadlocked == (0, 1)
+
+    def test_home_modules_stay_warning_free(self):
+        from repro.runtime import run_programs as original
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = original(fig2a_programs())
+        assert result.deadlocked

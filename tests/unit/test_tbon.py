@@ -205,3 +205,43 @@ class TestWaveAggregator:
         assert agg.add(("a", 0), c, expected=1) is not None
         assert agg.add(("a", 1), c, expected=2) is None
         assert set(agg.pending_keys()) == {("a", 1)}
+
+
+class _NullNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def handle(self, msg, net, src):
+        pass
+
+
+class TestBoundedRunClock:
+    """Regression: ``run(until=T)`` must advance the clock to T even
+    when the event heap drains early. It used to return the pre-drain
+    clock, so back-to-back bounded runs saw time move backwards
+    relative to the requested horizon."""
+
+    def test_empty_heap_still_advances_to_until(self):
+        net = Network(fixed_latency(0.25))
+        assert net.run(until=5.0) == 5.0
+        assert net.now == 5.0
+
+    def test_drained_heap_advances_past_last_event(self):
+        net = Network(fixed_latency(0.25))
+        net.attach(_NullNode(0))
+        net.send(1, 0, "hello", 8)
+        assert net.run(until=2.0) == 2.0  # delivery was at t=0.25
+        assert net.idle()
+        # The advanced clock must be usable: scheduling relative to
+        # `now` lands after the bound, never "in the past".
+        fired = []
+        net.call_later(0.5, lambda: fired.append(net.now))
+        net.run()
+        assert fired == [2.5]
+
+    def test_monotonic_across_consecutive_bounded_runs(self):
+        net = Network(fixed_latency(0.25))
+        stamps = []
+        for until in (1.0, 2.0, 3.0):
+            stamps.append(net.run(until=until))
+        assert stamps == [1.0, 2.0, 3.0]
