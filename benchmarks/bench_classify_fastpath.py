@@ -1,0 +1,147 @@
+"""Fragment-classifier fast path vs. full match-set exploration.
+
+``repro verify`` routes wildcard-free program sets through the
+decidable-fragment classifier and the O(n) linear matcher instead of
+the state-graph explorer. This bench quantifies that routing on the
+two workload shapes the fast path targets:
+
+* **ping_pong_pairs** — directed pair ping-pong. Independent pairs
+  make naive enumeration exponential; even with partial-order
+  reduction the explorer walks a state chain linear in the trace but
+  pays per-state hashing/copying, while the linear matcher does one
+  in-place pass.
+* **collective_only** — barrier/allreduce waves. Every state has one
+  enabled wave, so exploration is a chain again; the linear matcher
+  counts arrivals.
+
+Both workloads classify SEQ-DETERMINISTIC, and both deciders must
+agree (deadlock-free) at every scale — the bench asserts that before
+timing anything.
+
+Scored claim: >= 10x wall-clock speedup of classify+linear-match over
+exploration at the largest default scale of each workload.
+"""
+import gc
+import time
+
+from repro.analysis.explore import explore_sequences
+from repro.analysis.extract import extract_programs
+from repro.analysis.symbolic import (
+    Fragment,
+    classify_extraction,
+    decide_extraction,
+)
+from repro.workloads.wildcard import ping_pong_pairs_programs
+
+from _util import fmt_table, scale_points, write_result
+
+PROCESS_COUNTS = scale_points(default=(16, 32, 64), full=(16, 64, 256))
+ROUNDS = 6
+SAMPLES = 3
+#: Scored speedup floor at the largest default scale, per workload.
+SPEEDUP_FLOOR = 10.0
+
+
+def _collective_only_programs(p, rounds=ROUNDS):
+    def program(rank):
+        for _ in range(rounds):
+            yield rank.barrier()
+            yield rank.allreduce()
+        yield rank.finalize()
+
+    return [program] * p
+
+
+WORKLOADS = (
+    ("ping_pong_pairs", lambda p: ping_pong_pairs_programs(p, ROUNDS)),
+    ("collective_only", _collective_only_programs),
+)
+
+
+def _best_of(fn):
+    best = None
+    for _ in range(SAMPLES):
+        gc.disable()
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        gc.enable()
+        if best is None or dt < best[0]:
+            best = (dt, out)
+    return best
+
+
+def _measure(name, make, p):
+    ext = extract_programs(make(p))
+    classification = classify_extraction(ext)
+    assert classification.fragment is Fragment.SEQ_DETERMINISTIC, (
+        f"{name} p={p} fell out of the fragment: {classification.reason}"
+    )
+    fast_dt, fast = _best_of(lambda: decide_extraction(ext))
+    slow_dt, slow = _best_of(
+        lambda: explore_sequences(ext.sequences, ext.comms)
+    )
+    assert fast is not None
+    assert fast.verdict is slow.verdict, (name, p)
+    assert not fast.has_deadlock, (name, p)
+    assert fast.stats.states_explored == 0
+    total_ops = sum(len(s) for s in ext.sequences)
+    return {
+        "p": p,
+        "ops": total_ops,
+        "fast_ms": fast_dt * 1e3,
+        "explore_ms": slow_dt * 1e3,
+        "states": slow.stats.states_explored,
+        "speedup": slow_dt / fast_dt,
+    }
+
+
+def main():
+    series = {}
+    rows = []
+    for name, make in WORKLOADS:
+        cells = [_measure(name, make, p) for p in PROCESS_COUNTS]
+        series[name] = cells
+        for cell in cells:
+            rows.append(
+                (
+                    name,
+                    cell["p"],
+                    cell["ops"],
+                    f"{cell['fast_ms']:.2f}",
+                    f"{cell['explore_ms']:.2f}",
+                    cell["states"],
+                    f"{cell['speedup']:.1f}x",
+                )
+            )
+    lines = fmt_table(
+        ("workload", "p", "ops", "fastpath ms", "explore ms",
+         "states", "speedup"),
+        rows,
+    )
+    claims = []
+    for name, cells in series.items():
+        top = cells[-1]
+        ok = top["speedup"] >= SPEEDUP_FLOOR
+        claims.append(
+            f"{name}: fastpath speedup {top['speedup']:.1f}x at "
+            f"p={top['p']} (floor {SPEEDUP_FLOOR:.0f}x) — "
+            f"{'OK' if ok else 'FAIL'}"
+        )
+    lines += [""] + claims
+    write_result(
+        "classify_fastpath",
+        lines,
+        data={
+            "rounds": ROUNDS,
+            "samples": SAMPLES,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "series": series,
+        },
+    )
+    if any("FAIL" in c for c in claims):
+        raise SystemExit(f"scored claim failed: {claims}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,12 @@ starting the engine. ``repro verify`` goes further for wildcard
 programs: it explores the full match-set state graph
 (:mod:`repro.analysis.explore`) and backs every `deadlock-possible`
 verdict with a replayable witness schedule
-(:mod:`repro.analysis.witness`).
+(:mod:`repro.analysis.witness`). The interprocedural symbolic
+extractor and decidable-fragment classifier
+(:mod:`repro.analysis.symbolic`) sit on top: wildcard-free programs
+are labeled ``SEQ-DETERMINISTIC`` / ``SEQ-WILDCARD-FREE-LOOPS`` and
+decided by an O(n) linear matching instead of state-graph search
+(``repro classify``, and the ``repro verify`` fast path).
 """
 from repro.analysis.astlint import find_rank_programs, lint_source
 from repro.analysis.driver import (
@@ -30,6 +35,17 @@ from repro.analysis.explore import (
 )
 from repro.analysis.extract import Extraction, extract_programs
 from repro.analysis.seqmatch import StaticMatchResult, match_sequences
+from repro.analysis.symbolic import (
+    Fragment,
+    LinearMatchResult,
+    LinearMatchUnsupported,
+    ProgramClassification,
+    SequenceClassification,
+    classify_extraction,
+    classify_source,
+    decide_extraction,
+    match_linear,
+)
 from repro.analysis.typestate import (
     check_collective_consistency,
     check_request_typestate,
@@ -46,15 +62,24 @@ __all__ = [
     "ExploreResult",
     "ExploreStats",
     "Extraction",
+    "Fragment",
+    "LinearMatchResult",
+    "LinearMatchUnsupported",
     "LintReport",
+    "ProgramClassification",
     "ProgramVerification",
     "ReplayOutcome",
+    "SequenceClassification",
     "StaticMatchResult",
     "Verdict",
     "VerifyReport",
     "WitnessSchedule",
     "check_collective_consistency",
     "check_request_typestate",
+    "classify_extraction",
+    "classify_source",
+    "decide_extraction",
+    "match_linear",
     "explore_extraction",
     "explore_sequences",
     "extract_programs",

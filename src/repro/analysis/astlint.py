@@ -209,6 +209,7 @@ class _Linter:
         self._collect_aliases(fn, handles)
         self._check_yield_discipline(fn, handles)
         self._check_rank_dependent_collectives(fn, handles)
+        self._check_rank_dependent_collective_loops(fn, handles)
         for call in _scoped_walk(fn):
             method = _handle_call(call, handles)
             if method is None:
@@ -305,6 +306,36 @@ class _Linter:
                     "rejoin on every rank this mismatches the "
                     "collective order across the communicator",
                 )
+
+    def _check_rank_dependent_collective_loops(
+        self, fn: ast.FunctionDef, handles: Set[str]
+    ) -> None:
+        """Collectives inside loops whose trip count depends on the
+        rank identity: each rank then calls the collective a different
+        number of times, which mismatches the collective order exactly
+        like a rank-dependent branch does (the loop-shaped variant the
+        branch check is blind to)."""
+        rank_names = self._rank_identity_names(fn, handles)
+        for node in _scoped_walk(fn):
+            if isinstance(node, ast.For):
+                trip = node.iter
+            elif isinstance(node, ast.While):
+                trip = node.test
+            else:
+                continue
+            if not self._mentions_rank(trip, handles, rank_names):
+                continue
+            calls = self._collective_calls(node.body, handles)
+            if not calls:
+                continue
+            described = "+".join(calls)
+            self.report(
+                "rank-dependent-collective", Severity.WARNING, node,
+                f"collective call(s) {described} sit inside a "
+                "loop whose trip count depends on the rank identity; "
+                "ranks will disagree on how many collective waves "
+                "they join",
+            )
 
     def _rank_identity_names(self, fn: ast.FunctionDef,
                              handles: Set[str]) -> Set[str]:

@@ -36,6 +36,12 @@ from repro.analysis.explore import (
 )
 from repro.analysis.extract import Extraction, extract_programs
 from repro.analysis.seqmatch import StaticMatchResult, match_sequences
+from repro.analysis.symbolic.fragments import (
+    ProgramClassification,
+    classify_extraction,
+    classify_source,
+    decide_extraction,
+)
 from repro.analysis.typestate import (
     check_collective_consistency,
     check_request_typestate,
@@ -67,6 +73,10 @@ class LintReport:
     programs_analyzed: int = 0
     #: Diagnostics about the analysis itself (import failures etc.).
     notes: List[str] = field(default_factory=list)
+    #: Per-program decidable-fragment labels from the symbolic pass.
+    classifications: List[ProgramClassification] = field(
+        default_factory=list
+    )
 
     def errors(self) -> List[CheckFinding]:
         return [
@@ -107,6 +117,7 @@ def _lint_python(path: str, ranks: int) -> LintReport:
         )
         return report
     report.findings.extend(findings)
+    _classify_for_lint(source, path, report)
     if not programs and not _has_explicit_programs(source):
         report.notes.append(
             "no module-level rank programs found; AST lint only"
@@ -121,6 +132,43 @@ def _lint_python(path: str, ranks: int) -> LintReport:
     for label, program_set in program_sets:
         _analyze_program_set(label, program_set, report)
     return report
+
+
+def _classify_for_lint(
+    source: str, path: str, report: LintReport
+) -> None:
+    """Run the symbolic pass and fold its provenance into the lint
+    findings: ``loop-unsupported`` / ``symbolic-unsupported`` notes
+    with file:line, and one ``role-split`` INFO per rank-dependent
+    branch so role-parametric programs are visible in lint output."""
+    try:
+        classifications = classify_source(source, path)
+    except SyntaxError:
+        return  # already reported by the AST lint
+    except RecursionError:  # pathological nesting; lint stays usable
+        report.notes.append("symbolic classification overflowed; skipped")
+        return
+    report.classifications.extend(classifications)
+    for cl in classifications:
+        if cl.summary is not None:
+            report.findings.extend(cl.summary.notes)
+        for cond, lineno in cl.role_splits:
+            report.findings.append(
+                CheckFinding(
+                    check="role-split",
+                    severity=Severity.INFO,
+                    rank=None,
+                    message=(
+                        f"{cl.name}: role split on `{cond}` — per-role "
+                        "sequences extracted for both arms"
+                    ),
+                    location=f"{path}:{lineno}",
+                )
+            )
+        report.notes.append(
+            f"{cl.name}: fragment {cl.fragment.value}"
+            + (f" ({cl.reason})" if cl.reason else "")
+        )
 
 
 def _has_explicit_programs(source: str) -> bool:
@@ -336,13 +384,18 @@ def verify_path(
     max_depth: int = 1_000_000,
     por: bool = True,
     replay: bool = False,
+    fastpath: bool = True,
     metrics: Optional[MetricsRegistry] = None,
 ) -> VerifyReport:
     """Bounded wildcard-aware verification of a rank-program file.
 
     Extracts every discovered program set, runs the consistency
     checkers, and — when the sequences are exact up to wildcard
-    statuses — explores the full match-set state graph. A
+    statuses — explores the full match-set state graph. Wildcard-free
+    exact sequences skip the state graph entirely: the fragment
+    classifier routes them through the O(n) linear matcher
+    (``fastpath=False`` forces exploration; ``verify.fastpath.*``
+    counters record the routing). A
     `deadlock-possible` verdict carries a witness schedule;
     ``replay=True`` additionally feeds it back through the runtime
     engine to confirm the deadlock dynamically.
@@ -382,6 +435,7 @@ def verify_path(
                 max_depth=max_depth,
                 por=por,
                 replay=replay,
+                fastpath=fastpath,
                 metrics=metrics,
             )
         )
@@ -396,7 +450,8 @@ def _verify_program_set(
     max_depth: int,
     por: bool,
     replay: bool,
-    metrics: Optional[MetricsRegistry],
+    fastpath: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ProgramVerification:
     prog = ProgramVerification(label=label)
     try:
@@ -420,18 +475,44 @@ def _verify_program_set(
             "consistency checks reported errors; fix those first"
         )
         return prog
-    try:
-        prog.result = explore_extraction(
-            extraction,
-            max_states=max_states,
-            max_depth=max_depth,
-            por=por,
-            metrics=metrics,
-            label=label,
-        )
-    except ExplorationUnsupported as exc:
-        prog.skipped_reason = str(exc)
-        return prog
+    # Decidable-fragment fast path: wildcard-free exact sequences have
+    # a unique matching (arXiv:0709.3692), so a single linear replay
+    # decides deadlock without building the state graph.
+    if fastpath:
+        classification = classify_extraction(extraction)
+        if metrics is not None:
+            metrics.inc(
+                f"verify.fragment.{classification.fragment.value}"
+            )
+        fast = None
+        if classification.decidable:
+            fast = decide_extraction(extraction, label=label)
+        if fast is not None:
+            if metrics is not None:
+                metrics.inc("verify.fastpath.hits")
+                metrics.inc(
+                    "verify.fastpath.linear_ops",
+                    fast.stats.transitions,
+                )
+                if fast.has_deadlock:
+                    metrics.inc("verify.fastpath.deadlocks_found")
+            prog.result = fast
+        else:
+            if metrics is not None:
+                metrics.inc("verify.fastpath.misses")
+    if prog.result is None:
+        try:
+            prog.result = explore_extraction(
+                extraction,
+                max_states=max_states,
+                max_depth=max_depth,
+                por=por,
+                metrics=metrics,
+                label=label,
+            )
+        except ExplorationUnsupported as exc:
+            prog.skipped_reason = str(exc)
+            return prog
     result = prog.result
     if result.verdict is Verdict.BOUND_EXCEEDED:
         prog.findings.append(

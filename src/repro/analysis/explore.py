@@ -159,6 +159,10 @@ class ExploreResult:
     graph: Optional[WaitForGraph] = None
     detection: Optional[DetectionResult] = None
     reason: str = ""
+    #: Decidable-fragment label when this result came from the linear
+    #: fast path (:mod:`repro.analysis.symbolic.fragments`); empty for
+    #: genuine state-graph explorations.
+    fragment: str = ""
 
     @property
     def has_deadlock(self) -> bool:

@@ -80,6 +80,14 @@ class Extraction:
     def num_processes(self) -> int:
         return len(self.sequences)
 
+    @property
+    def usable_for_matching(self) -> bool:
+        """Whether any matching-based verdict may trust the sequences:
+        complete, and inexact at worst in fabricated wildcard statuses
+        (the gate both the explorer and the decidable-fragment fast
+        path apply)."""
+        return not self.truncated and (self.exact or self.wildcard_exact)
+
 
 @dataclass
 class _PersistentInfo:

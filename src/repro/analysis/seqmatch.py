@@ -62,6 +62,11 @@ class StaticMatchResult:
     #: ``"wildcard-unsupported"``), so callers can report a structured
     #: finding and route the program to the match-set explorer.
     skipped_check: str = ""
+    #: Decidable-fragment label backing this verdict — the shared
+    #: vocabulary of :mod:`repro.analysis.symbolic.fragments`
+    #: (``SEQ-DETERMINISTIC`` when the replay was authoritative,
+    #: ``UNDECIDABLE`` when it refused).
+    fragment: str = ""
 
     @property
     def has_deadlock(self) -> bool:
@@ -420,6 +425,7 @@ def match_sequences(
                 "wildcard-aware match-set exploration"
             ),
             skipped_check="wildcard-unsupported",
+            fragment="UNDECIDABLE",
         )
 
     replay = _Replay(sequences, comms)
@@ -450,7 +456,11 @@ def match_sequences(
     } | replay.finished
     finished -= set(blocked)
     if not blocked:
-        return StaticMatchResult(applicable=True, finished=finished)
+        return StaticMatchResult(
+            applicable=True,
+            finished=finished,
+            fragment="SEQ-DETERMINISTIC",
+        )
 
     conditions = [replay.blocked_condition(rank) for rank in sorted(blocked)]
     graph = WaitForGraph.from_conditions(
@@ -465,4 +475,5 @@ def match_sequences(
         finished=finished,
         graph=graph,
         detection=detection,
+        fragment="SEQ-DETERMINISTIC",
     )

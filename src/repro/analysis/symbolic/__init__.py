@@ -1,0 +1,65 @@
+"""Interprocedural symbolic extraction and decidable-fragment verdicts.
+
+Layers (each a module, bottom-up):
+
+* :mod:`.sexpr` — the affine symbolic value domain and conditions;
+* :mod:`.cfg` — per-function CFGs and the module call graph;
+* :mod:`.symexec` — abstract interpretation of rank programs into
+  rank-parametric term trees, plus concrete instantiation;
+* :mod:`.linmatch` — the O(n) unique-matching deadlock decision for
+  wildcard-free sequences;
+* :mod:`.fragments` — the ``SEQ-DETERMINISTIC`` /
+  ``SEQ-WILDCARD-FREE-LOOPS`` / ``UNDECIDABLE`` classifier and the
+  verify fast-path entry points.
+"""
+from repro.analysis.symbolic.fragments import (
+    Fragment,
+    ProgramClassification,
+    SequenceClassification,
+    classify_extraction,
+    classify_module,
+    classify_sequences,
+    classify_source,
+    classify_summary,
+    decide_extraction,
+    decide_sequences,
+)
+from repro.analysis.symbolic.linmatch import (
+    LinearMatchResult,
+    LinearMatchUnsupported,
+    match_linear,
+)
+from repro.analysis.symbolic.symexec import (
+    InstantiationError,
+    ProgramSummary,
+    SymbolicUnsupported,
+    instantiate,
+    render_terms,
+    summarize_module,
+    summarize_program,
+    summarize_source,
+)
+
+__all__ = [
+    "Fragment",
+    "InstantiationError",
+    "LinearMatchResult",
+    "LinearMatchUnsupported",
+    "ProgramClassification",
+    "ProgramSummary",
+    "SequenceClassification",
+    "SymbolicUnsupported",
+    "classify_extraction",
+    "classify_module",
+    "classify_sequences",
+    "classify_source",
+    "classify_summary",
+    "decide_extraction",
+    "decide_sequences",
+    "instantiate",
+    "match_linear",
+    "render_terms",
+    "summarize_module",
+    "summarize_program",
+    "summarize_source",
+]

@@ -12,6 +12,12 @@ Commands
 ``demo``     record + analyze a named workload in one step;
 ``lint``     statically analyze rank-program files or recorded traces
              without running the engine;
+``classify`` label every rank program by decidable fragment
+             (`SEQ-DETERMINISTIC` / `SEQ-WILDCARD-FREE-LOOPS` /
+             `UNDECIDABLE`) via the interprocedural symbolic
+             extractor, with role-split and loop provenance
+             (``-v`` prints the symbolic term tree); exit 1 when any
+             program is undecidable;
 ``verify``   bounded wildcard-aware verification: explore every
              feasible match-set of a rank-program file, classify it
              `deadlock-free` / `deadlock-possible` / `bound-exceeded`,
@@ -138,6 +144,7 @@ _FORMATS: Dict[str, Tuple[str, ...]] = {
     "analyze": ("json", "jsonl", "html", "dot"),
     "demo": ("json", "jsonl", "html", "dot"),
     "lint": ("json",),
+    "classify": ("json",),
     "verify": ("json", "jsonl"),
     "stats": ("json",),
     "blame": ("json",),
@@ -473,6 +480,76 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any_errors else 0
 
 
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.analysis.symbolic import classify_source
+
+    doc: Dict[str, list] = {}
+    worst = 0
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"classify: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            classifications = classify_source(source, path)
+        except SyntaxError as exc:
+            print(
+                f"classify: {path}:{exc.lineno or 1}: source does not "
+                f"parse: {exc.msg}",
+                file=sys.stderr,
+            )
+            return 2
+        doc[path] = []
+        print(f"{path}:")
+        if not classifications:
+            print("  (no rank programs found)")
+        for cl in classifications:
+            line = f"  {cl.name}: {cl.fragment.value}"
+            if cl.reason:
+                line += f" — {cl.reason}"
+                if cl.reason_line is not None:
+                    line += f" ({cl.location})"
+            print(line)
+            for cond, lineno in cl.role_splits:
+                print(f"    role split: {cond}  [{path}:{lineno}]")
+            for count, lineno in cl.loops:
+                print(
+                    f"    symbolic loop: repeat {count} times  "
+                    f"[{path}:{lineno}]"
+                )
+            if args.verbose and cl.rendering:
+                print("    term tree:")
+                for rline in cl.rendering:
+                    print(f"      {rline}")
+            if not cl.fragment.decidable:
+                worst = 1
+            doc[path].append(
+                {
+                    "program": cl.name,
+                    "fragment": cl.fragment.value,
+                    "reason": cl.reason,
+                    "line": cl.reason_line,
+                    "role_splits": [
+                        {"condition": cond, "line": lineno}
+                        for cond, lineno in cl.role_splits
+                    ],
+                    "loops": [
+                        {"count": count, "line": lineno}
+                        for count, lineno in cl.loops
+                    ],
+                    "terms": list(cl.rendering),
+                }
+            )
+    out = _out_path(args, "json")
+    if out:
+        _write_json(
+            out, {"format": "repro-classify/1", "programs": doc}
+        )
+    return worst
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
     import os
@@ -497,6 +574,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 max_depth=args.max_depth,
                 por=not args.no_por,
                 replay=args.replay,
+                fastpath=not args.no_fastpath,
                 metrics=observer.metrics,
             )
         except (OSError, ReproError) as exc:
@@ -518,6 +596,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 detail = f" — feasible deadlock of ranks {{{ranks}}}"
                 entry["deadlocked"] = list(result.deadlocked)
                 entry["witness_cycle"] = list(result.witness_cycle)
+            elif result.fragment:
+                detail = (
+                    f" (fast path: {result.fragment}, "
+                    f"{result.stats.transitions} ops linearly matched, "
+                    "no state graph)"
+                )
             else:
                 detail = (
                     f" ({result.stats.states_explored} states, "
@@ -525,6 +609,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 )
                 if result.verdict.value == "bound-exceeded":
                     detail += f" — {result.reason}"
+            if result is not None and result.fragment:
+                entry["fragment"] = result.fragment
             print(f"  {prog.label}: {prog.verdict_name}{detail}")
             for finding in prog.findings:
                 print("    " + finding.render())
@@ -849,6 +935,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flags(lint, "lint")
     lint.set_defaults(func=_cmd_lint)
 
+    classify = sub.add_parser(
+        "classify",
+        help="label rank programs by decidable fragment "
+        "(SEQ-DETERMINISTIC / SEQ-WILDCARD-FREE-LOOPS / UNDECIDABLE)",
+    )
+    classify.add_argument(
+        "paths", nargs="+",
+        help="Python rank-program files (as for `repro lint`)",
+    )
+    classify.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print the extracted symbolic term tree",
+    )
+    _add_common_flags(classify, "classify")
+    classify.set_defaults(func=_cmd_classify)
+
     verify = sub.add_parser(
         "verify",
         help="bounded wildcard-aware deadlock verification with "
@@ -882,6 +984,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-por", action="store_true",
         help="disable the partial-order reduction (naive enumeration; "
         "for debugging and benchmarks)",
+    )
+    verify.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the decidable-fragment linear fast path and "
+        "always explore the match-set state graph",
     )
     verify.add_argument(
         "--witness-dir", metavar="DIR",

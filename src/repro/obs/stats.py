@@ -132,6 +132,14 @@ def render_explore_table(snapshot: Mapping[str, object]) -> List[str]:
     values = _with_prefix(counters, VERIFY_PREFIX)
     if not values:
         return []
+    # Routing/classification counters have their own table.
+    values = {
+        k: v
+        for k, v in values.items()
+        if not k.startswith(("fastpath.", "fragment."))
+    }
+    if not values:
+        return []
     lines = [f"{'exploration':<24} {'count':>12}"]
     known = set()
     for key, label in _VERIFY_ROWS:
@@ -141,6 +149,46 @@ def render_explore_table(snapshot: Mapping[str, object]) -> List[str]:
     for key in sorted(values):
         if key not in known:
             lines.append(f"{key:<24} {values[key]:>12,}")
+    return lines
+
+
+#: Counter prefixes of the decidable-fragment fast path.
+FASTPATH_PREFIX = "verify.fastpath."
+FRAGMENT_PREFIX = "verify.fragment."
+
+
+def render_classification_table(
+    snapshot: Mapping[str, object]
+) -> List[str]:
+    """Fragment counts and fast-path hit rate, when a run carried
+    classifier artifacts (``verify.fastpath.*`` / ``verify.fragment.*``
+    counters)."""
+    counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+    fastpath = _with_prefix(counters, FASTPATH_PREFIX)
+    fragments = _with_prefix(counters, FRAGMENT_PREFIX)
+    if not fastpath and not fragments:
+        return []
+    lines = [f"{'fragment':<28} {'programs':>10}"]
+    for label in sorted(fragments):
+        lines.append(f"{label:<28} {fragments[label]:>10,}")
+    hits = fastpath.get("hits", 0)
+    misses = fastpath.get("misses", 0)
+    routed = hits + misses
+    if routed:
+        rate = hits / routed * 100.0
+        lines.append(
+            f"{'fast-path hit rate':<28} "
+            f"{hits}/{routed} ({rate:.1f}%)".rjust(0)
+        )
+    if "linear_ops" in fastpath:
+        lines.append(
+            f"{'ops linearly matched':<28} {fastpath['linear_ops']:>10,}"
+        )
+    if "deadlocks_found" in fastpath:
+        lines.append(
+            f"{'fast-path deadlocks':<28} "
+            f"{fastpath['deadlocks_found']:>10,}"
+        )
     return lines
 
 
@@ -198,6 +246,11 @@ def render_summary(snapshot: Mapping[str, object]) -> List[str]:
         lines.append("")
         lines.append("-- match-set exploration (repro verify) --")
         lines += explore
+    classified = render_classification_table(snapshot)
+    if classified:
+        lines.append("")
+        lines.append("-- decidable-fragment classification --")
+        lines += classified
     health = render_tracer_health(snapshot)
     if health:
         lines.append("")

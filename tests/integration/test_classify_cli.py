@@ -1,0 +1,197 @@
+"""``repro classify`` and the ``repro verify`` fast path, end to end."""
+import json
+
+import pytest
+
+from repro.analysis import verify_path
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+
+DETERMINISTIC_MODULE = '''\
+"""Wildcard-free programs: a deadlocking ring and a clean exchange."""
+
+
+def ring(rank):
+    right = (rank.rank + 1) % rank.size
+    left = (rank.rank - 1) % rank.size
+    yield rank.send(right, tag=0)
+    yield rank.recv(source=left, tag=0)
+    yield rank.finalize()
+
+
+def exchange(rank):
+    right = (rank.rank + 1) % rank.size
+    left = (rank.rank - 1) % rank.size
+    s = yield rank.isend(right, tag=1)
+    r = yield rank.irecv(source=left, tag=1)
+    yield rank.waitall([s, r])
+    yield rank.finalize()
+'''
+
+MIXED_MODULE = '''\
+"""One program per fragment label."""
+from repro.mpi.constants import ANY_SOURCE
+
+
+def deterministic(rank):
+    peer = (rank.rank + 1) % rank.size
+    yield rank.send(peer, tag=0)
+    yield rank.recv(source=(rank.rank - 1) % rank.size, tag=0)
+    yield rank.finalize()
+
+
+def master(rank):
+    if rank.rank == 0:
+        for w in range(1, rank.size):
+            yield rank.recv(source=w, tag=7)
+    else:
+        yield rank.send(0, tag=7)
+    yield rank.finalize()
+
+
+def wildcard(rank):
+    yield rank.recv(source=ANY_SOURCE, tag=0)
+    yield rank.finalize()
+'''
+
+
+# ----------------------------------------------------------------------
+# repro classify
+# ----------------------------------------------------------------------
+
+def test_classify_labels_every_fragment(tmp_path, capsys):
+    path = tmp_path / "mixed.py"
+    path.write_text(MIXED_MODULE)
+    code = main(["classify", str(path)])
+    out = capsys.readouterr().out
+    assert code == 1  # the wildcard program is undecidable
+    assert "deterministic: SEQ-DETERMINISTIC" in out
+    assert "master: SEQ-WILDCARD-FREE-LOOPS" in out
+    assert "wildcard: UNDECIDABLE" in out
+    assert "ANY_SOURCE" in out
+    # Provenance: role split and symbolic loop with file:line anchors.
+    assert "role split: rank == 0" in out
+    assert "symbolic loop: repeat size - 1 times" in out
+
+
+def test_classify_all_decidable_exits_zero(tmp_path, capsys):
+    path = tmp_path / "det.py"
+    path.write_text(DETERMINISTIC_MODULE)
+    code = main(["classify", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ring: SEQ-DETERMINISTIC" in out
+    assert "exchange: SEQ-DETERMINISTIC" in out
+
+
+def test_classify_json_document(tmp_path, capsys):
+    src = tmp_path / "mixed.py"
+    src.write_text(MIXED_MODULE)
+    out_file = tmp_path / "cls.json"
+    main(["classify", str(src), "--out", str(out_file)])
+    capsys.readouterr()
+    doc = json.loads(out_file.read_text())
+    assert doc["format"] == "repro-classify/1"
+    programs = {p["program"]: p for p in doc["programs"][str(src)]}
+    assert programs["deterministic"]["fragment"] == "SEQ-DETERMINISTIC"
+    assert programs["master"]["fragment"] == "SEQ-WILDCARD-FREE-LOOPS"
+    assert programs["master"]["role_splits"][0]["condition"] == "rank == 0"
+    assert programs["wildcard"]["fragment"] == "UNDECIDABLE"
+    assert programs["wildcard"]["line"] is not None
+
+
+def test_classify_verbose_renders_term_trees(tmp_path, capsys):
+    path = tmp_path / "det.py"
+    path.write_text(DETERMINISTIC_MODULE)
+    main(["classify", str(path), "-v"])
+    out = capsys.readouterr().out
+    assert "term tree:" in out
+
+
+def test_classify_unreadable_path_exits_two(capsys):
+    assert main(["classify", "does/not/exist.py"]) == 2
+
+
+def test_classify_syntax_error_exits_two(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text("def broken(:\n")
+    assert main(["classify", str(path)]) == 2
+    assert "does not parse" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The verify fast path
+# ----------------------------------------------------------------------
+
+def test_fastpath_skips_the_state_graph_and_counts_it(tmp_path):
+    path = tmp_path / "det.py"
+    path.write_text(DETERMINISTIC_MODULE)
+    metrics = MetricsRegistry()
+    report = verify_path(str(path), ranks=4, metrics=metrics)
+    by_label = {p.label: p for p in report.programs}
+    ring = by_label["ring"].result
+    assert ring is not None and ring.has_deadlock
+    assert ring.fragment == "SEQ-DETERMINISTIC"
+    # The acceptance claim: no state graph was ever built.
+    assert ring.stats.states_explored == 0
+    exchange = by_label["exchange"].result
+    assert exchange is not None and not exchange.has_deadlock
+    assert exchange.stats.states_explored == 0
+    counters = metrics.snapshot()["counters"]
+    assert counters["verify.fastpath.hits"] == 2
+    assert counters.get("verify.fastpath.misses", 0) == 0
+    assert counters["verify.fastpath.linear_ops"] > 0
+    assert counters["verify.fastpath.deadlocks_found"] == 1
+    assert counters["verify.fragment.SEQ-DETERMINISTIC"] == 2
+
+
+def test_no_fastpath_reproduces_the_same_verdicts(tmp_path):
+    path = tmp_path / "det.py"
+    path.write_text(DETERMINISTIC_MODULE)
+    metrics = MetricsRegistry()
+    fast = verify_path(str(path), ranks=4)
+    slow = verify_path(str(path), ranks=4, fastpath=False,
+                       metrics=metrics)
+    for f, s in zip(fast.programs, slow.programs):
+        assert f.label == s.label
+        assert f.verdict_name == s.verdict_name
+        assert f.result is not None and s.result is not None
+        assert sorted(f.result.deadlocked) == sorted(s.result.deadlocked)
+        # Forced exploration really explored.
+        assert s.result.stats.states_explored > 0
+        assert s.result.fragment == ""
+    counters = metrics.snapshot()["counters"]
+    assert "verify.fastpath.hits" not in counters
+
+
+def test_fastpath_witness_survives_replay(tmp_path, capsys):
+    path = tmp_path / "det.py"
+    path.write_text(DETERMINISTIC_MODULE)
+    code = main(["verify", str(path), "-n", "4", "--replay"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "fast path: SEQ-DETERMINISTIC" in out
+    assert "replay: confirmed runtime deadlock" in out
+
+
+def test_wildcard_program_misses_the_fastpath(tmp_path):
+    path = tmp_path / "mixed.py"
+    path.write_text(MIXED_MODULE)
+    metrics = MetricsRegistry()
+    report = verify_path(str(path), ranks=3, metrics=metrics)
+    counters = metrics.snapshot()["counters"]
+    assert counters["verify.fastpath.misses"] >= 1
+    assert counters["verify.fragment.UNDECIDABLE"] >= 1
+    by_label = {p.label: p for p in report.programs}
+    wc = by_label["wildcard"].result
+    assert wc is not None and wc.fragment == ""
+    assert wc.stats.states_explored > 0
+
+
+def test_obs_summary_renders_the_classification_table(tmp_path, capsys):
+    path = tmp_path / "det.py"
+    path.write_text(DETERMINISTIC_MODULE)
+    main(["verify", str(path), "-n", "4", "--obs"])
+    out = capsys.readouterr().out
+    assert "decidable-fragment classification" in out
+    assert "fast-path hit rate" in out

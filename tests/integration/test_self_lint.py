@@ -1,0 +1,54 @@
+"""The analysis package holds itself to its own static standards.
+
+Mirrors the ``self-lint`` CI job: byte-compile the analysis package,
+run ``mypy --strict`` over it when mypy is installed (the CI image has
+it; the test skips locally when absent), and keep ``repro lint`` clean
+on the shipped examples.
+"""
+import compileall
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ANALYSIS = REPO_ROOT / "src" / "repro" / "analysis"
+
+
+def test_analysis_package_byte_compiles():
+    ok = compileall.compile_dir(
+        str(ANALYSIS), quiet=2, force=True
+    )
+    assert ok, "compileall found syntax errors in repro.analysis"
+
+
+@pytest.mark.skipif(
+    shutil.which("mypy") is None, reason="mypy not installed"
+)
+def test_analysis_package_is_mypy_strict_clean():
+    proc = subprocess.run(
+        [shutil.which("mypy"), "--strict", str(ANALYSIS)],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repro_lint_accepts_the_shipped_examples():
+    examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+    assert examples
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "-v"]
+        + [str(p) for p in examples],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    # Shipped examples must stay at exit 0 (clean) or 1 (findings) —
+    # never 2 (crash/usage error).
+    assert proc.returncode in (0, 1), proc.stdout + proc.stderr
+    assert "Traceback" not in proc.stderr
