@@ -20,7 +20,18 @@ FORMAT = "repro-bench-trajectory/1"
 
 
 def aggregate() -> dict:
+    """Fold the payloads, deterministically.
+
+    Files are visited in sorted name order and the result maps bench
+    *name* -> payload, so re-runs of the same bench dumped under a
+    different file name (``BENCH_foo (1).json``, editor backups, ...)
+    would otherwise clobber each other in glob order. Dedupe rule: the
+    canonical file ``BENCH_<name>.json`` always wins; any other file
+    claiming an already-seen bench name is recorded in ``skipped``
+    instead of silently overwriting.
+    """
     benches = {}
+    source_of = {}
     skipped = []
     for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
         if path.name == OUTPUT.name:
@@ -31,12 +42,26 @@ def aggregate() -> dict:
             skipped.append(f"{path.name}: {exc}")
             continue
         name = payload.get("bench", path.stem[len("BENCH_"):])
+        canonical = path.stem == f"BENCH_{name}"
+        if name in benches:
+            if canonical:
+                skipped.append(
+                    f"{source_of[name]}: duplicate of bench '{name}' "
+                    f"(superseded by {path.name})"
+                )
+            else:
+                skipped.append(
+                    f"{path.name}: duplicate of bench '{name}' "
+                    f"(kept {source_of[name]})"
+                )
+                continue
         benches[name] = payload
+        source_of[name] = path.name
     return {
         "format": FORMAT,
         "count": len(benches),
-        "benches": benches,
-        "skipped": skipped,
+        "benches": {name: benches[name] for name in sorted(benches)},
+        "skipped": sorted(skipped),
     }
 
 

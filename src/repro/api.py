@@ -46,8 +46,10 @@ class AnalysisConfig:
     ``detect_at`` (mid-run detection timeouts in simulated seconds —
     inline backend only) and ``detect_at_end``. Observability:
     ``observe`` turns on metrics + tracing, ``trace_out`` /
-    ``jsonl_out`` name export sinks (either implies ``observe``), and
-    ``flight`` keeps the always-on flight recorder.
+    ``jsonl_out`` / ``profile_out`` name export sinks (any implies
+    ``observe``), ``trace_limit`` caps recorded events (None = tracer
+    default; sharded workers inherit the cap), and ``flight`` keeps
+    the always-on flight recorder.
     """
 
     semantics: Optional[BlockingSemantics] = None
@@ -63,6 +65,8 @@ class AnalysisConfig:
     observe: bool = False
     trace_out: Optional[str] = None
     jsonl_out: Optional[str] = None
+    profile_out: Optional[str] = None
+    trace_limit: Optional[int] = None
     flight: bool = True
 
     def replace(self, **changes: Any) -> "AnalysisConfig":
@@ -70,7 +74,10 @@ class AnalysisConfig:
 
     @property
     def observability_wanted(self) -> bool:
-        return bool(self.observe or self.trace_out or self.jsonl_out)
+        return bool(
+            self.observe or self.trace_out or self.jsonl_out
+            or self.profile_out
+        )
 
     def build_backend(self) -> AnalysisBackend:
         return make_backend(self.backend, shards=self.shards)
@@ -96,7 +103,14 @@ class Session:
             config = config.replace(**overrides)
         self.config = config
         self.backend = config.build_backend()
-        self.observer: Observer = make_observer(config.observability_wanted)
+        if config.observability_wanted and config.trace_limit is not None:
+            from repro.obs.tracer import Tracer
+
+            self.observer: Observer = Observer(
+                tracer=Tracer(limit=config.trace_limit)
+            )
+        else:
+            self.observer = make_observer(config.observability_wanted)
         self.flight: FlightRecorder = (
             FlightRecorder() if config.flight else NULL_FLIGHT_RECORDER
         )
@@ -206,6 +220,7 @@ class Session:
         if self._exported or not self.observer.enabled:
             return
         self._exported = True
+        profile = getattr(self.backend, "last_profile", None)
         if self.config.trace_out:
             from repro.obs.exporters import write_chrome_trace
 
@@ -217,6 +232,8 @@ class Session:
                 ),
                 "metrics": self.observer.metrics.snapshot(),
             }
+            if profile is not None:
+                metadata["profile"] = profile
             write_chrome_trace(
                 self.config.trace_out, self.observer.tracer, metadata=metadata
             )
@@ -224,6 +241,12 @@ class Session:
             from repro.obs.exporters import write_jsonl
 
             write_jsonl(self.config.jsonl_out, self.observer.tracer)
+        if self.config.profile_out:
+            import json
+
+            with open(self.config.profile_out, "w", encoding="utf-8") as fh:
+                json.dump(profile, fh, indent=2, sort_keys=True)
+                fh.write("\n")
 
     def __enter__(self) -> "Session":
         return self

@@ -40,6 +40,11 @@ class AnalysisBackend:
 
     name = "abstract"
 
+    #: The ``repro-profile/1`` document of the last observed run, when
+    #: the backend profiles itself (the sharded backend populates this
+    #: on every run with an enabled observer; inline runs leave None).
+    last_profile: Optional[dict] = None
+
     def run(
         self,
         matched: MatchedTrace,

@@ -92,3 +92,27 @@ def shard_of_node(
     return {
         node: shard for shard, group in enumerate(plan) for node in group
     }
+
+
+def describe_plan(
+    topology: TbonTopology,
+    plan: Tuple[Tuple[int, ...], ...],
+) -> List[dict]:
+    """A JSON-ready description of a shard plan (one dict per shard).
+
+    Embedded in the ``repro-profile/1`` document so profile readers can
+    map shard ids back to the rank ranges they own without
+    reconstructing the planner's placement snapping.
+    """
+    out: List[dict] = []
+    for shard, group in enumerate(plan):
+        ranks = [r for node in group for r in topology.ranks_of_host(node)]
+        out.append(
+            {
+                "shard": shard,
+                "nodes": list(group),
+                "ranks": [min(ranks), max(ranks)] if ranks else [],
+                "num_ranks": len(ranks),
+            }
+        )
+    return out

@@ -35,9 +35,16 @@ global virtual clock is replicated. Mid-run detections (``detect_at``)
 would need exactly that clock and are rejected.
 
 Cross-process messages travel through the wire codec of
-:mod:`repro.mpi.serialize`; per-worker metrics, tracer events, and
-flight-recorder rings are shipped back at join and folded into the
-coordinator's observer.
+:mod:`repro.mpi.serialize`; observed runs attach a trace context
+(:class:`repro.obs.dist.TraceContext`) as the wire tuple's optional
+third element. Per-worker metrics and flight-recorder rings are
+shipped back at join; tracer events stream back once per BSP round as
+``("obs", shard_id, frame)`` replies together with the
+:mod:`repro.obs.prof` round records, and the coordinator's
+:class:`~repro.obs.dist.TraceMerger` rebases them onto its wall clock
+before folding them into the session trace. Observed runs also leave
+the ``repro-profile/1`` document on ``backend.last_profile`` for
+``repro profile``.
 """
 from __future__ import annotations
 
@@ -50,15 +57,35 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.base import DEFAULT_SHARDS, AnalysisBackend
-from repro.backend.plan import plan_shards, shard_of_node
+from repro.backend.plan import describe_plan, plan_shards, shard_of_node
 from repro.core.detector import DistributedOutcome
 from repro.core.distributed import FirstLayerNode
 from repro.core.messages import NewOpMsg, RankDoneMsg
 from repro.core.treenodes import InteriorNode, RootNode
-from repro.mpi.serialize import decode_message, encode_message
+from repro.mpi.serialize import (
+    decode_message,
+    encode_message,
+    message_context,
+)
 from repro.mpi.trace import MatchedTrace
+from repro.obs.dist import (
+    COORDINATOR_SHARD,
+    TraceMerger,
+    WorkerObsSpec,
+    events_to_wire,
+    make_worker_observer,
+    next_run_id,
+)
+from repro.obs.events import PID_COORD
 from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.prof import (
+    ShardRoundProfiler,
+    build_profile,
+    row_anchor,
+    rows_to_records,
+    spans_from_records,
+)
 from repro.perf.placement import Placement
 from repro.tbon.network import LatencyModel, Network, jittered_latency
 from repro.tbon.topology import TbonTopology
@@ -72,8 +99,18 @@ DEFAULT_FLUSH_LIMIT = 64
 #: hard enough to skip its "error" reply.
 _QUEUE_TIMEOUT = 120.0
 
-#: A batched wire entry: (src, dst, codec tag, codec payload, size).
-_WireEntry = Tuple[int, int, str, tuple, int]
+#: BSP rounds a worker batches into one ``("obs", ...)`` stream frame.
+#: Each frame costs both sides a queue transfer inside their timed
+#: busy windows; batching keeps the distributed tracer inside its <5%
+#: overhead bound while the final flush (before the finish payload)
+#: bounds the loss on crash to the last few rounds.
+_OBS_FLUSH_EVERY = 16
+
+#: A batched wire entry: (src, dst, wire tuple, size). The wire tuple
+#: is whatever :func:`encode_message` produced — ``(tag, payload)``
+#: bare or ``(tag, payload, context)`` when distributed tracing rides
+#: along.
+_WireEntry = Tuple[int, int, tuple, int]
 
 
 def _mp_context():
@@ -102,7 +139,9 @@ class _ShardSpec:
     fan_in: int
     window_limit: int
     flush_limit: int
-    obs_enabled: bool
+    #: Observer settings the worker honors (session ``--obs`` plumbed
+    #: through; the disabled spec keeps NULL_OBSERVER's zero cost).
+    obs: WorkerObsSpec
     #: Ring capacity for the worker's flight recorder; 0 disables it.
     flight_capacity: int
 
@@ -125,11 +164,15 @@ class ShardNetwork:
         emit,
         observer: Observer,
         flush_limit: int = DEFAULT_FLUSH_LIMIT,
+        prof: Optional[ShardRoundProfiler] = None,
+        run_id: int = 0,
     ) -> None:
         self.obs = observer
         self._local = local_nodes
         self._emit = emit
         self._flush_limit = max(1, flush_limit)
+        self._prof = prof
+        self._run_id = run_id
         self._queue: deque = deque()
         self._outbox: List[_WireEntry] = []
         self._now = 0.0
@@ -150,8 +193,14 @@ class ShardNetwork:
             if len(self._queue) > self.peak_queue:
                 self.peak_queue = len(self._queue)
             return
-        tag, payload = encode_message(msg)
-        self._outbox.append((src, dst, tag, payload, size))
+        prof = self._prof
+        if prof is not None:
+            t0 = time.perf_counter()
+            wire = encode_message(msg, prof.wire_context(self._run_id))
+            prof.note_out(time.perf_counter() - t0, size)
+        else:
+            wire = encode_message(msg)
+        self._outbox.append((src, dst, wire, size))
         if len(self._outbox) >= self._flush_limit:
             self.flush()
 
@@ -198,18 +247,50 @@ def _inject_app_events(
             net.send(rank, node_id, RankDoneMsg(rank), RankDoneMsg.wire_size)
 
 
+def _flush_obs(spec: _ShardSpec, observer, prof, res_q) -> None:
+    """Stream the pending observability frame to the coordinator.
+
+    Everything on the frame is kept in its cheapest-to-pickle form
+    (packed event columns, flat profiler rows): the worker's queue
+    feeder thread and the coordinator's reply loop both sit inside the
+    busy-time accounting the <5% tracing bound is scored on.
+    """
+    rows = prof.take_rows()
+    res_q.put(
+        ("obs", spec.shard_id, {
+            "events": events_to_wire(observer.tracer.drain()),
+            "rows": rows,
+            "rounds": [row_anchor(row) for row in rows],
+            "dropped": observer.tracer.dropped,
+        })
+    )
+
+
 def _shard_worker(spec: _ShardSpec, cmd_q, res_q) -> None:
     """Worker entry point: host ``spec.node_ids`` until told to stop.
 
     Commands: ``("run", batch)`` — deliver, pump to quiescence, flush,
     reply ``("done", shard_id, stats)`` (partial flushes emit
-    ``("msgs", shard_id, batch)`` first); ``("flight", ranks)`` — reply
-    the flight tails; ``("finish",)`` — reply the final state payload;
-    ``("stop",)`` — exit.
+    ``("msgs", shard_id, batch)`` first, and observed runs an
+    ``("obs", shard_id, frame)`` stream frame every
+    ``_OBS_FLUSH_EVERY`` rounds plus a final one before the finish
+    payload — per-round frames would double the coordinator's reply
+    traffic, and that receive/unpickle cost lands in the busy-time
+    accounting the <5% tracing bound is scored on); ``("flight",
+    ranks)`` — reply the flight tails; ``("finish",)`` — reply the
+    final state payload; ``("stop",)`` — exit.
     """
     try:
         topology = TbonTopology.build(spec.num_ranks, spec.fan_in)
-        observer = Observer() if spec.obs_enabled else NULL_OBSERVER
+        observer = make_worker_observer(spec.obs)
+        # run_id == 0 means the coordinator did not start a distributed
+        # trace (observability off, or distributed_tracing disabled):
+        # the worker still observes locally but stays dark on the wire.
+        prof = (
+            ShardRoundProfiler(spec.shard_id, observer)
+            if observer.enabled and spec.obs.run_id
+            else None
+        )
         flight = (
             FlightRecorder(spec.flight_capacity)
             if spec.flight_capacity > 0
@@ -221,6 +302,8 @@ def _shard_worker(spec: _ShardSpec, cmd_q, res_q) -> None:
             emit=lambda batch: res_q.put(("msgs", spec.shard_id, batch)),
             observer=observer,
             flush_limit=spec.flush_limit,
+            prof=prof,
+            run_id=spec.obs.run_id,
         )
         for node_id in spec.node_ids:
             local[node_id] = FirstLayerNode(
@@ -232,6 +315,7 @@ def _shard_worker(spec: _ShardSpec, cmd_q, res_q) -> None:
             )
         busy = 0.0
         started = False
+        round_no = 0
         while True:
             cmd = cmd_q.get()
             kind = cmd[0]
@@ -239,18 +323,49 @@ def _shard_worker(spec: _ShardSpec, cmd_q, res_q) -> None:
                 # CPU time, not wall: concurrent shards time-slicing a
                 # core must not count each other's work as their own.
                 t0 = time.process_time()
-                if not started:
-                    started = True
-                    _inject_app_events(spec, topology, net)
-                for src, dst, tag, payload, _size in cmd[1]:
-                    net.deliver(src, dst, decode_message((tag, payload)))
-                net.pump()
-                net.flush()
-                busy += time.process_time() - t0
+                if prof is None:
+                    if not started:
+                        started = True
+                        _inject_app_events(spec, topology, net)
+                    for src, dst, wire, _size in cmd[1]:
+                        net.deliver(src, dst, decode_message(wire))
+                    net.pump()
+                    net.flush()
+                    busy += time.process_time() - t0
+                else:
+                    round_no += 1
+                    prof.begin_round(round_no)
+                    prof.begin_section("decode")
+                    inbound = [
+                        (src, dst, decode_message(wire),
+                         message_context(wire), size)
+                        for src, dst, wire, size in cmd[1]
+                    ]
+                    prof.end_section()
+                    prof.begin_section("recv")
+                    for src, dst, msg, ctx, size in inbound:
+                        net.deliver(src, dst, msg)
+                        prof.note_in(ctx, size)
+                    prof.end_section()
+                    prof.begin_section("step")
+                    if not started:
+                        started = True
+                        _inject_app_events(spec, topology, net)
+                    net.pump()
+                    prof.end_section()
+                    prof.begin_section("flush")
+                    net.flush()
+                    prof.end_section()
+                    prof.end_round()
+                    busy += time.process_time() - t0
+                    if round_no % _OBS_FLUSH_EVERY == 0:
+                        _flush_obs(spec, observer, prof, res_q)
                 res_q.put(("done", spec.shard_id))
             elif kind == "flight":
                 res_q.put(("flight", spec.shard_id, flight.snapshot(cmd[1])))
             elif kind == "finish":
+                if prof is not None:
+                    _flush_obs(spec, observer, prof, res_q)
                 res_q.put(
                     ("finish", spec.shard_id, _finish_payload(
                         spec, local, net, observer, busy
@@ -299,7 +414,15 @@ def _finish_payload(
         "bytes_sent": net.bytes_sent,
         "busy_seconds": busy,
         "metrics": observer.metrics.dump_state() if observer.enabled else None,
-        "events": list(observer.tracer.events) if observer.enabled else None,
+        # Residual events recorded after the last round's stream frame
+        # (normally empty — rounds drain the tracer); they ride the
+        # merger so clock rebasing applies to them too.
+        "events": (
+            events_to_wire(observer.tracer.drain())
+            if observer.enabled
+            else None
+        ),
+        "dropped": observer.tracer.dropped if observer.enabled else 0,
     }
 
 
@@ -317,16 +440,23 @@ class _ShardProxy:
     pending batch and shipped next round.
     """
 
-    __slots__ = ("node_id", "_pending")
+    __slots__ = ("node_id", "_pending", "_context")
 
-    def __init__(self, node_id: int, pending: List[_WireEntry]) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        pending: List[_WireEntry],
+        context=None,
+    ) -> None:
         self.node_id = node_id
         self._pending = pending
+        self._context = context
 
     def handle(self, msg: object, net, src: int) -> None:
-        tag, payload = encode_message(msg)
+        ctx = self._context() if self._context is not None else None
+        wire = encode_message(msg, ctx)
         self._pending.append(
-            (src, self.node_id, tag, payload, getattr(msg, "wire_size", 64))
+            (src, self.node_id, wire, getattr(msg, "wire_size", 64))
         )
 
 
@@ -404,9 +534,29 @@ class _ShardedRun:
         self.pending: List[List[_WireEntry]] = [
             [] for _ in range(self.num_shards)
         ]
+        # Distributed-tracing state: coordinator-origin messages carry
+        # a trace context (shard COORDINATOR_SHARD, the round they will
+        # ship in) and worker event frames fold through the merger.
+        if observer.enabled and backend.distributed_tracing:
+            self.run_id = next_run_id()
+            self.merger: Optional[TraceMerger] = TraceMerger()
+            self.round_rows: Dict[int, List[list]] = {}
+            self.coord_rounds: List[Dict[str, Any]] = []
+            context = lambda: (  # noqa: E731 - tiny closure over self
+                self.run_id, COORDINATOR_SHARD, self.rounds + 1, 0
+            )
+        else:
+            self.run_id = 0
+            self.merger = None
+            self.round_rows = {}
+            self.coord_rounds = []
+            context = None
+        self._round_route_s = 0.0
         for node_id in self.topology.first_layer:
             self.net.attach(
-                _ShardProxy(node_id, self.pending[self.shard_of[node_id]])
+                _ShardProxy(
+                    node_id, self.pending[self.shard_of[node_id]], context
+                )
             )
         self.relayed = 0
         self.relayed_bytes = 0
@@ -431,7 +581,7 @@ class _ShardedRun:
                 fan_in=self.fan_in,
                 window_limit=self.window_limit,
                 flush_limit=self.backend.flush_limit,
-                obs_enabled=self.observer.enabled,
+                obs=WorkerObsSpec.from_observer(self.observer, self.run_id),
                 flight_capacity=(
                     self.flight.capacity if self.flight.enabled else 0
                 ),
@@ -476,19 +626,61 @@ class _ShardedRun:
     def _exchange_round(self) -> None:
         """Ship pending batches, collect every shard's output, route it."""
         self.rounds += 1
+        merger = self.merger
+        if merger is not None:
+            span_start = self.observer.tracer.now_us()
+            self._round_route_s = 0.0
         for sid, cmd_q in enumerate(self._cmd_qs):
             batch = list(self.pending[sid])
             self.pending[sid].clear()
+            if merger is not None:
+                # Clock anchor: the send stamp pairs with the worker's
+                # round-start stamp to estimate the per-shard offset.
+                # span_start serves for every shard: the puts are
+                # microseconds apart and the median over rounds eats
+                # the residual.
+                merger.note_round_sent(sid, self.rounds, span_start)
             cmd_q.put(("run", batch))
         done = 0
         while done < self.num_shards:
             reply = self._reply()
             if reply[0] == "msgs":
                 self._route(reply[2])
+            elif reply[0] == "obs":
+                self._absorb_obs(reply[1], reply[2])
             elif reply[0] == "done":
                 done += 1
             else:
                 raise ProtocolError(f"unexpected shard reply {reply[0]!r}")
+        if merger is not None:
+            end = self.observer.tracer.now_us()
+            self.observer.tracer.complete(
+                "round %d" % self.rounds,
+                cat="coord.round",
+                ts=span_start,
+                dur=max(end - span_start, 0.0),
+                pid=PID_COORD,
+                tid=0,
+                args={"round": self.rounds},
+            )
+            self.coord_rounds.append(
+                {
+                    "round": self.rounds,
+                    "span_s": (end - span_start) / 1e6,
+                    "route_s": self._round_route_s,
+                }
+            )
+
+    def _absorb_obs(self, shard_id: int, frame: Dict[str, Any]) -> None:
+        """Fold one worker obs frame: merger (events, clock anchors,
+        drop counts) plus the raw profiler rows the profile doc needs
+        (materialized into records in ``_assemble``, off the timed
+        reply loop)."""
+        assert self.merger is not None
+        self.merger.add_frame(shard_id, frame)
+        rows = frame.get("rows") or ()
+        if rows:
+            self.round_rows.setdefault(shard_id, []).extend(rows)
 
     def _route(self, batch: List[_WireEntry]) -> None:
         """Route one worker batch, preserving its (send) order.
@@ -498,15 +690,22 @@ class _ShardedRun:
         coordinator network (those re-sends are subtracted from the
         totals — the worker already counted them).
         """
+        obs_on = self.merger is not None
+        t0 = time.perf_counter() if obs_on else 0.0
         for entry in batch:
-            src, dst, tag, payload, size = entry
+            src, dst, wire, size = entry
             if self.topology.is_first_layer(dst):
+                # Forwarded verbatim: the wire tuple keeps its original
+                # trace context, so the receiving shard attributes the
+                # message to the shard that produced it.
                 self.pending[self.shard_of[dst]].append(entry)
                 self.cross_shard += 1
             else:
-                self.net.send(src, dst, decode_message((tag, payload)), size)
+                self.net.send(src, dst, decode_message(wire), size)
                 self.relayed += 1
                 self.relayed_bytes += size
+        if obs_on:
+            self._round_route_s += time.perf_counter() - t0
 
     def _settle(self) -> None:
         """Alternate coordinator processing and shard rounds until no
@@ -564,6 +763,11 @@ class _ShardedRun:
         payloads: Dict[int, Dict[str, Any]] = {}
         while len(payloads) < self.num_shards:
             reply = self._reply()
+            if reply[0] == "obs":
+                # The worker's final stream-frame flush precedes its
+                # finish payload.
+                self._absorb_obs(reply[1], reply[2])
+                continue
             if reply[0] != "finish":  # pragma: no cover - protocol bug
                 raise ProtocolError(f"unexpected shard reply {reply[0]!r}")
             payloads[reply[1]] = reply[2]
@@ -587,11 +791,20 @@ class _ShardedRun:
             worker_msgs += payload["messages_sent"]
             worker_bytes += payload["bytes_sent"]
             shard_busy.append(payload["busy_seconds"])
-            if self.observer.enabled:
-                if payload["metrics"]:
-                    self.observer.metrics.merge_state(payload["metrics"])
-                if payload["events"]:
-                    self.observer.tracer.absorb(payload["events"])
+            if self.observer.enabled and payload["metrics"]:
+                self.observer.metrics.merge_state(payload["metrics"])
+            if self.merger is not None:
+                # Residual events and the final drop count ride the
+                # merger so they get the same clock rebasing as the
+                # streamed frames.
+                if payload["events"] is not None or payload.get("dropped"):
+                    self.merger.add_frame(
+                        sid,
+                        {
+                            "events": payload["events"],
+                            "dropped": payload.get("dropped", 0),
+                        },
+                    )
         node_stats[self.root.node_id] = dict(self.root.stats)
         wall = time.perf_counter() - wall0
         # CPU time for the same reason as in the workers: on a machine
@@ -621,6 +834,39 @@ class _ShardedRun:
             metrics.inc("backend.cross_shard_msgs", self.cross_shard)
             metrics.inc("backend.relayed_msgs", self.relayed)
             metrics.set_gauge("tbon.peak_window", peak)
+            for sid, busy in enumerate(shard_busy):
+                metrics.set_gauge(f"backend.shard{sid}.busy_seconds", busy)
+        if self.merger is not None:
+            offsets = self.merger.merge_into(self.observer)
+            round_records = {
+                sid: rows_to_records(sid, rows)
+                for sid, rows in sorted(self.round_rows.items())
+            }
+            # The workers never emit round/section spans (that would
+            # put trace-event construction on the scored busy path);
+            # rebuild them here from the streamed records, clock-rebased
+            # like the workers' own events.
+            for sid, records in round_records.items():
+                self.observer.tracer.absorb(
+                    spans_from_records(sid, records, offsets.get(sid, 0.0))
+                )
+            profile = build_profile(
+                round_records=round_records,
+                coord_rounds=self.coord_rounds,
+                plan=describe_plan(self.topology, self.plan),
+                timing=self.backend.last_timing,
+                ranks=self.topology.num_ranks,
+                fan_in=self.fan_in,
+                dropped=self.merger.dropped,
+                events=self.merger.event_counts(),
+                observer=self.observer,
+            )
+            profile["clock_offsets_us"] = {
+                str(sid): offset for sid, offset in sorted(offsets.items())
+            }
+            self.backend.last_profile = profile
+        else:
+            self.backend.last_profile = None
         return DistributedOutcome(
             topology=self.topology,
             stable_state=tuple(state),
@@ -640,6 +886,14 @@ class ShardedBackend(AnalysisBackend):
     ``flush_limit`` bounds how many outbound messages a worker coalesces
     before flushing mid-round; ``placement`` aligns shard cuts with the
     modeled cluster layout (defaults to :class:`Placement()`).
+    ``distributed_tracing`` (default on) controls the cross-shard trace
+    machinery of observed runs: context propagation on the wire, the
+    per-worker round profiler, per-round ``("obs", ...)`` frames, and
+    the coordinator-side merge. With it off, observed workers still
+    record locally (metrics merge at join, as before PR 7) but their
+    trace events stay dark — the knob exists so the overhead benchmark
+    can price the distributed machinery itself, and as an escape hatch
+    if a workload ever trips on it.
     """
 
     name = "sharded"
@@ -650,12 +904,14 @@ class ShardedBackend(AnalysisBackend):
         *,
         flush_limit: int = DEFAULT_FLUSH_LIMIT,
         placement: Optional[Placement] = None,
+        distributed_tracing: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
         self.shards = shards
         self.flush_limit = flush_limit
         self.placement = placement
+        self.distributed_tracing = distributed_tracing
         #: Timing of the most recent run (set by :meth:`run`); the
         #: shard-scaling benchmark reads this.
         self.last_timing: Optional[Dict[str, Any]] = None

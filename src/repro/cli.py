@@ -31,6 +31,10 @@ Commands
              intervals from a recorded run (or run a rank-program file
              live), attribute blocked time to root-cause ranks, and
              print the blame chain + critical path;
+``profile``  render the BSP round profile of a sharded run recorded
+             with ``--obs-trace`` (per-shard round sections, critical-
+             shard timeline, codec breakdown; ``--out`` writes the
+             ``repro-profile/1`` JSON document);
 ``figures``  print the Figure 9 / Figure 12 model tables.
 
 Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
@@ -148,6 +152,7 @@ _FORMATS: Dict[str, Tuple[str, ...]] = {
     "verify": ("json", "jsonl"),
     "stats": ("json",),
     "blame": ("json",),
+    "profile": ("json",),
     "figures": ("json",),
 }
 
@@ -252,6 +257,7 @@ def _finish_obs(
     workload: Optional[str],
     deadlocked: bool,
     ranks: Optional[int] = None,
+    profile: Optional[dict] = None,
 ) -> None:
     """Export trace artifacts and print the stats summary."""
     if not observer.enabled:
@@ -263,10 +269,14 @@ def _finish_obs(
         "ranks": ranks,
         "metrics": snapshot,
     }
+    if profile is not None:
+        metadata["profile"] = profile
     out = getattr(args, "obs_trace", None)
     if out:
         write_chrome_trace(out, observer.tracer, metadata=metadata)
         print(f"wrote {out} (open in chrome://tracing or Perfetto)")
+        if profile is not None:
+            print(f"profile embedded: `repro profile {out}` renders it")
     jsonl = getattr(args, "obs_jsonl", None)
     if jsonl:
         write_jsonl(jsonl, observer.tracer)
@@ -318,6 +328,7 @@ def _analyze(
         else:
             print("correctness checks: clean")
     json_doc: Optional[dict] = None
+    profile: Optional[dict] = None
     if args.adapt:
         adaptive = analyze_with_adaptation(matched, generate_outputs=True)
         print(adaptive.summary())
@@ -346,6 +357,7 @@ def _analyze(
         outcome = backend.run(
             matched, fan_in=args.fan_in, seed=args.seed, observer=observer
         )
+        profile = getattr(backend, "last_profile", None)
         record = outcome.detection
         deadlocked = outcome.deadlocked
         dot_text = record.dot_text
@@ -398,6 +410,7 @@ def _analyze(
         workload=getattr(args, "workload", None),
         deadlocked=bool(deadlocked),
         ranks=matched.trace.num_processes,
+        profile=profile,
     )
     return 1 if deadlocked else 0
 
@@ -725,6 +738,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 1 if deadlocked else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import load_run
+    from repro.obs.prof import render_profile
+
+    try:
+        doc = load_run(args.run)
+    except (OSError, TraceError) as exc:
+        print(f"cannot load run {args.run}: {exc}", file=sys.stderr)
+        return 2
+    profile = doc["repro"].get("profile")
+    if not profile:
+        print(
+            f"{args.run}: no profile data -- profiles are recorded by "
+            "sharded runs with observability on (e.g. `repro demo stress "
+            "--backend sharded --obs-trace run.json`)",
+            file=sys.stderr,
+        )
+        return 2
+    for line in render_profile(profile):
+        print(line)
+    out = _out_path(args, "json")
+    if out:
+        _write_json(out, profile)
+    return 0
+
+
 def _cmd_blame(args: argparse.Namespace) -> int:
     import json
 
@@ -1014,6 +1053,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_flags(stats, "stats")
     stats.set_defaults(func=_cmd_stats)
+
+    prof = sub.add_parser(
+        "profile",
+        help="render the BSP round profile of a sharded --obs-trace run "
+        "(per-shard sections, critical-shard timeline, codec breakdown)",
+    )
+    prof.add_argument(
+        "run",
+        help="a Chrome trace file written by --obs-trace on a run with "
+        "--backend sharded",
+    )
+    _add_common_flags(prof, "profile")
+    prof.set_defaults(func=_cmd_profile)
 
     blame = sub.add_parser(
         "blame",

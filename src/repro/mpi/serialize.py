@@ -321,8 +321,18 @@ def _build_codec() -> None:
     _TAG_OF[m.WaitInfoMsg] = "WaitInfoMsg"
 
 
-def encode_message(msg: Any) -> Tuple[str, tuple]:
-    """Encode a protocol message as a ``(tag, payload)`` primitive tuple."""
+def encode_message(msg: Any, context: Any = None) -> tuple:
+    """Encode a protocol message as a primitive wire tuple.
+
+    Without ``context`` the result is the exact two-element
+    ``(tag, payload)`` tuple the sharded backend has always shipped —
+    bit-identical to the context-free wire format, so enabling
+    observability later cannot perturb equivalence baselines. With
+    ``context`` (any primitive tuple; in practice a
+    :class:`repro.obs.dist.TraceContext` wire form) the result is
+    ``(tag, payload, context)`` — :func:`decode_message` ignores the
+    third element and :func:`message_context` retrieves it.
+    """
     if not _TAG_OF:
         _build_codec()
     try:
@@ -331,16 +341,25 @@ def encode_message(msg: Any) -> Tuple[str, tuple]:
         raise TraceError(
             f"no wire codec for message type {type(msg).__name__}"
         ) from None
-    return (tag, _CODEC[tag][0](msg))
+    payload = _CODEC[tag][0](msg)
+    if context is None:
+        return (tag, payload)
+    return (tag, payload, tuple(context))
 
 
-def decode_message(data: Tuple[str, tuple]) -> Any:
-    """Reverse of :func:`encode_message`."""
+def decode_message(data: tuple) -> Any:
+    """Reverse of :func:`encode_message` (trace context, if any, is
+    ignored here — see :func:`message_context`)."""
     if not _CODEC:
         _build_codec()
-    tag, payload = data
+    tag = data[0]
     try:
         decoder = _CODEC[tag][1]
     except KeyError:
         raise TraceError(f"no wire codec for message tag {tag!r}") from None
-    return decoder(payload)
+    return decoder(data[1])
+
+
+def message_context(data: tuple) -> Any:
+    """The trace context riding on a wire tuple, or None."""
+    return data[2] if len(data) > 2 else None

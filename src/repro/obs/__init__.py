@@ -21,7 +21,14 @@ of the reproduction:
   chains, and the critical path (``repro blame``);
 * :mod:`repro.obs.stats` — the ``repro stats`` summary tables
   (per-message-type traffic and the Figure 10(b)/11(b) five-phase
-  detection-time breakdown, from an actual run rather than a model).
+  detection-time breakdown, from an actual run rather than a model);
+* :mod:`repro.obs.dist` — cross-shard distributed tracing: the trace
+  context propagated through the wire codec, the worker-side observer
+  spec, and the coordinator-side :class:`TraceMerger` that reconciles
+  per-shard clocks into one trace;
+* :mod:`repro.obs.prof` — the deterministic BSP round profiler behind
+  ``repro profile`` (per-round/per-shard sections, critical-shard
+  attribution, codec accounting, the ``repro-profile/1`` document).
 
 The default backend is :data:`NULL_OBSERVER`: a disabled observer with
 no-op tracer/metrics, so every instrumented hot path costs exactly one
@@ -33,14 +40,26 @@ from repro.obs.causal import (
     analyze_events,
     blame_chain,
 )
+from repro.obs.dist import (
+    COORDINATOR_SHARD,
+    TraceContext,
+    TraceMerger,
+    WorkerObsSpec,
+    make_worker_observer,
+    next_run_id,
+)
 from repro.obs.events import (
     CLOCK_OF,
     CLOCK_SIMULATED,
     CLOCK_WALL,
+    PID_COORD,
     PID_ENGINE,
     PID_TBON,
     PID_WAIT,
     TraceEvent,
+    clock_of,
+    pid_of_shard,
+    shard_of_pid,
 )
 from repro.obs.exporters import (
     chrome_trace_document,
@@ -62,8 +81,15 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer, make_observer
+from repro.obs.prof import (
+    PROFILE_FORMAT,
+    ShardRoundProfiler,
+    build_profile,
+    render_profile,
+)
 from repro.obs.stats import (
     render_explore_table,
+    render_shard_table,
     render_summary,
     render_timeline_table,
     render_tracer_health,
@@ -75,10 +101,24 @@ __all__ = [
     "PID_ENGINE",
     "PID_TBON",
     "PID_WAIT",
+    "PID_COORD",
     "CLOCK_OF",
     "CLOCK_SIMULATED",
     "CLOCK_WALL",
     "TraceEvent",
+    "clock_of",
+    "pid_of_shard",
+    "shard_of_pid",
+    "COORDINATOR_SHARD",
+    "TraceContext",
+    "TraceMerger",
+    "WorkerObsSpec",
+    "make_worker_observer",
+    "next_run_id",
+    "PROFILE_FORMAT",
+    "ShardRoundProfiler",
+    "build_profile",
+    "render_profile",
     "Tracer",
     "NullTracer",
     "Counter",
@@ -103,6 +143,7 @@ __all__ = [
     "read_jsonl",
     "load_run",
     "render_explore_table",
+    "render_shard_table",
     "render_summary",
     "render_timeline_table",
     "render_tracer_health",

@@ -1,0 +1,313 @@
+"""Distributed tracing for the sharded backend.
+
+The sharded backend (PR 5) runs one coordinator plus N worker
+processes, each with its own ``time.perf_counter`` epoch — their raw
+timestamps are mutually incomparable. This module carries three pieces
+that turn N private event streams into one trace:
+
+* :class:`TraceContext` — the causal envelope (run id, originating
+  shard, BSP round, parent span id) that rides as an optional third
+  element on the wire tuples of :func:`repro.mpi.serialize.encode_message`.
+  Context-free messages keep the exact two-element PR 5 wire format,
+  so equivalence baselines stay bit-identical when tracing is off.
+* :class:`WorkerObsSpec` — the picklable observer configuration the
+  coordinator embeds in each ``_ShardSpec`` so workers honor the
+  session's ``--obs`` settings (:data:`~repro.obs.observer.NULL_OBSERVER`
+  stays the zero-cost default).
+* :class:`TraceMerger` — clock reconciliation. Each BSP round the
+  coordinator stamps the command-send time on its own clock and every
+  worker stamps its round start on its own clock; the per-shard offset
+  is the **median** over rounds of (coordinator send − worker start),
+  which is robust to scheduling-jitter outliers the way a mean is not.
+  Merged worker events are rebased onto the coordinator's wall axis,
+  so the existing :class:`~repro.obs.timeline.UnifiedTimeline` and the
+  Chrome exporter consume them unchanged.
+"""
+from __future__ import annotations
+
+import itertools
+import statistics
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.events import TraceEvent
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.tracer import DEFAULT_EVENT_LIMIT, Tracer
+
+#: The coordinator's shard id inside a :class:`TraceContext`.
+COORDINATOR_SHARD = -1
+
+_run_ids = itertools.count(1)
+
+
+def next_run_id() -> int:
+    """A process-unique run id for one sharded execution."""
+    return next(_run_ids)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal envelope attached to cross-shard wire messages."""
+
+    run_id: int
+    shard_id: int
+    round: int
+    parent_span: int = 0
+
+    def to_wire(self) -> Tuple[int, int, int, int]:
+        """The primitive tuple shipped on the wire."""
+        return (self.run_id, self.shard_id, self.round, self.parent_span)
+
+    @classmethod
+    def from_wire(cls, data: Sequence[int]) -> "TraceContext":
+        return cls(
+            run_id=data[0], shard_id=data[1], round=data[2],
+            parent_span=data[3],
+        )
+
+
+@dataclass(frozen=True)
+class WorkerObsSpec:
+    """Observer settings a worker process reconstructs from.
+
+    Observers hold unpicklable state (bound metrics registries, lists
+    of events); shipping this small frozen spec instead keeps
+    ``_ShardSpec`` cheap to pickle and lets the worker build its own
+    local :class:`~repro.obs.observer.Observer`.
+    """
+
+    enabled: bool = False
+    event_limit: int = DEFAULT_EVENT_LIMIT
+    run_id: int = 0
+
+    @classmethod
+    def from_observer(cls, observer: Observer, run_id: int) -> "WorkerObsSpec":
+        if not observer.enabled:
+            return cls()
+        return cls(
+            enabled=True,
+            event_limit=getattr(
+                observer.tracer, "limit", DEFAULT_EVENT_LIMIT
+            ),
+            run_id=run_id,
+        )
+
+
+def make_worker_observer(spec: WorkerObsSpec) -> Observer:
+    """The observer a shard worker runs under.
+
+    Disabled specs return the shared :data:`NULL_OBSERVER` so workers
+    pay the usual single attribute check per instrumentation site.
+    """
+    if not spec.enabled:
+        return NULL_OBSERVER
+    return Observer(tracer=Tracer(limit=spec.event_limit))
+
+
+#: ``args`` column flags — see :func:`events_to_wire`.
+_ARGS_EXTRA = 0   # args pickled verbatim on the frame's fallback list
+_ARGS_INT = 1     # args == {key: int(value)}
+_ARGS_FLOAT = 2   # args == {key: float(value)}
+_ARGS_NONE = 3    # args is None
+
+_DUR_NONE = float("nan")
+
+
+def events_to_wire(events: Sequence[TraceEvent]) -> tuple:
+    """Pack trace events into columnar arrays for ``res_q`` frames.
+
+    A run at the claim scale (p=256, s=8) produces ~10k events; as
+    dataclasses — or even bare row tuples — that is ~80k heap objects
+    through pickle, and both sides of that cost land inside the
+    busy-time windows ``modeled_latency_seconds`` is built from (the
+    worker's queue feeder thread pickles asynchronously, leaking CPU
+    into later rounds' ``process_time`` windows; the coordinator
+    unpickles inside its reply loop). Columns of primitive ``array``
+    values pickle as single byte blobs, so the timed cost collapses to
+    a few memcpys; :meth:`TraceMerger.merge_into` rebuilds
+    :class:`TraceEvent` objects after the timing accounting closes.
+
+    The wire value is a 12-tuple: a string table; ``H`` index columns
+    for name/cat/ph; ``d`` columns for ts and dur (``NaN`` encodes a
+    ``None`` duration — real durations are never NaN); ``i`` columns
+    for pid/tid; and the args columns (key index, flag, value) with a
+    fallback list for the rare args that are not single-key numeric
+    dicts. Int-valued args survive the float column exactly up to
+    2**53, far beyond any round/rank/byte count we record.
+    """
+    strings: Dict[str, int] = {}
+
+    def intern(s: str) -> int:
+        idx = strings.get(s)
+        if idx is None:
+            idx = strings[s] = len(strings)
+        return idx
+
+    name_i = array("H")
+    cat_i = array("H")
+    ph_i = array("H")
+    ts = array("d")
+    dur = array("d")
+    pid = array("i")
+    tid = array("i")
+    akey = array("H")
+    aflag = array("b")
+    aval = array("d")
+    extra: List[Any] = []
+    for e in events:
+        name_i.append(intern(e.name))
+        cat_i.append(intern(e.cat))
+        ph_i.append(intern(e.ph))
+        ts.append(e.ts)
+        dur.append(_DUR_NONE if e.dur is None else e.dur)
+        pid.append(e.pid)
+        tid.append(e.tid)
+        args = e.args
+        if args is None:
+            akey.append(0)
+            aflag.append(_ARGS_NONE)
+            aval.append(0.0)
+            continue
+        if len(args) == 1:
+            ((k, v),) = args.items()
+            kind = type(v)
+            if kind is int and -(2 ** 53) <= v <= 2 ** 53:
+                akey.append(intern(k))
+                aflag.append(_ARGS_INT)
+                aval.append(v)
+                continue
+            if kind is float:
+                akey.append(intern(k))
+                aflag.append(_ARGS_FLOAT)
+                aval.append(v)
+                continue
+        akey.append(0)
+        aflag.append(_ARGS_EXTRA)
+        aval.append(0.0)
+        extra.append(args)
+    return (
+        list(strings), name_i, cat_i, ph_i, ts, dur, pid, tid,
+        akey, aflag, aval, extra,
+    )
+
+
+def wire_len(wire: tuple) -> int:
+    """Number of events packed in one :func:`events_to_wire` value."""
+    return len(wire[1])
+
+
+def wire_to_events(wire: tuple, offset: float = 0.0) -> List[TraceEvent]:
+    """Rebuild :class:`TraceEvent` rows from a packed frame, rebasing
+    every timestamp by ``offset`` (microseconds)."""
+    (strings, name_i, cat_i, ph_i, ts, dur, pid, tid,
+     akey, aflag, aval, extra) = wire
+    extras = iter(extra)
+    out: List[TraceEvent] = []
+    for i in range(len(name_i)):
+        flag = aflag[i]
+        if flag == _ARGS_INT:
+            args: Any = {strings[akey[i]]: int(aval[i])}
+        elif flag == _ARGS_FLOAT:
+            args = {strings[akey[i]]: aval[i]}
+        elif flag == _ARGS_NONE:
+            args = None
+        else:
+            args = next(extras)
+        d = dur[i]
+        out.append(
+            TraceEvent(
+                name=strings[name_i[i]],
+                cat=strings[cat_i[i]],
+                ph=strings[ph_i[i]],
+                ts=ts[i] + offset,
+                pid=pid[i],
+                tid=tid[i],
+                dur=None if d != d else d,
+                args=args,
+            )
+        )
+    return out
+
+
+class TraceMerger:
+    """Folds per-shard event frames into the coordinator's trace.
+
+    The coordinator calls :meth:`note_round_sent` when it puts a round
+    command on a shard's queue (timestamp on the coordinator tracer's
+    clock) and :meth:`add_frame` for each ``("obs", sid, frame)`` reply
+    (worker round-start timestamps on the worker's clock). At
+    :meth:`merge_into` time the per-shard clock offset is the median
+    round delta; every worker event is rebased by it.
+    """
+
+    def __init__(self) -> None:
+        # shard -> round -> coordinator send timestamp (coordinator us)
+        self._sent: Dict[int, Dict[int, float]] = {}
+        # shard -> packed event frames (worker us; events_to_wire form,
+        # kept packed until merge_into so absorbing a frame stays cheap
+        # inside the coordinator's timed reply loop)
+        self._frames: Dict[int, List[tuple]] = {}
+        # shard -> [(round, worker round-start us)]
+        self._anchors: Dict[int, List[Tuple[int, float]]] = {}
+        # shard -> dropped-event count reported by the worker tracer
+        self.dropped: Dict[int, int] = {}
+        self.frames = 0
+
+    def note_round_sent(self, shard_id: int, round_no: int, ts_us: float) -> None:
+        self._sent.setdefault(shard_id, {})[round_no] = ts_us
+
+    def add_frame(self, shard_id: int, frame: Mapping[str, Any]) -> None:
+        """Absorb one streamed observability frame from a worker."""
+        self.frames += 1
+        events = frame.get("events")
+        if events is not None and wire_len(events):
+            self._frames.setdefault(shard_id, []).append(events)
+        for round_no, start_us in frame.get("rounds") or ():
+            self._anchors.setdefault(shard_id, []).append(
+                (round_no, start_us)
+            )
+        dropped = int(frame.get("dropped") or 0)
+        if dropped:
+            self.dropped[shard_id] = max(
+                self.dropped.get(shard_id, 0), dropped
+            )
+
+    def offset_us(self, shard_id: int) -> float:
+        """Worker→coordinator clock offset for one shard (0.0 if the
+        round anchors never arrived — events then keep raw stamps)."""
+        sent = self._sent.get(shard_id, {})
+        deltas = [
+            sent[round_no] - start_us
+            for round_no, start_us in self._anchors.get(shard_id, ())
+            if round_no in sent
+        ]
+        if not deltas:
+            return 0.0
+        return float(statistics.median(deltas))
+
+    def event_counts(self) -> Dict[int, int]:
+        return {
+            sid: sum(wire_len(frame) for frame in frames)
+            for sid, frames in self._frames.items()
+        }
+
+    def merge_into(self, observer: Observer) -> Dict[int, float]:
+        """Rebase and absorb all worker events; returns the per-shard
+        offsets used (microseconds, coordinator-minus-worker)."""
+        offsets: Dict[int, float] = {}
+        for shard_id in sorted(self._frames):
+            offset = self.offset_us(shard_id)
+            offsets[shard_id] = offset
+            for frame in self._frames[shard_id]:
+                observer.tracer.absorb(wire_to_events(frame, offset))
+        # The global obs.tracer.dropped counter already aggregates via
+        # the worker metrics merge at join; here we add the per-shard
+        # attribution the stats shard table reports.
+        for shard_id, dropped in sorted(self.dropped.items()):
+            observer.metrics.counter(
+                f"obs.tracer.dropped.shard{shard_id}"
+            ).inc(dropped)
+        for shard_id, count in sorted(self.event_counts().items()):
+            observer.metrics.inc(f"obs.shard{shard_id}.events", count)
+        return offsets

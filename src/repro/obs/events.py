@@ -2,8 +2,8 @@
 
 Events follow the Chrome ``trace_event`` vocabulary (phase codes
 ``"X"`` complete, ``"i"`` instant, ``"C"`` counter) so the exporter is
-a direct serialization. Timestamps are microseconds; two process ids
-separate the reproduction's two clock domains:
+a direct serialization. Timestamps are microseconds; process ids
+separate the reproduction's clock domains:
 
 * :data:`PID_ENGINE` — the virtual MPI runtime, wall-clock time
   (``time.perf_counter`` relative to the tracer epoch); ``tid`` is the
@@ -13,16 +13,23 @@ separate the reproduction's two clock domains:
 * :data:`PID_WAIT` — per-rank wait states as seen by the first-layer
   trackers, on the *simulated* clock; ``tid`` is the application rank,
   so Perfetto shows one row of blocked intervals per rank.
+* :data:`PID_COORD` — the sharded backend's coordinator (BSP round
+  spans), on the same wall clock as the engine.
+* :data:`PID_SHARD_BASE` ``+ shard_id`` — one pid per shard worker.
+  Workers stamp events on their own per-process clock; the merge step
+  (:mod:`repro.obs.dist`) rebases them onto the coordinator's wall
+  axis, so by the time these events sit in an artifact they are
+  wall-clock comparable.
 
 Keeping the domains on separate pids means Perfetto renders them as
 separate processes instead of interleaving incomparable clocks; the
-pid → clock mapping (:data:`CLOCK_WALL` / :data:`CLOCK_SIMULATED`) is
-what :mod:`repro.obs.timeline` uses to align the domains afterwards.
+pid → clock mapping (:func:`clock_of`) is what
+:mod:`repro.obs.timeline` uses to align the domains afterwards.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 #: Virtual-runtime events (wall clock, tid = application rank).
 PID_ENGINE = 1
@@ -30,6 +37,10 @@ PID_ENGINE = 1
 PID_TBON = 2
 #: Wait-state events (simulated clock, tid = application rank).
 PID_WAIT = 3
+#: Sharded-backend coordinator events (wall clock, tid = 0).
+PID_COORD = 4
+#: First shard-worker pid; shard ``s`` records under ``BASE + s``.
+PID_SHARD_BASE = 10
 
 #: Clock-domain labels, keyed by :data:`CLOCK_OF`.
 CLOCK_WALL = "wall"
@@ -42,13 +53,37 @@ CLOCK_OF = {
     PID_ENGINE: CLOCK_WALL,
     PID_TBON: CLOCK_SIMULATED,
     PID_WAIT: CLOCK_SIMULATED,
+    PID_COORD: CLOCK_WALL,
 }
 
 _PID_NAMES = {
     PID_ENGINE: "engine (wall clock)",
     PID_TBON: "tbon (simulated clock)",
     PID_WAIT: "wait states (simulated clock)",
+    PID_COORD: "shard coordinator (wall clock)",
 }
+
+
+def pid_of_shard(shard_id: int) -> int:
+    """The pid a shard worker's events record under."""
+    return PID_SHARD_BASE + shard_id
+
+
+def shard_of_pid(pid: int) -> Optional[int]:
+    """Inverse of :func:`pid_of_shard`; None for non-shard pids."""
+    return pid - PID_SHARD_BASE if pid >= PID_SHARD_BASE else None
+
+
+def clock_of(pid: int) -> str:
+    """The clock domain a pid's timestamps live on.
+
+    Shard-worker events are merged through the clock reconciliation of
+    :mod:`repro.obs.dist`, which rebases them onto the coordinator's
+    wall axis — so in any artifact they are wall-clock events.
+    """
+    if pid >= PID_SHARD_BASE:
+        return CLOCK_WALL
+    return CLOCK_OF.get(pid, "pid%d" % pid)
 
 
 @dataclass
@@ -93,8 +128,17 @@ class TraceEvent:
         )
 
 
-def process_name_metadata() -> list:
-    """Chrome ``M``-phase records naming the trace's processes."""
+def process_name_metadata(
+    extra: Optional[Mapping[int, str]] = None
+) -> list:
+    """Chrome ``M``-phase records naming the trace's processes.
+
+    ``extra`` adds or overrides names — the exporter uses it to label
+    the shard-worker pids a merged sharded run recorded under.
+    """
+    names: Dict[int, str] = dict(_PID_NAMES)
+    if extra:
+        names.update(extra)
     return [
         TraceEvent(
             name="process_name",
@@ -104,5 +148,5 @@ def process_name_metadata() -> list:
             pid=pid,
             args={"name": label},
         )
-        for pid, label in _PID_NAMES.items()
+        for pid, label in sorted(names.items())
     ]

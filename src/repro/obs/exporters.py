@@ -12,7 +12,11 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from repro.obs.events import TraceEvent, process_name_metadata
+from repro.obs.events import (
+    TraceEvent,
+    process_name_metadata,
+    shard_of_pid,
+)
 from repro.obs.tracer import Tracer
 from repro.util.errors import TraceError
 
@@ -24,7 +28,13 @@ def chrome_trace_document(
     tracer: Tracer, *, metadata: Optional[Dict[str, Any]] = None
 ) -> Dict[str, Any]:
     """The full Chrome trace-event document for one run."""
-    events = process_name_metadata() + list(tracer.events)
+    shard_names = {
+        event.pid: "shard %d worker (reconciled wall clock)" % shard
+        for event in tracer.events
+        for shard in (shard_of_pid(event.pid),)
+        if shard is not None
+    }
+    events = process_name_metadata(shard_names) + list(tracer.events)
     doc: Dict[str, Any] = {
         "traceEvents": [event.to_json() for event in events],
         "displayTimeUnit": "ms",

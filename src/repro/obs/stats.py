@@ -215,6 +215,53 @@ def render_timeline_table(timeline: UnifiedTimeline) -> List[str]:
     return lines
 
 
+def render_shard_table(snapshot: Mapping[str, object]) -> List[str]:
+    """Per-shard rows of a sharded run (busy time, streamed events,
+    per-shard drop counts) plus the round-skew summary, if any."""
+    gauges: Mapping[str, Mapping[str, float]] = snapshot.get(
+        "gauges", {}
+    )  # type: ignore[assignment]
+    counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+    histograms: Mapping[str, Mapping[str, float]] = snapshot.get(
+        "histograms", {}
+    )  # type: ignore[assignment]
+    shard_ids = sorted(
+        int(name[len("backend.shard"):-len(".busy_seconds")])
+        for name in gauges
+        if name.startswith("backend.shard")
+        and name.endswith(".busy_seconds")
+    )
+    if not shard_ids:
+        return []
+    lines = [
+        f"{'shard':<7} {'busy ms':>10} {'queue peak':>11} {'events':>9} "
+        f"{'dropped':>9}"
+    ]
+    for sid in shard_ids:
+        busy = gauges.get(f"backend.shard{sid}.busy_seconds", {}).get(
+            "value", 0.0
+        )
+        depth = gauges.get(f"backend.shard{sid}.queue_depth", {}).get(
+            "value", 0.0
+        )
+        events = counters.get(f"obs.shard{sid}.events", 0)
+        dropped = counters.get(f"obs.tracer.dropped.shard{sid}", 0)
+        lines.append(
+            f"{'s%d' % sid:<7} {busy * 1e3:>10.3f} {int(depth):>11,} "
+            f"{events:>9,} {dropped:>9,}"
+        )
+    skew = histograms.get("obs.shard.skew", {})
+    if skew.get("count"):
+        lines.append(
+            "round skew (max/mean busy): mean %.2f  p99 %.2f  max %.2f "
+            "over %d round(s)" % (
+                skew.get("mean", 0.0), skew.get("p99", 0.0),
+                skew.get("max", 0.0), int(skew["count"]),
+            )
+        )
+    return lines
+
+
 def render_tracer_health(snapshot: Mapping[str, object]) -> List[str]:
     """Warning lines about dropped trace events, if any."""
     counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
@@ -251,6 +298,11 @@ def render_summary(snapshot: Mapping[str, object]) -> List[str]:
         lines.append("")
         lines.append("-- decidable-fragment classification --")
         lines += classified
+    shardtab = render_shard_table(snapshot)
+    if shardtab:
+        lines.append("")
+        lines.append("-- shard workers (sharded backend) --")
+        lines += shardtab
     health = render_tracer_health(snapshot)
     if health:
         lines.append("")

@@ -33,16 +33,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Tuple
 
-from repro.obs.events import CLOCK_OF, CLOCK_SIMULATED, CLOCK_WALL, TraceEvent
+from repro.obs.events import (
+    CLOCK_SIMULATED,
+    CLOCK_WALL,
+    TraceEvent,
+    clock_of,
+)
 
 #: Dataflow order of the known clock domains in ``"pipeline"`` mode.
 DOMAIN_ORDER = (CLOCK_WALL, CLOCK_SIMULATED)
 
 ALIGNMENT_MODES = ("pipeline", "overlay")
 
-
-def _clock_of(pid: int) -> str:
-    return CLOCK_OF.get(pid, "pid%d" % pid)
+# Shard-worker pids resolve to the wall domain (their events are
+# clock-reconciled onto the coordinator's axis before export), so a
+# merged multi-process trace needs no new alignment logic here.
+_clock_of = clock_of
 
 
 def _extent_of(event: TraceEvent) -> Tuple[float, float]:

@@ -37,6 +37,7 @@ class Tracer:
         self.limit = limit
         self.events: List[TraceEvent] = []
         self.dropped = 0
+        self._flushed = 0
         self._metrics = None
         self._epoch = time.perf_counter()
 
@@ -53,7 +54,7 @@ class Tracer:
     # -- recording ------------------------------------------------------
 
     def _push(self, event: TraceEvent) -> None:
-        if len(self.events) >= self.limit:
+        if self._flushed + len(self.events) >= self.limit:
             if self.dropped == 0:
                 # One final marker, past the cap, so readers of the
                 # artifact can tell truncation from a clean ending.
@@ -127,6 +128,21 @@ class Tracer:
                 args=dict(values),
             )
         )
+
+    def drain(self) -> List[TraceEvent]:
+        """Take and clear the buffered events, keeping limit accounting.
+
+        Shard workers stream their events back to the coordinator once
+        per BSP round; draining counts the handed-off events against
+        the limit (via an internal flushed total) so a worker cannot
+        exceed its event budget by flushing — the cap bounds the whole
+        run's stream, and the truncation marker still fires exactly
+        once.
+        """
+        out = self.events
+        self._flushed += len(out)
+        self.events = []
+        return out
 
     def absorb(self, events: List[TraceEvent]) -> None:
         """Merge events recorded by another tracer into this one.

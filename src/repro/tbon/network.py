@@ -24,6 +24,9 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 from repro.obs.events import PID_TBON
 from repro.obs.observer import NULL_OBSERVER, Observer
 
+#: Emit one "tbon.queue" counter sample every this many deliveries.
+_QUEUE_SAMPLE_EVERY = 64
+
 
 class Node(Protocol):
     """Anything attachable to the network."""
@@ -123,6 +126,7 @@ class Network:
         self._busy_until: Dict[int, float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self._deliveries = 0
 
     @property
     def now(self) -> float:
@@ -211,6 +215,17 @@ class Network:
                 self.obs.metrics.gauge("tbon.queue_depth").set(
                     len(self._queue)
                 )
+                # A decimated counter track ("tbon.queue") so Perfetto
+                # draws queue pressure over simulated time without one
+                # sample per delivery bloating the artifact.
+                self._deliveries += 1
+                if self._deliveries % _QUEUE_SAMPLE_EVERY == 1:
+                    self.obs.tracer.counter(
+                        "tbon.queue",
+                        ts=self._now * 1e6,
+                        pid=PID_TBON,
+                        values={"depth": float(len(self._queue))},
+                    )
                 self.obs.tracer.instant(
                     mtype,
                     cat="tbon.deliver",

@@ -1,0 +1,96 @@
+"""``repro profile`` end to end: sharded run → artifact → rendering.
+
+A sharded ``--obs-trace`` run embeds the ``repro-profile/1`` document
+in the trace artifact; ``repro profile`` renders it and ``--out``
+re-emits the raw JSON. Inline-backend artifacts carry no profile and
+must fail with a distinct exit code, not a traceback.
+"""
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.prof import PROFILE_FORMAT, ROUND_SECTIONS
+
+
+@pytest.fixture(scope="module")
+def sharded_trace(tmp_path_factory):
+    """One sharded lammps run recorded with --obs-trace."""
+    trace = tmp_path_factory.mktemp("prof") / "run.trace.json"
+    code = main([
+        "demo", "lammps", "-n", "8",
+        "--backend", "sharded", "--shards", "2",
+        "--obs-trace", str(trace),
+    ])
+    assert code == 1  # the deadlock verdict survives the sharded path
+    return trace
+
+
+def test_profile_renders_and_reemits_document(
+    sharded_trace, tmp_path, capsys
+):
+    capsys.readouterr()
+    out = tmp_path / "profile.json"
+    code = main(["profile", str(sharded_trace), "--out", str(out)])
+    rendered = capsys.readouterr().out
+    assert code == 0
+    assert "-- sharded run profile --" in rendered
+    assert "-- per-shard totals --" in rendered
+    assert "-- critical-shard timeline (per BSP round) --" in rendered
+    assert "-- codec breakdown --" in rendered
+
+    with open(out) as handle:
+        doc = json.load(handle)
+    assert doc["format"] == PROFILE_FORMAT
+    assert doc["run"]["shards"] == 2
+    assert doc["run"]["ranks"] == 8
+    assert doc["run"]["rounds"] >= 1
+    assert doc["critical_shard"] in (0, 1)
+    assert sorted(doc["shards"]) == ["0", "1"]
+    for shard in doc["shards"].values():
+        assert shard["msgs_in"] > 0
+        for section in ROUND_SECTIONS:
+            assert shard[section + "_ms"] >= 0.0
+    assert doc["codec"]["messages"] > 0
+    assert doc["codec"]["bytes_in"] > 0
+    # every profiled round attributes a critical shard
+    for entry in doc["rounds"]:
+        assert entry["critical_shard"] is not None
+        assert entry["skew"] >= 1.0
+
+
+def test_trace_artifact_carries_shard_spans(sharded_trace):
+    with open(sharded_trace) as handle:
+        doc = json.load(handle)
+    cats = {e.get("cat") for e in doc["traceEvents"]}
+    assert "shard.round" in cats
+    assert "shard.section" in cats
+
+
+def test_stats_reports_shard_workers(sharded_trace, capsys):
+    capsys.readouterr()
+    code = main(["stats", str(sharded_trace)])
+    out = capsys.readouterr().out
+    assert code == 1  # stats echoes the recorded deadlock verdict
+    assert "-- shard workers (sharded backend) --" in out
+    assert "s0" in out and "s1" in out
+
+
+def test_profile_rejects_inline_artifact(tmp_path, capsys):
+    trace = tmp_path / "inline.trace.json"
+    code = main([
+        "demo", "fig2a", "-n", "2", "--obs-trace", str(trace)
+    ])
+    assert code == 1
+    capsys.readouterr()
+    code = main(["profile", str(trace)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "no profile data" in err
+
+
+def test_profile_rejects_missing_file(tmp_path, capsys):
+    code = main(["profile", str(tmp_path / "nope.json")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot load run" in err

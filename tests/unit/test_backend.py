@@ -133,8 +133,8 @@ class TestShardNetwork:
         from repro.mpi.serialize import decode_message
 
         seqs = [
-            decode_message((tag, payload)).detection_id
-            for _src, _dst, tag, payload, _size in batch
+            decode_message(wire).detection_id
+            for _src, _dst, wire, _size in batch
         ]
         assert seqs == list(range(5))
 
@@ -160,8 +160,8 @@ class TestShardNetwork:
             from repro.mpi.serialize import decode_message
 
             seqs = [
-                decode_message((tag, payload)).detection_id
-                for _s, d, tag, payload, _sz in flat
+                decode_message(wire).detection_id
+                for _s, d, wire, _sz in flat
                 if d == dst
             ]
             assert seqs == sorted(seqs)

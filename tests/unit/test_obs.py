@@ -239,10 +239,10 @@ class TestExporters:
         assert isinstance(doc["traceEvents"], list)
         for event in doc["traceEvents"]:
             assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
-        # The engine, TBON, and wait-state rows are named via metadata
-        # records.
+        # The engine, TBON, wait-state, and shard-coordinator rows are
+        # named via metadata records.
         names = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-        assert len(names) == 3
+        assert len(names) == 4
 
     def test_chrome_document_embeds_run_metadata(self):
         doc = chrome_trace_document(

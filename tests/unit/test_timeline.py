@@ -91,7 +91,14 @@ class TestEdges:
         assert tl.total_span_us == 0.0
 
     def test_unknown_pid_gets_its_own_domain(self):
-        events = [_ev("a", 5.0, 42), _ev("b", 1.0, PID_ENGINE)]
+        events = [_ev("a", 5.0, 7), _ev("b", 1.0, PID_ENGINE)]
         tl = UnifiedTimeline(events)
         clocks = [r["clock"] for r in tl.summary()]
-        assert "wall" in clocks and "pid42" in clocks
+        assert "wall" in clocks and "pid7" in clocks
+
+    def test_shard_pids_join_the_wall_domain(self):
+        # shard-worker events are clock-reconciled at merge, so their
+        # pids (>= PID_SHARD_BASE) align on the wall axis
+        events = [_ev("a", 5.0, 12), _ev("b", 1.0, PID_ENGINE)]
+        tl = UnifiedTimeline(events)
+        assert [r["clock"] for r in tl.summary()] == ["wall"]
