@@ -1,0 +1,151 @@
+"""One all-p certificate vs. an equivalent per-size verify sweep.
+
+``repro prove`` certifies deadlock-freedom for *every* process count
+with one symbolic extraction and one bounded confirmation window; the
+pre-prover workflow spot-checks a handful of sizes by running
+``repro verify`` once per size — re-reading, re-extracting, and
+re-deciding the same program each time, with per-size cost growing
+linearly in ``p``. This bench prices both on the same parity-exchange
+workload (wildcard-free, admitted to the certificate fragment):
+
+* **certificate** — ``prove_path`` once: classifier gate, channel
+  equations, and the ascending window sweep, ending in
+  ``PROVED-ALL-P`` (a claim about all p, not just the sampled ones);
+* **verify sweep** — ``verify_path`` at each of the 8 spot-check
+  sizes, the strongest conclusion of which is still only
+  "deadlock-free at these 8 sizes".
+
+Scored claim: the certificate costs >= 5x less wall-clock than the
+8-size sweep — while making the strictly stronger claim.
+"""
+import gc
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import verify_path
+from repro.analysis.symbolic import ProveVerdict, prove_path
+
+from _util import fmt_table, scale_points, write_result
+
+#: The pre-prover workflow: spot-check these process counts.
+SWEEP_SIZES = scale_points(
+    default=(16, 32, 48, 64, 96, 128, 192, 256),
+    full=(16, 64, 128, 256, 512, 768, 1024, 2048),
+)
+ROUNDS = 8
+SAMPLES = 3
+#: Scored floor: one certificate vs. the whole sweep.
+SPEEDUP_FLOOR = 5.0
+
+WORKLOAD = f'''\
+"""Parity-split neighbour exchange, {ROUNDS} rounds: safe at every p."""
+
+
+def parity_rounds(rank):
+    right = (rank.rank + 1) % rank.size
+    left = (rank.rank - 1) % rank.size
+    for _ in range({ROUNDS}):
+        if rank.rank % 2 == 0:
+            yield rank.send(dest=right, tag=0)
+            yield rank.recv(source=left, tag=0)
+        else:
+            yield rank.recv(source=left, tag=0)
+            yield rank.send(dest=right, tag=0)
+        yield rank.allreduce(nbytes=8)
+    yield rank.finalize()
+'''
+
+
+def _best_of(fn):
+    best = None
+    for _ in range(SAMPLES):
+        gc.disable()
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        gc.enable()
+        if best is None or dt < best[0]:
+            best = (dt, out)
+    return best
+
+
+def _verify_sweep(path):
+    reports = []
+    for size in SWEEP_SIZES:
+        report = verify_path(path, ranks=size)
+        reports.append((size, report))
+    return reports
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "parity_rounds.py")
+        Path(path).write_text(WORKLOAD)
+
+        prove_dt, results = _best_of(lambda: prove_path(path))
+        assert len(results) == 1
+        result = results[0]
+        assert result.verdict is ProveVerdict.PROVED_ALL_P, result.reason
+
+        sweep_dt, reports = _best_of(lambda: _verify_sweep(path))
+        per_size = []
+        for size, report in reports:
+            for program in report.programs:
+                lin = program.result
+                assert lin is not None and not lin.has_deadlock, (
+                    f"sweep found a deadlock at p={size}??"
+                )
+            per_size.append(size)
+
+    speedup = sweep_dt / prove_dt
+    rows = [
+        (
+            "certificate",
+            f"all p >= 2 ([2, {result.certificate.window_hi}) swept)",
+            len(result.sizes_checked),
+            result.linear_ops,
+            f"{prove_dt * 1e3:.2f}",
+        ),
+        (
+            "verify sweep",
+            ", ".join(str(s) for s in per_size),
+            len(per_size),
+            "-",
+            f"{sweep_dt * 1e3:.2f}",
+        ),
+    ]
+    lines = fmt_table(
+        ("strategy", "sizes covered", "runs", "linear ops", "ms"),
+        rows,
+    )
+    ok = speedup >= SPEEDUP_FLOOR
+    claim = (
+        f"prove: certificate {speedup:.1f}x cheaper than the "
+        f"{len(SWEEP_SIZES)}-size verify sweep "
+        f"(floor {SPEEDUP_FLOOR:.0f}x) — {'OK' if ok else 'FAIL'}"
+    )
+    lines += ["", claim]
+    write_result(
+        "prove",
+        lines,
+        data={
+            "rounds": ROUNDS,
+            "samples": SAMPLES,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "claim": {
+                "speedup": speedup,
+                "prove_ms": prove_dt * 1e3,
+                "sweep_ms": sweep_dt * 1e3,
+                "sweep_sizes": list(SWEEP_SIZES),
+                "window_hi": result.certificate.window_hi,
+                "sizes_checked": len(result.sizes_checked),
+            },
+        },
+    )
+    if not ok:
+        raise SystemExit(f"scored claim failed: {claim}")
+
+
+if __name__ == "__main__":
+    main()

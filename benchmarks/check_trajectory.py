@@ -21,7 +21,9 @@ Gated claims:
 * **obs_sharded_overhead** — cross-shard tracing + the BSP round
   profiler stay within the same 5% bound at p=256, s=8;
 * **por_reduction** — partial-order reduction keeps >= 5x state-count
-  reduction on the ping-pong-pairs cell.
+  reduction on the ping-pong-pairs cell;
+* **prove** — one ``PROVED-ALL-P`` certificate must stay >= 5x
+  cheaper than the equivalent 8-size ``repro verify`` sweep.
 
 Run:  python benchmarks/check_trajectory.py [trajectory.json]
 """
@@ -41,6 +43,7 @@ SHARDS_SPEEDUP_FLOOR = 1.8
 FASTPATH_SPEEDUP_FLOOR = 10.0
 OVERHEAD_PARITY_BOUND = 0.05
 POR_REDUCTION_FLOOR = 5.0
+PROVE_SPEEDUP_FLOOR = 5.0
 
 
 def _check_parallel_shards(payload: dict) -> list:
@@ -120,6 +123,18 @@ def _check_por_reduction(payload: dict) -> list:
     return []
 
 
+def _check_prove(payload: dict) -> list:
+    claim = payload.get("claim", {})
+    speedup = float(claim.get("speedup", 0.0))
+    if speedup < PROVE_SPEEDUP_FLOOR:
+        return [
+            f"prove: certificate speedup {speedup:.1f}x over the "
+            f"{len(claim.get('sweep_sizes', []))}-size verify sweep is "
+            f"below the {PROVE_SPEEDUP_FLOOR}x floor"
+        ]
+    return []
+
+
 #: bench name -> checker. Every entry is REQUIRED: a missing payload
 #: is itself a gate failure (a deleted bench must delete its gate).
 CHECKS = {
@@ -128,6 +143,7 @@ CHECKS = {
     "flight_overhead": _check_flight_overhead,
     "obs_sharded_overhead": _check_obs_sharded_overhead,
     "por_reduction": _check_por_reduction,
+    "prove": _check_prove,
 }
 
 

@@ -7,14 +7,31 @@ wait-for graph reaches its maximal size, p*(p-1) arcs, every process
 OR-waiting on every other. The plain DOT output scales quadratically;
 the aggregated writer collapses the whole pattern to one class node.
 
+The rank program is defined at module level so the static layers see
+it too: ``repro lint`` reports the wildcard receives (honestly
+UNDECIDABLE for the symbolic classifier/prover), and ``repro verify``
+explores the match-set — with no sends anywhere every matching blocks,
+so the verdict is deadlock-possible and the witness replays.
+
 Run:  python examples/wildcard_storm.py [p]
 """
 import sys
 import time
 
 from repro import detect_deadlocks_distributed
+from repro.mpi.constants import ANY_SOURCE
 from repro.wfg.simplify import render_aggregated_dot, simplify
 from repro.workloads import build_wildcard_trace
+
+#: World size ``repro lint``/``repro verify`` use for the module-level
+#: storm program below (the live demo takes p on the command line).
+LINT_RANKS = 4
+
+
+def wildcard_storm(rank):
+    """Every rank posts one wildcard receive; nobody ever sends."""
+    yield rank.recv(source=ANY_SOURCE, tag=0)
+    yield rank.finalize()
 
 
 def main() -> None:

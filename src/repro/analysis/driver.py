@@ -169,6 +169,55 @@ def _classify_for_lint(
             f"{cl.name}: fragment {cl.fragment.value}"
             + (f" ({cl.reason})" if cl.reason else "")
         )
+        _prove_for_lint(cl, path, report)
+
+
+def _prove_for_lint(
+    cl: ProgramClassification, path: str, report: LintReport
+) -> None:
+    """Run the parameterized prover on decidable classifications.
+
+    A certified program earns an INFO finding ("certified for all
+    p"); a refuted one earns a WARNING carrying the minimal failing
+    process count. Neither changes lint's exit code (only ERROR
+    findings do) — the runtime-facing checks keep that authority.
+    """
+    if not cl.fragment.decidable or cl.summary is None:
+        return
+    from repro.analysis.symbolic.prove import ProveVerdict, prove_summary
+
+    proof = prove_summary(cl.summary)
+    if proof.verdict is ProveVerdict.PROVED_ALL_P:
+        cert = proof.certificate
+        assert cert is not None
+        report.findings.append(
+            CheckFinding(
+                check="proved-all-p",
+                severity=Severity.INFO,
+                rank=None,
+                message=(
+                    f"{cl.name}: certified deadlock-free for all "
+                    f"p >= 2 (sizes [2, {cert.window_hi}) confirmed, "
+                    f"channel behavior verified periodic)"
+                ),
+                location=path,
+            )
+        )
+    elif proof.verdict is ProveVerdict.REFUTED:
+        ranks = ", ".join(str(r) for r in proof.deadlocked)
+        report.findings.append(
+            CheckFinding(
+                check="prove-refuted",
+                severity=Severity.WARNING,
+                rank=None,
+                message=(
+                    f"{cl.name}: parameterized falsification found a "
+                    f"deadlock at p={proof.min_p} (minimal failing "
+                    f"process count; ranks {{{ranks}}})"
+                ),
+                location=path,
+            )
+        )
 
 
 def _has_explicit_programs(source: str) -> bool:

@@ -10,7 +10,14 @@ Layers (each a module, bottom-up):
   wildcard-free sequences;
 * :mod:`.fragments` — the ``SEQ-DETERMINISTIC`` /
   ``SEQ-WILDCARD-FREE-LOOPS`` / ``UNDECIDABLE`` classifier and the
-  verify fast-path entry points.
+  verify fast-path entry points;
+* :mod:`.solver` — affine congruence/interval solving over ``rank``
+  and ``size`` via eventually-periodic size sets;
+* :mod:`.paramatch` — uniform-affine admission and symbolic channel
+  matching (always / never / p-dependent per site);
+* :mod:`.prove` — the parameterized prover: ``PROVED-ALL-P``,
+  ``REFUTED`` with the minimal failing ``p`` and a replayable
+  witness, or an honest ``UNKNOWN``/``UNDECIDABLE``.
 """
 from repro.analysis.symbolic.fragments import (
     Fragment,
@@ -29,6 +36,29 @@ from repro.analysis.symbolic.linmatch import (
     LinearMatchUnsupported,
     match_linear,
 )
+from repro.analysis.symbolic.paramatch import (
+    Admission,
+    ChannelAnalysis,
+    ChannelVerdict,
+    admit_terms,
+    analyze_channels,
+)
+from repro.analysis.symbolic.prove import (
+    ProofCertificate,
+    ProveResult,
+    ProveVerdict,
+    prove_module,
+    prove_path,
+    prove_source,
+    prove_summary,
+)
+from repro.analysis.symbolic.solver import (
+    MIN_SIZE,
+    PeriodicityError,
+    SizeSet,
+    System,
+    suggest_bounds,
+)
 from repro.analysis.symbolic.symexec import (
     InstantiationError,
     ProgramSummary,
@@ -41,14 +71,26 @@ from repro.analysis.symbolic.symexec import (
 )
 
 __all__ = [
+    "Admission",
+    "ChannelAnalysis",
+    "ChannelVerdict",
     "Fragment",
     "InstantiationError",
     "LinearMatchResult",
     "LinearMatchUnsupported",
+    "MIN_SIZE",
+    "PeriodicityError",
     "ProgramClassification",
     "ProgramSummary",
+    "ProofCertificate",
+    "ProveResult",
+    "ProveVerdict",
     "SequenceClassification",
+    "SizeSet",
     "SymbolicUnsupported",
+    "System",
+    "admit_terms",
+    "analyze_channels",
     "classify_extraction",
     "classify_module",
     "classify_sequences",
@@ -58,8 +100,13 @@ __all__ = [
     "decide_sequences",
     "instantiate",
     "match_linear",
+    "prove_module",
+    "prove_path",
+    "prove_source",
+    "prove_summary",
     "render_terms",
     "summarize_module",
     "summarize_program",
     "summarize_source",
+    "suggest_bounds",
 ]

@@ -177,6 +177,10 @@ class CallGraph:
     edges: Dict[str, Set[str]]
     #: Strongly connected components, in reverse topological order.
     sccs: List[FrozenSet[str]]
+    #: Module-level integer constants (``ITERATIONS = 3``) — resolved
+    #: by the symbolic interpreter so constant loop bounds written as
+    #: named module constants stay in the decidable fragment.
+    constants: Dict[str, int] = field(default_factory=dict)
 
     def recursive_functions(self) -> Set[str]:
         """Functions on a call cycle (including self-recursion)."""
@@ -199,6 +203,41 @@ def _called_names(fn: ast.FunctionDef) -> Set[str]:
     return names
 
 
+def _module_constants(tree: ast.Module) -> Dict[str, int]:
+    """Plain ``NAME = <int literal>`` bindings at module level.
+
+    Reassigned names are dropped — only single-assignment constants
+    are safe to fold into rank programs.
+    """
+    values: Dict[str, int] = {}
+    assigned: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name in assigned:
+                values.pop(name, None)
+                continue
+            assigned.add(name)
+            if (
+                value is not None
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+                and not isinstance(value.value, bool)
+            ):
+                values[name] = value.value
+    return values
+
+
 def build_call_graph(tree: ast.Module) -> CallGraph:
     """The call graph over every module-level function in ``tree``."""
     functions: Dict[str, ast.FunctionDef] = {}
@@ -210,7 +249,10 @@ def build_call_graph(tree: ast.Module) -> CallGraph:
         for name, fn in functions.items()
     }
     return CallGraph(
-        functions=functions, edges=edges, sccs=_tarjan(edges)
+        functions=functions,
+        edges=edges,
+        sccs=_tarjan(edges),
+        constants=_module_constants(tree),
     )
 
 

@@ -34,7 +34,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.analysis.symbolic.prove import ProveResult
 
 from repro.analysis.explore import ExploreResult, ExploreStats, Verdict
 from repro.analysis.extract import Extraction
@@ -105,12 +108,20 @@ class ProgramClassification:
     #: Human-readable term tree (empty when extraction failed).
     rendering: List[str] = field(default_factory=list)
     summary: Optional[ProgramSummary] = None
+    #: Attached by the parameterized prover (``repro prove``): the
+    #: all-p verdict, when one was computed for this program.
+    proof: Optional["ProveResult"] = None
 
     @property
     def location(self) -> str:
         if self.reason_line is None:
             return self.filename
         return f"{self.filename}:{self.reason_line}"
+
+    @property
+    def proved_all_p(self) -> bool:
+        """True when an attached proof certifies all ``p >= 2``."""
+        return self.proof is not None and self.proof.is_proved
 
 
 @dataclass

@@ -1,0 +1,353 @@
+"""Affine constraint solving over ``rank``/``size`` congruence classes.
+
+The parameterized prover needs three decision services over systems of
+affine conditions (:class:`~repro.analysis.symbolic.sexpr.Cond`) in the
+two distinguished variables ``rank`` and ``size``: satisfiability
+(is there a process count and a rank that meet the system?),
+implication (does the system force another condition at every size?),
+and projection (for *which* process counts does some rank satisfy it?).
+No external SMT solver is available, and none is needed: the symbolic
+domain only produces *uniform affine* expressions — unit coefficients
+on ``rank``/``size``/loop variables, bounded constant offsets, and
+constant moduli — and for that class every derived predicate of the
+process count is **eventually periodic**:
+
+    there exist a threshold ``T`` and a period ``Λ`` (the lcm of the
+    moduli involved) such that for all ``s >= T``,
+    ``P(s) == P(s + Λ)``.
+
+Intuitively, once ``size`` exceeds twice the largest constant offset,
+``(rank + c) % size`` wrap-around happens for exactly the same ranks
+relative to the ends of the interval, and residue splits like
+``rank % 2`` repeat with the lcm of their moduli. The solver therefore
+decides by *bounded evaluation with verified extrapolation*: evaluate
+the predicate on every size below ``T``, read one period
+``[T, T + Λ)`` off the tail, and **check** the claimed periodicity on
+further periods — refusing (:class:`PeriodicityError`) rather than
+extrapolating when the check fails. The result is an exact
+:class:`SizeSet`: finitely many explicit sizes plus residue classes
+modulo the period.
+
+This calculus is sound by construction for REFUTED answers (every
+member of a :class:`SizeSet` was either evaluated directly or lies in
+a verified residue class) and is complete for the uniform-affine
+fragment admitted by :mod:`repro.analysis.symbolic.paramatch`; see
+DESIGN section 15 for the cutoff argument.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.symbolic.sexpr import Affine, Cond
+
+#: MPI programs run on at least two processes; every size domain
+#: starts here.
+MIN_SIZE = 2
+
+#: Extra periods re-evaluated beyond the first to confirm the
+#: eventually-periodic extrapolation before a SizeSet is built.
+VERIFY_PERIODS = 2
+
+
+class PeriodicityError(Exception):
+    """A size predicate failed the periodicity verification window.
+
+    Raised instead of silently extrapolating; callers fall back to an
+    UNKNOWN verdict (never to an unsound PROVED/REFUTED one).
+    """
+
+    def __init__(self, message: str, size: int) -> None:
+        super().__init__(message)
+        self.message = message
+        #: The size at which the predicate diverged from its claimed
+        #: period.
+        self.size = size
+
+
+@dataclass(frozen=True)
+class SizeSet:
+    """An eventually-periodic set of process counts ``>= MIN_SIZE``.
+
+    Members below ``threshold`` are listed explicitly; members at or
+    above it are exactly the sizes whose residue modulo ``period`` is
+    in ``residues``. All set algebra re-aligns operands to a common
+    ``(max threshold, lcm period)`` representation, so the class is
+    closed under union/intersection/difference/complement.
+    """
+
+    threshold: int
+    period: int
+    explicit: frozenset[int]
+    residues: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.threshold < MIN_SIZE:
+            raise ValueError("threshold must be >= MIN_SIZE")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "SizeSet":
+        return cls(MIN_SIZE, 1, frozenset(), frozenset())
+
+    @classmethod
+    def all_sizes(cls) -> "SizeSet":
+        return cls(MIN_SIZE, 1, frozenset(), frozenset({0}))
+
+    @classmethod
+    def from_predicate(
+        cls,
+        pred: Callable[[int], bool],
+        threshold: int,
+        period: int,
+        verify_periods: int = VERIFY_PERIODS,
+    ) -> "SizeSet":
+        """Build the exact set ``{s >= MIN_SIZE : pred(s)}``.
+
+        ``pred`` is evaluated on ``[MIN_SIZE, threshold)`` for the
+        explicit part and on ``[threshold, threshold + period)`` for
+        the residue classes; the classes are then *verified* against
+        ``verify_periods`` further periods and a
+        :class:`PeriodicityError` is raised on any mismatch.
+        """
+        threshold = max(threshold, MIN_SIZE)
+        period = max(period, 1)
+        explicit = frozenset(
+            s for s in range(MIN_SIZE, threshold) if pred(s)
+        )
+        residues = frozenset(
+            s % period
+            for s in range(threshold, threshold + period)
+            if pred(s)
+        )
+        verify_hi = threshold + (1 + verify_periods) * period
+        for s in range(threshold + period, verify_hi):
+            if pred(s) != (s % period in residues):
+                raise PeriodicityError(
+                    f"predicate is not periodic with period {period} "
+                    f"above {threshold} (diverges at size {s})",
+                    s,
+                )
+        return cls(threshold, period, explicit, residues)
+
+    # -- membership ----------------------------------------------------
+
+    def contains(self, size: int) -> bool:
+        if size < MIN_SIZE:
+            return False
+        if size < self.threshold:
+            return size in self.explicit
+        return size % self.period in self.residues
+
+    def __contains__(self, size: int) -> bool:
+        return self.contains(size)
+
+    def is_empty(self) -> bool:
+        return not self.explicit and not self.residues
+
+    def is_all(self) -> bool:
+        return (
+            len(self.explicit) == self.threshold - MIN_SIZE
+            and len(self.residues) == self.period
+        )
+
+    def min_value(self) -> Optional[int]:
+        """The smallest member, or ``None`` for the empty set."""
+        if self.explicit:
+            return min(self.explicit)
+        if not self.residues:
+            return None
+        return min(
+            self.threshold + ((r - self.threshold) % self.period)
+            for r in self.residues
+        )
+
+    def iter_values(self) -> Iterator[int]:
+        """Members in ascending order (infinite when residues exist)."""
+        for s in sorted(self.explicit):
+            yield s
+        if not self.residues:
+            return
+        s = self.threshold
+        while True:
+            if s % self.period in self.residues:
+                yield s
+            s += 1
+
+    def sample(self, k: int) -> List[int]:
+        """The first ``k`` members in ascending order."""
+        out: List[int] = []
+        for s in self.iter_values():
+            out.append(s)
+            if len(out) >= k:
+                break
+        return out
+
+    # -- set algebra ---------------------------------------------------
+
+    def _realign(self, threshold: int, period: int) -> "SizeSet":
+        """An equal set re-expressed over ``(threshold, period)``."""
+        if threshold < self.threshold or period % self.period != 0:
+            raise ValueError("can only realign to a coarser frame")
+        explicit = frozenset(
+            s for s in range(MIN_SIZE, threshold) if self.contains(s)
+        )
+        residues = frozenset(
+            s % period
+            for s in range(threshold, threshold + period)
+            if self.contains(s)
+        )
+        return SizeSet(threshold, period, explicit, residues)
+
+    def _align(self, other: "SizeSet") -> Tuple["SizeSet", "SizeSet"]:
+        threshold = max(self.threshold, other.threshold)
+        period = math.lcm(self.period, other.period)
+        return (
+            self._realign(threshold, period),
+            other._realign(threshold, period),
+        )
+
+    def union(self, other: "SizeSet") -> "SizeSet":
+        a, b = self._align(other)
+        return SizeSet(
+            a.threshold, a.period,
+            a.explicit | b.explicit, a.residues | b.residues,
+        )
+
+    def intersect(self, other: "SizeSet") -> "SizeSet":
+        a, b = self._align(other)
+        return SizeSet(
+            a.threshold, a.period,
+            a.explicit & b.explicit, a.residues & b.residues,
+        )
+
+    def difference(self, other: "SizeSet") -> "SizeSet":
+        a, b = self._align(other)
+        return SizeSet(
+            a.threshold, a.period,
+            a.explicit - b.explicit, a.residues - b.residues,
+        )
+
+    def complement(self) -> "SizeSet":
+        return SizeSet(
+            self.threshold,
+            self.period,
+            frozenset(range(MIN_SIZE, self.threshold)) - self.explicit,
+            frozenset(range(self.period)) - self.residues,
+        )
+
+    def semantically_equal(self, other: "SizeSet") -> bool:
+        """Equality as sets (representations may differ)."""
+        a, b = self._align(other)
+        return a.explicit == b.explicit and a.residues == b.residues
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        if self.is_empty():
+            return "no p"
+        if self.is_all():
+            return f"all p >= {MIN_SIZE}"
+        parts: List[str] = []
+        if self.explicit:
+            listed = ", ".join(str(s) for s in sorted(self.explicit))
+            parts.append(f"p in {{{listed}}}")
+        if self.residues:
+            if len(self.residues) == self.period:
+                parts.append(f"all p >= {self.threshold}")
+            else:
+                classes = ", ".join(
+                    str(r) for r in sorted(self.residues)
+                )
+                if self.period == 1:
+                    parts.append(f"all p >= {self.threshold}")
+                else:
+                    parts.append(
+                        f"p % {self.period} in {{{classes}}} "
+                        f"for p >= {self.threshold}"
+                    )
+        return " or ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Constraint systems
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class System:
+    """A conjunction of affine conditions over ``rank`` and ``size``.
+
+    ``rank`` implicitly ranges over ``[0, size)`` and ``size`` over
+    ``[MIN_SIZE, ∞)``; decision procedures quantify accordingly. All
+    three services decide by bounded evaluation over a caller-supplied
+    ``(threshold, period)`` frame (see :func:`suggest_bounds`) with
+    verified periodic extrapolation.
+    """
+
+    conds: Tuple[Cond, ...]
+
+    def holds(
+        self,
+        rank: int,
+        size: int,
+        bindings: Optional[Mapping[str, int]] = None,
+    ) -> bool:
+        return all(
+            cond.evaluate(rank, size, bindings) for cond in self.conds
+        )
+
+    def project_sizes(self, threshold: int, period: int) -> SizeSet:
+        """``{s : ∃ rank in [0, s) satisfying the system}``."""
+        return SizeSet.from_predicate(
+            lambda s: any(self.holds(r, s) for r in range(s)),
+            threshold,
+            period,
+        )
+
+    def satisfiable(self, threshold: int, period: int) -> bool:
+        """``∃ size >= MIN_SIZE, ∃ rank in [0, size)``."""
+        return not self.project_sizes(threshold, period).is_empty()
+
+    def implies(
+        self, other: Cond, threshold: int, period: int
+    ) -> bool:
+        """``∀ size >= MIN_SIZE, ∀ rank in [0, size): system ⇒ other``."""
+        def entailed(size: int) -> bool:
+            return all(
+                (not self.holds(r, size)) or other.evaluate(r, size)
+                for r in range(size)
+            )
+
+        return SizeSet.from_predicate(
+            entailed, threshold, period
+        ).is_all()
+
+
+def suggest_bounds(
+    affines: Sequence[Affine],
+    moduli: Sequence[int] = (),
+) -> Tuple[int, int]:
+    """A sound ``(threshold, period)`` frame for uniform-affine input.
+
+    ``threshold`` clears twice the largest constant offset (so every
+    ``% size`` wrap-around pattern has stabilized) and ``period`` is
+    the lcm of the explicit moduli (``rank % k`` splits). Callers are
+    still protected by the verification window in
+    :meth:`SizeSet.from_predicate` — these bounds only choose where it
+    sits.
+    """
+    magnitude = 0
+    for affine in affines:
+        magnitude = max(magnitude, abs(affine.c0))
+    for modulus in moduli:
+        magnitude = max(magnitude, abs(modulus))
+    period = 1
+    for modulus in moduli:
+        if modulus > 1:
+            period = math.lcm(period, modulus)
+    threshold = MIN_SIZE + 2 * (magnitude + 2)
+    return threshold, period

@@ -929,7 +929,10 @@ class _SymbolicInterpreter:
         if isinstance(expr, ast.Name):
             if expr.id in env:
                 return env[expr.id]
-            return self._named_constant(expr.id)
+            value = self._named_constant(expr.id)
+            if value is UNKNOWN and expr.id in self.graph.constants:
+                return const(self.graph.constants[expr.id])
+            return value
         if isinstance(expr, ast.Attribute):
             if (
                 isinstance(expr.value, ast.Name)

@@ -18,11 +18,19 @@ Commands
              extractor, with role-split and loop provenance
              (``-v`` prints the symbolic term tree); exit 1 when any
              program is undecidable;
+``prove``    parameterized deadlock-freedom certification: decide
+             deadlock-freedom for **all** process counts ``p >= 2``
+             (`PROVED-ALL-P` with a channel certificate) or report the
+             minimal failing ``p`` (`REFUTED`) with a replayable
+             witness — without enumerating instantiations; exit 1 on
+             any refutation, 2 when any program stays open
+             (`UNKNOWN`/`UNDECIDABLE`);
 ``verify``   bounded wildcard-aware verification: explore every
              feasible match-set of a rank-program file, classify it
              `deadlock-free` / `deadlock-possible` / `bound-exceeded`,
              and optionally replay the deadlock witness through the
-             engine (``--replay``);
+             engine (``--replay``); ``--prove`` additionally runs the
+             parameterized prover per file;
 ``stats``    print the observability summary of a run recorded with
              ``--obs-trace`` (per-message-type traffic, five-phase
              detection-time breakdown, exploration counters, unified
@@ -62,12 +70,14 @@ notice on stderr.
 Exit codes: 0 — clean; 1 — a deadlock was detected (``analyze``,
 ``demo``, and ``stats`` when the analyzed run recorded one, ``blame``
 when root causes were found), an error-severity finding reported
-(``lint``), or a `deadlock-possible` verdict (``verify``); 2 — usage
-error (unknown workload, unreadable / malformed / truncated input —
+(``lint``), a `deadlock-possible` verdict (``verify``), or a
+`REFUTED` program (``prove``, ``classify --prove``); 2 — usage error
+(unknown workload, unreadable / malformed / truncated input —
 ``stats`` and ``blame`` diagnose the offending line or record) or,
 for ``verify``, no deadlock but at least one program without a
 definite verdict (`bound-exceeded` / skipped) — `bound-exceeded` is
-NOT `deadlock-free`.
+NOT `deadlock-free` — and, for ``prove``, no refutation but at least
+one program left `UNKNOWN`/`UNDECIDABLE`.
 """
 from __future__ import annotations
 
@@ -149,6 +159,7 @@ _FORMATS: Dict[str, Tuple[str, ...]] = {
     "demo": ("json", "jsonl", "html", "dot"),
     "lint": ("json",),
     "classify": ("json",),
+    "prove": ("json",),
     "verify": ("json", "jsonl"),
     "stats": ("json",),
     "blame": ("json",),
@@ -493,6 +504,111 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any_errors else 0
 
 
+def _describe_prove(result) -> str:
+    """One-line human rendering of a ProveResult."""
+    from repro.analysis.symbolic import ProveVerdict
+
+    line = result.verdict.value
+    if result.verdict is ProveVerdict.REFUTED:
+        ranks = ", ".join(str(r) for r in result.deadlocked)
+        line += (
+            f" — minimal failing p={result.min_p} "
+            f"(deadlocked ranks {{{ranks}}})"
+        )
+        if result.predicted:
+            line += " [predicted by channel residues]"
+    elif result.verdict is ProveVerdict.PROVED_ALL_P:
+        cert = result.certificate
+        assert cert is not None
+        line += (
+            f" — deadlock-free for all p >= 2 "
+            f"(sizes [2, {cert.window_hi}) confirmed, "
+            f"modulus lcm {cert.modulus_lcm})"
+        )
+    elif result.reason:
+        line += f" — {result.reason}"
+    return line
+
+
+def _print_certificate(result, indent: str = "    ") -> None:
+    """The per-channel certificate table (verbose prove output)."""
+    if result.certificate is None:
+        return
+    channels = result.certificate.channels.channels
+    if not channels:
+        return
+    print(f"{indent}channel certificate:")
+    for channel in channels:
+        line = (
+            f"{indent}  {channel.classification:>15}  "
+            f"{channel.site}  [line {channel.lineno}]"
+        )
+        if channel.classification != "always-matched":
+            line += f"  unmatched: {channel.unmatched.render()}"
+        print(line)
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.symbolic import ProveVerdict, prove_source
+
+    observer = _make_observer(args)
+    if args.witness_dir:
+        os.makedirs(args.witness_dir, exist_ok=True)
+    doc: Dict[str, list] = {}
+    any_refuted = False
+    any_open = False
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"prove: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            results = prove_source(
+                source, path, metrics=observer.metrics
+            )
+        except SyntaxError as exc:
+            print(
+                f"prove: {path}:{exc.lineno or 1}: source does not "
+                f"parse: {exc.msg}",
+                file=sys.stderr,
+            )
+            return 2
+        doc[path] = []
+        print(f"{path}:")
+        if not results:
+            print("  (no rank programs found)")
+        for result in results:
+            if result.verdict is ProveVerdict.REFUTED:
+                any_refuted = True
+            elif result.verdict is not ProveVerdict.PROVED_ALL_P:
+                any_open = True
+            print(f"  {result.name}: {_describe_prove(result)}")
+            if args.verbose:
+                _print_certificate(result)
+            if result.witness is not None and args.witness_dir:
+                stem = os.path.splitext(os.path.basename(path))[0]
+                wpath = os.path.join(
+                    args.witness_dir,
+                    f"{stem}__{result.name}.witness.json",
+                )
+                result.witness.save(wpath)
+                print(f"    wrote witness {wpath}")
+            doc[path].append(result.to_json_dict())
+    out = _out_path(args, "json")
+    if out:
+        _write_json(out, {"format": "repro-prove/1", "results": doc})
+    _finish_obs(observer, args, workload=None, deadlocked=any_refuted)
+    if any_refuted:
+        return 1
+    if any_open:
+        return 2
+    return 0
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.analysis.symbolic import classify_source
 
@@ -538,23 +654,35 @@ def _cmd_classify(args: argparse.Namespace) -> int:
                     print(f"      {rline}")
             if not cl.fragment.decidable:
                 worst = 1
-            doc[path].append(
-                {
-                    "program": cl.name,
-                    "fragment": cl.fragment.value,
-                    "reason": cl.reason,
-                    "line": cl.reason_line,
-                    "role_splits": [
-                        {"condition": cond, "line": lineno}
-                        for cond, lineno in cl.role_splits
-                    ],
-                    "loops": [
-                        {"count": count, "line": lineno}
-                        for count, lineno in cl.loops
-                    ],
-                    "terms": list(cl.rendering),
-                }
-            )
+            entry = {
+                "program": cl.name,
+                "fragment": cl.fragment.value,
+                "reason": cl.reason,
+                "line": cl.reason_line,
+                "role_splits": [
+                    {"condition": cond, "line": lineno}
+                    for cond, lineno in cl.role_splits
+                ],
+                "loops": [
+                    {"count": count, "line": lineno}
+                    for count, lineno in cl.loops
+                ],
+                "terms": list(cl.rendering),
+            }
+            if args.prove and cl.summary is not None:
+                from repro.analysis.symbolic import (
+                    ProveVerdict,
+                    prove_summary,
+                )
+
+                proof = prove_summary(cl.summary)
+                print(f"    prove: {_describe_prove(proof)}")
+                if args.verbose:
+                    _print_certificate(proof, indent="      ")
+                entry["prove"] = proof.to_json_dict()
+                if proof.verdict is ProveVerdict.REFUTED:
+                    worst = max(worst, 1)
+            doc[path].append(entry)
     out = _out_path(args, "json")
     if out:
         _write_json(
@@ -655,6 +783,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                     )
                     any_error = True
             doc[path][prog.label] = entry
+        if getattr(args, "prove", False):
+            from repro.analysis.symbolic import ProveVerdict, prove_path
+
+            for presult in prove_path(path, metrics=observer.metrics):
+                print(
+                    f"  prove {presult.name}: "
+                    f"{_describe_prove(presult)}"
+                )
+                doc[path].setdefault(presult.name, {})["prove"] = (
+                    presult.to_json_dict()
+                )
+                if presult.verdict is ProveVerdict.REFUTED:
+                    any_deadlock = True
         for note in report.notes:
             print(f"  note: {note}")
         if report.errors():
@@ -987,8 +1128,37 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true",
         help="also print the extracted symbolic term tree",
     )
+    classify.add_argument(
+        "--prove", action="store_true",
+        help="also run the parameterized prover on each decidable "
+        "program (PROVED-ALL-P / REFUTED with minimal p); a "
+        "refutation folds into exit code 1",
+    )
     _add_common_flags(classify, "classify")
     classify.set_defaults(func=_cmd_classify)
+
+    prove = sub.add_parser(
+        "prove",
+        help="parameterized deadlock-freedom certification: "
+        "PROVED-ALL-P for every p >= 2, or the minimal failing p "
+        "with a replayable witness",
+    )
+    prove.add_argument(
+        "paths", nargs="+",
+        help="Python rank-program files (as for `repro lint`)",
+    )
+    prove.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print the per-channel certificate table",
+    )
+    prove.add_argument(
+        "--witness-dir", metavar="DIR",
+        help="save each refutation witness as JSON into this "
+        "directory",
+    )
+    _add_common_flags(prove, "prove")
+    _add_obs_flags(prove)
+    prove.set_defaults(func=_cmd_prove)
 
     verify = sub.add_parser(
         "verify",
@@ -1032,6 +1202,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--witness-dir", metavar="DIR",
         help="save every deadlock witness as JSON into this directory",
+    )
+    verify.add_argument(
+        "--prove", action="store_true",
+        help="also run the parameterized prover on each file; a "
+        "REFUTED program counts as a deadlock (exit 1)",
     )
     # Deprecated alias for --out FILE --format json.
     verify.add_argument(

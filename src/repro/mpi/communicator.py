@@ -9,7 +9,7 @@ collectives over the *parent* group, as Section 3.1 prescribes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.mpi.constants import WORLD_COMM_ID
 
@@ -110,7 +110,7 @@ class CommRegistry:
         missing = set(parent.group) - set(colors)
         if missing:
             raise ValueError(f"split missing colors for ranks {sorted(missing)}")
-        by_color: Dict[int, list] = {}
+        by_color: Dict[int, List[int]] = {}
         for rank in parent.group:
             color = colors[rank]
             if color is not None:

@@ -18,7 +18,7 @@ instead of leaning on pickle's class-by-reference behaviour.
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple, Type
 
 from repro.mpi.communicator import CommRegistry
 from repro.mpi.constants import OpKind, WORLD_COMM_ID
@@ -216,11 +216,15 @@ def load_trace(path: str) -> MatchedTrace:
 #: graph (it pulls in repro.mpi.constants, which initializes the
 #: repro.mpi package, which imports this module), so binding the
 #: message classes at import time would trip the partial-init cycle.
-_CODEC: Dict[str, Tuple[Callable[[Any], tuple], Callable[[tuple], Any]]] = {}
-_TAG_OF: Dict[type, str] = {}
+#: A primitive wire tuple — heterogeneous by design.
+WireTuple = Tuple[Any, ...]
+
+_CODEC: Dict[str, Tuple[Callable[[Any], WireTuple],
+                        Callable[[WireTuple], Any]]] = {}
+_TAG_OF: Dict[Type[Any], str] = {}
 
 
-def _encode_wait_entry(entry: Any) -> tuple:
+def _encode_wait_entry(entry: Any) -> WireTuple:
     from repro.core.messages import CollectiveWait, P2PWait
 
     if isinstance(entry, P2PWait):
@@ -230,7 +234,7 @@ def _encode_wait_entry(entry: Any) -> tuple:
     raise TraceError(f"cannot encode wait entry {type(entry).__name__}")
 
 
-def _decode_wait_entry(data: tuple) -> Any:
+def _decode_wait_entry(data: WireTuple) -> Any:
     from repro.core.messages import CollectiveWait, P2PWait
 
     if data[0] == "p":
@@ -240,7 +244,7 @@ def _decode_wait_entry(data: tuple) -> Any:
     raise TraceError(f"cannot decode wait entry tagged {data[0]!r}")
 
 
-def _encode_wait_info(info: Any) -> tuple:
+def _encode_wait_info(info: Any) -> WireTuple:
     return (
         info.rank,
         info.op_description,
@@ -249,7 +253,7 @@ def _encode_wait_info(info: Any) -> tuple:
     )
 
 
-def _decode_wait_info(data: tuple) -> Any:
+def _decode_wait_info(data: WireTuple) -> Any:
     from repro.core.messages import RankWaitInfo
 
     return RankWaitInfo(
@@ -263,13 +267,17 @@ def _decode_wait_info(data: tuple) -> Any:
 def _build_codec() -> None:
     from repro.core import messages as m
 
-    def fields(cls: type, *names: str) -> None:
+    def fields(cls: Type[Any], *names: str) -> None:
         tag = cls.__name__
 
-        def enc(msg: Any, _names=names) -> tuple:
+        def enc(msg: Any, _names: Tuple[str, ...] = names) -> WireTuple:
             return tuple(getattr(msg, n) for n in _names)
 
-        def dec(payload: tuple, _cls=cls, _names=names) -> Any:
+        def dec(
+            payload: WireTuple,
+            _cls: Type[Any] = cls,
+            _names: Tuple[str, ...] = names,
+        ) -> Any:
             return _cls(**dict(zip(_names, payload)))
 
         _CODEC[tag] = (enc, dec)
@@ -321,7 +329,7 @@ def _build_codec() -> None:
     _TAG_OF[m.WaitInfoMsg] = "WaitInfoMsg"
 
 
-def encode_message(msg: Any, context: Any = None) -> tuple:
+def encode_message(msg: Any, context: Any = None) -> WireTuple:
     """Encode a protocol message as a primitive wire tuple.
 
     Without ``context`` the result is the exact two-element
@@ -347,7 +355,7 @@ def encode_message(msg: Any, context: Any = None) -> tuple:
     return (tag, payload, tuple(context))
 
 
-def decode_message(data: tuple) -> Any:
+def decode_message(data: WireTuple) -> Any:
     """Reverse of :func:`encode_message` (trace context, if any, is
     ignored here — see :func:`message_context`)."""
     if not _CODEC:
@@ -360,6 +368,6 @@ def decode_message(data: tuple) -> Any:
     return decoder(data[1])
 
 
-def message_context(data: tuple) -> Any:
+def message_context(data: WireTuple) -> Any:
     """The trace context riding on a wire tuple, or None."""
     return data[2] if len(data) > 2 else None

@@ -192,6 +192,42 @@ def render_classification_table(
     return lines
 
 
+#: Counter prefix written by the parameterized prover (``repro prove``).
+PROVE_PREFIX = "prove."
+
+#: Row order of the proof table (raw counter name, row label).
+_PROVE_ROWS = (
+    ("runs", "programs proved"),
+    ("proved", "PROVED-ALL-P"),
+    ("refuted", "REFUTED (min p found)"),
+    ("unknown", "UNKNOWN"),
+    ("undecidable", "UNDECIDABLE fragment"),
+    ("sizes_checked", "sizes checked"),
+    ("linear_ops", "ops linearly matched"),
+    ("channels.always", "channels always-matched"),
+    ("channels.never", "channels never-matched"),
+    ("channels.p_dependent", "channels p-dependent"),
+)
+
+
+def render_prove_table(snapshot: Mapping[str, object]) -> List[str]:
+    """Parameterized-proof effort (``prove.*`` counters), if any."""
+    counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+    values = _with_prefix(counters, PROVE_PREFIX)
+    if not values:
+        return []
+    lines = [f"{'parameterized proof':<28} {'count':>12}"]
+    known = set()
+    for key, label in _PROVE_ROWS:
+        known.add(key)
+        if key in values:
+            lines.append(f"{label:<28} {values[key]:>12,}")
+    for key in sorted(values):
+        if key not in known:
+            lines.append(f"{key:<28} {values[key]:>12,}")
+    return lines
+
+
 def render_timeline_table(timeline: UnifiedTimeline) -> List[str]:
     """Per-clock-domain rows of the unified timeline."""
     rows = timeline.summary()
@@ -298,6 +334,11 @@ def render_summary(snapshot: Mapping[str, object]) -> List[str]:
         lines.append("")
         lines.append("-- decidable-fragment classification --")
         lines += classified
+    proved = render_prove_table(snapshot)
+    if proved:
+        lines.append("")
+        lines.append("-- parameterized proof (repro prove) --")
+        lines += proved
     shardtab = render_shard_table(snapshot)
     if shardtab:
         lines.append("")

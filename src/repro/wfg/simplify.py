@@ -105,8 +105,12 @@ class AggregatedWfg:
         )
 
 
+#: Equivalence-class key: (op pattern, normalized clause tuple).
+_SignatureKey = Tuple[str, Tuple[Tuple[str, Tuple[int, ...]], ...]]
+
+
 def _signature(rank: int, node_clauses: Sequence[Tuple[int, ...]],
-               op_desc: str) -> Tuple:
+               op_desc: str) -> _SignatureKey:
     """Pattern key for equivalence-class merging.
 
     Two processes merge when their operations render identically modulo
@@ -129,7 +133,7 @@ def _signature(rank: int, node_clauses: Sequence[Tuple[int, ...]],
 
 def simplify(graph: WaitForGraph) -> AggregatedWfg:
     """Aggregate the wait-for graph into class nodes with range arcs."""
-    groups: Dict[Tuple, List[int]] = {}
+    groups: Dict[_SignatureKey, List[int]] = {}
     for rank in sorted(graph.nodes):
         node = graph.nodes[rank]
         key = _signature(rank, node.clauses, node.op_description)

@@ -108,6 +108,50 @@ def test_classify_verbose_renders_term_trees(tmp_path, capsys):
     assert "term tree:" in out
 
 
+def test_examples_match_the_golden_term_trees(tmp_path, capsys, monkeypatch):
+    """Regression gate for ``render_terms``: the symbolic term trees
+    of every example are pinned, so a rendering or extraction change
+    shows up as a golden diff instead of silent drift."""
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    golden = repo_root / "tests" / "golden" / "classify_examples.json"
+    examples = sorted(
+        str(p.relative_to(repo_root))
+        for p in (repo_root / "examples").glob("*.py")
+    )
+    monkeypatch.chdir(repo_root)
+    out_json = tmp_path / "classify.json"
+    code = main(["classify", *examples, "-v", "--out", str(out_json)])
+    assert code == 1  # the wildcard examples stay UNDECIDABLE
+    got = json.loads(out_json.read_text())
+    want = json.loads(golden.read_text())
+    assert got == want
+
+
+def test_golden_term_trees_say_what_we_think_they_say():
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    golden = repo_root / "tests" / "golden" / "classify_examples.json"
+    doc = json.loads(golden.read_text())
+    programs = doc["programs"]
+    parity = programs["examples/parity_exchange.py"][0]
+    assert parity["fragment"] == "SEQ-DETERMINISTIC"
+    # The role split and both branch arms render into the term tree.
+    terms = "\n".join(parity["terms"])
+    assert "(rank + 1) % size" in terms
+    assert "(rank - 1) % size" in terms
+    assert "allreduce" in terms
+    storm = programs["examples/wildcard_storm.py"][0]
+    assert storm["fragment"] == "UNDECIDABLE"
+    assert any("ANY" in line for line in storm["terms"])
+    lammps = programs["examples/lammps_potential_deadlock.py"][0]
+    assert any("repeat" in line for line in lammps["terms"]) or len(
+        lammps["terms"]
+    ) >= 10  # const-unrolled iterations render flat
+
+
 def test_classify_unreadable_path_exits_two(capsys):
     assert main(["classify", "does/not/exist.py"]) == 2
 

@@ -111,3 +111,10 @@ def test_golden_file_says_what_we_think_it_says():
     assert mw["LINT_PROGRAMS"]["verdict"] == "deadlock-possible"
     assert mw["LINT_PROGRAMS"]["deadlocked"] == [0, 2]
     assert mw["LINT_PROGRAMS"]["replay_confirmed"] is True
+    storm = results["examples/wildcard_storm.py"]
+    assert storm["wildcard_storm"]["verdict"] == "deadlock-possible"
+    assert storm["wildcard_storm"]["deadlocked"] == [0, 1, 2, 3]
+    assert storm["wildcard_storm"]["replay_confirmed"] is True
+    parity = results["examples/parity_exchange.py"]
+    assert parity["parity_exchange"]["verdict"] == "deadlock-free"
+    assert parity["parity_exchange"]["fragment"] == "SEQ-DETERMINISTIC"

@@ -1,0 +1,204 @@
+"""The parameterized prover must agree with per-size verification.
+
+``repro prove`` makes claims about *every* process count; each per-size
+claim is checkable by the repo's authoritative per-size pipeline
+(concrete extraction + the linear fragment decider, itself pinned to
+the explorer by ``test_classifier_agreement``). Random wildcard-free
+SPMD programs — composed from safe exchanges, size-guarded ring
+inversions, parity-conditional senders, gathers, and collectives —
+exercise both verdicts:
+
+* ``PROVED-ALL-P`` ⇒ deadlock-free at every sampled ``p`` in 2..16;
+* ``REFUTED`` ⇒ the reported ``min_p`` really deadlocks, every smaller
+  size really is clean, and the witness replays to a runtime deadlock;
+* wildcard-free templates never fall to ``UNDECIDABLE``; and a
+  wildcard program is never ``PROVED-ALL-P`` (honesty of the gate).
+
+Divergence count must be exactly zero.
+"""
+import random
+
+import pytest
+
+from repro.analysis import Verdict, extract_programs
+from repro.analysis.symbolic import ProveVerdict, prove_source
+from repro.analysis.symbolic.fragments import decide_extraction
+from repro.analysis.witness import replay_witness
+
+SEEDS = range(60)
+SIZES = range(2, 17)
+
+_coverage = {"proved": 0, "refuted": 0, "unknown": 0}
+
+
+# ----------------------------------------------------------------------
+# Template generator: random wildcard-free SPMD sources
+# ----------------------------------------------------------------------
+
+def _safe_parity_ring(rng, tag):
+    return [
+        f"    right = (rank.rank + 1) % rank.size",
+        f"    left = (rank.rank - 1) % rank.size",
+        f"    if rank.rank % 2 == 0:",
+        f"        yield rank.send(dest=right, tag={tag})",
+        f"        yield rank.recv(source=left, tag={tag})",
+        f"    else:",
+        f"        yield rank.recv(source=left, tag={tag})",
+        f"        yield rank.send(dest=right, tag={tag})",
+    ]
+
+
+def _guarded_ring(rng, tag):
+    # All-send-first above the guard: deadlocks exactly at p >= guard.
+    guard = rng.randrange(4, 13)
+    return [
+        f"    nxt = (rank.rank + 1) % rank.size",
+        f"    prv = (rank.rank - 1) % rank.size",
+        f"    if rank.size >= {guard}:",
+        f"        yield rank.send(dest=nxt, tag={tag})",
+        f"        yield rank.recv(source=prv, tag={tag})",
+        f"    else:",
+        f"        if rank.rank % 2 == 0:",
+        f"            yield rank.send(dest=nxt, tag={tag})",
+        f"            yield rank.recv(source=prv, tag={tag})",
+        f"        else:",
+        f"            yield rank.recv(source=prv, tag={tag})",
+        f"            yield rank.send(dest=nxt, tag={tag})",
+    ]
+
+
+def _last_parity_sender(rng, tag):
+    # The sender exists only at every other size: a p-dependent channel.
+    parity = rng.randrange(2)
+    return [
+        f"    if rank.rank == 0:",
+        f"        yield rank.recv(source=rank.size - 1, tag={tag})",
+        f"    if rank.rank == rank.size - 1:",
+        f"        if rank.rank % 2 == {parity}:",
+        f"            yield rank.send(dest=0, tag={tag})",
+    ]
+
+
+def _gather_to_zero(rng, tag):
+    return [
+        f"    if rank.rank == 0:",
+        f"        for i in range(1, rank.size):",
+        f"            yield rank.recv(source=i, tag={tag})",
+        f"    else:",
+        f"        yield rank.send(dest=0, tag={tag})",
+    ]
+
+
+def _collective(rng, tag):
+    return [f"    yield rank.allreduce(nbytes={8 * (1 + tag)})"]
+
+
+_SAFE_BLOCKS = (_safe_parity_ring, _gather_to_zero, _collective)
+_RISKY_BLOCKS = (_guarded_ring, _last_parity_sender)
+
+
+def _generate_source(seed):
+    """One random SPMD program; roughly half draw a risky block."""
+    rng = random.Random(seed)
+    blocks = [rng.choice(_SAFE_BLOCKS)]
+    if rng.random() < 0.5:
+        blocks.append(rng.choice(_RISKY_BLOCKS))
+    if rng.random() < 0.5:
+        blocks.append(rng.choice(_SAFE_BLOCKS))
+    rng.shuffle(blocks)
+    lines = [f"def prog_{seed}(rank):"]
+    for tag, block in enumerate(blocks):
+        lines += block(rng, tag)
+    lines.append("    yield rank.finalize()")
+    return "\n".join(lines) + "\n"
+
+
+def _materialize(source, name):
+    namespace = {}
+    exec(compile(source, name, "exec"), namespace)
+    fns = [v for v in namespace.values() if callable(v)]
+    assert len(fns) == 1
+    return fns[0]
+
+
+def _ground_truth(fn, p):
+    """The per-size verdict from the authoritative pipeline."""
+    ext = extract_programs([fn] * p)
+    res = decide_extraction(ext, label=f"gt@p={p}")
+    assert res is not None, "wildcard-free template left the fragment"
+    return res.verdict is Verdict.DEADLOCK_POSSIBLE
+
+
+# ----------------------------------------------------------------------
+# The agreement property
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_prove_agrees_with_per_size_verification(seed):
+    source = _generate_source(seed)
+    name = f"prog_{seed}.py"
+    results = prove_source(source, name)
+    assert len(results) == 1
+    result = results[0]
+
+    # Honesty: a wildcard-free template is always classifiable.
+    assert result.verdict is not ProveVerdict.UNDECIDABLE, result.reason
+
+    fn = _materialize(source, name)
+    deadlocks = {p: _ground_truth(fn, p) for p in SIZES}
+
+    if result.verdict is ProveVerdict.PROVED_ALL_P:
+        _coverage["proved"] += 1
+        bad = [p for p in SIZES if deadlocks[p]]
+        assert not bad, (
+            f"seed {seed}: PROVED-ALL-P but deadlocks at p={bad}\n{source}"
+        )
+    elif result.verdict is ProveVerdict.REFUTED:
+        _coverage["refuted"] += 1
+        assert result.min_p is not None
+        clean = [p for p in SIZES if p < result.min_p]
+        wrong = [p for p in clean if deadlocks[p]]
+        assert not wrong, (
+            f"seed {seed}: min_p={result.min_p} is not minimal "
+            f"(deadlocks at p={wrong})\n{source}"
+        )
+        if result.min_p in deadlocks:
+            assert deadlocks[result.min_p], (
+                f"seed {seed}: reported min_p={result.min_p} "
+                f"does not deadlock\n{source}"
+            )
+        # The witness is replayable evidence, not just a claim.
+        assert result.witness is not None
+        outcome = replay_witness([fn] * result.min_p, result.witness)
+        assert outcome.confirmed, (
+            f"seed {seed}: witness did not replay at p={result.min_p}"
+        )
+    else:
+        _coverage["unknown"] += 1
+        # No all-p claim, but the swept sizes were asserted clean.
+        wrong = [
+            p for p in result.sizes_checked
+            if p in deadlocks and deadlocks[p]
+        ]
+        assert not wrong, (
+            f"seed {seed}: UNKNOWN sweep missed deadlocks at "
+            f"p={wrong}\n{source}"
+        )
+
+
+def test_zz_both_verdicts_were_exercised():
+    """Coverage floor: the templates must reach both outcomes."""
+    assert _coverage["proved"] >= 10, _coverage
+    assert _coverage["refuted"] >= 10, _coverage
+
+
+def test_a_wildcard_program_is_never_proved():
+    source = (
+        "from repro.mpi.constants import ANY_SOURCE\n\n\n"
+        "def storm(rank):\n"
+        "    yield rank.recv(source=ANY_SOURCE, tag=0)\n"
+        "    yield rank.finalize()\n"
+    )
+    result = prove_source(source, "storm.py")[0]
+    assert result.verdict is ProveVerdict.UNDECIDABLE
+    assert not result.is_proved

@@ -1,0 +1,135 @@
+"""The affine domain's arithmetic must match concrete Python semantics.
+
+Everything the prover and classifier conclude rests on
+:mod:`repro.analysis.symbolic.sexpr` agreeing with what the interpreter
+would compute — including the sharp edges: Python's floored division
+and always-non-negative ``%`` on negative operands, and the honesty of
+``UNKNOWN`` on symbolic denominators (``x % rank``, ``x // size``) that
+have no affine closed form.
+
+Random affine terms are built alongside a concrete Python oracle
+function; ``evaluate``/``mod``/``floordiv`` round-trip against the
+oracle for every rank at process counts across ``p in 2..64``.
+"""
+import random
+
+import pytest
+
+from repro.analysis.symbolic import sexpr
+from repro.analysis.symbolic.sexpr import RANK, SIZE, UNKNOWN, const
+
+SEEDS = range(40)
+SIZES = (2, 3, 4, 5, 7, 8, 13, 16, 25, 33, 48, 64)
+
+
+# ----------------------------------------------------------------------
+# Random affine terms with a parallel concrete oracle
+# ----------------------------------------------------------------------
+
+def _random_term(rng, depth=0):
+    """A random affine expression and its concrete Python oracle."""
+    roll = rng.random()
+    if depth >= 3 or roll < 0.3:
+        choice = rng.randrange(3)
+        if choice == 0:
+            k = rng.randint(-9, 9)  # negative constants included
+            return const(k), (lambda rank, size, k=k: k)
+        if choice == 1:
+            return RANK, (lambda rank, size: rank)
+        return SIZE, (lambda rank, size: size)
+    a, fa = _random_term(rng, depth + 1)
+    op = rng.randrange(4)
+    if op == 0:
+        b, fb = _random_term(rng, depth + 1)
+        return sexpr.add(a, b), (
+            lambda rank, size: fa(rank, size) + fb(rank, size)
+        )
+    if op == 1:
+        b, fb = _random_term(rng, depth + 1)
+        return sexpr.sub(a, b), (
+            lambda rank, size: fa(rank, size) - fb(rank, size)
+        )
+    if op == 2:
+        return sexpr.neg(a), (lambda rank, size: -fa(rank, size))
+    k = rng.randint(-4, 4)
+    return sexpr.mul(const(k), a), (
+        lambda rank, size, k=k: k * fa(rank, size)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_affine_evaluate_matches_the_concrete_oracle(seed):
+    rng = random.Random(seed)
+    term, oracle = _random_term(rng)
+    assert term is not UNKNOWN  # the builder stays inside the domain
+    for size in SIZES:
+        for rank in range(0, size, max(1, size // 7)):
+            assert term.evaluate(rank, size) == oracle(rank, size)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mod_size_matches_python_modulo_on_negative_operands(seed):
+    """``(...) % size`` round-trips, wrap-around and all."""
+    rng = random.Random(seed)
+    term, oracle = _random_term(rng)
+    modded = sexpr.mod(term, SIZE)
+    assert modded is not UNKNOWN
+    for size in SIZES:
+        for rank in range(0, size, max(1, size // 7)):
+            # Python's % is non-negative for a positive modulus even
+            # when the left operand is negative — neighbour math like
+            # (rank - 1) % size depends on exactly this.
+            assert modded.evaluate(rank, size) == (
+                oracle(rank, size) % size
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_const_mod_and_floordiv_match_python(seed):
+    rng = random.Random(seed)
+    a = rng.randint(-50, 50)
+    b = rng.choice([x for x in range(-12, 13) if x != 0])
+    got_mod = sexpr.mod(const(a), const(b))
+    got_div = sexpr.floordiv(const(a), const(b))
+    # Python semantics: floored division, remainder with the sign of
+    # the divisor. (-7) // 2 == -4 and (-7) % 2 == 1.
+    assert got_mod.const_value == a % b
+    assert got_div.const_value == a // b
+    # The pair still satisfies the division identity.
+    assert got_div.const_value * b + got_mod.const_value == a
+
+
+def test_symbolic_denominators_are_honestly_unknown():
+    """No closed form ⇒ UNKNOWN, never a wrong affine."""
+    expr = sexpr.add(RANK, const(3))
+    assert sexpr.mod(expr, RANK) is UNKNOWN
+    assert sexpr.mod(expr, sexpr.add(SIZE, const(1))) is UNKNOWN
+    assert sexpr.floordiv(expr, SIZE) is UNKNOWN
+    assert sexpr.floordiv(expr, RANK) is UNKNOWN
+    assert sexpr.floordiv(const(10), sexpr.add(RANK, const(1))) is UNKNOWN
+
+
+def test_division_by_zero_is_unknown_not_a_crash():
+    assert sexpr.mod(const(7), const(0)) is UNKNOWN
+    assert sexpr.floordiv(const(7), const(0)) is UNKNOWN
+
+
+def test_arithmetic_on_modded_values_is_unknown():
+    """``mod_size`` marks the outermost op; nesting leaves the domain."""
+    wrapped = sexpr.mod(sexpr.add(RANK, const(1)), SIZE)
+    assert sexpr.neg(wrapped) is UNKNOWN
+    assert sexpr.mul(const(2), wrapped) is UNKNOWN
+    assert sexpr.mod(wrapped, SIZE) is UNKNOWN
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_mod_size_idempotence_against_double_wrap(seed):
+    """``(x % size) % size == x % size`` concretely at every p."""
+    rng = random.Random(seed)
+    term, oracle = _random_term(rng)
+    modded = sexpr.mod(term, SIZE)
+    for size in SIZES:
+        for rank in (0, 1, size - 1):
+            value = modded.evaluate(rank, size)
+            assert 0 <= value < size
+            assert value % size == value

@@ -1,0 +1,274 @@
+"""The parameterized prover: verdicts, minimal counterexamples,
+certificates, and the soundness gates.
+
+Each test pins one leg of the ``repro prove`` contract:
+
+* ``PROVED-ALL-P`` only on admitted, channel-analyzed, sweep-clean
+  programs — with a certificate recording what the claim rests on;
+* ``REFUTED`` carries the *minimal* failing ``p`` and a witness that
+  replays to a real runtime deadlock;
+* channel residues predict p-dependent counterexamples before the
+  sweep confirms them (``predicted``);
+* wildcard programs are never proved (and never "falsified" by the
+  linear matcher, which has no authority over them);
+* programs outside the uniform-affine certificate fragment fall to
+  ``UNKNOWN`` after the falsifier sweeps the default window anyway.
+"""
+import pytest
+
+from repro.analysis.symbolic import (
+    ProveVerdict,
+    admit_terms,
+    analyze_channels,
+    prove_source,
+    summarize_source,
+)
+from repro.analysis.symbolic.paramatch import (
+    ALWAYS_MATCHED,
+    DEFAULT_WINDOW_HI,
+)
+from repro.analysis.symbolic.solver import MIN_SIZE
+from repro.analysis.witness import replay_witness
+from repro.obs.metrics import MetricsRegistry
+
+PARITY = '''
+def parity_exchange(rank):
+    right = (rank.rank + 1) % rank.size
+    left = (rank.rank - 1) % rank.size
+    if rank.rank % 2 == 0:
+        yield rank.send(dest=right, tag=0)
+        yield rank.recv(source=left, tag=0)
+    else:
+        yield rank.recv(source=left, tag=0)
+        yield rank.send(dest=right, tag=0)
+    yield rank.allreduce(nbytes=8)
+    yield rank.finalize()
+'''
+
+# Deadlocks exactly when the size guard flips the parity split into an
+# all-send-first ring: p = 6 is the minimal failing count.
+GUARDED_RING = '''
+def guarded_ring(rank):
+    nxt = (rank.rank + 1) % rank.size
+    prv = (rank.rank - 1) % rank.size
+    if rank.size >= 6:
+        yield rank.send(dest=nxt, tag=0)
+        yield rank.recv(source=prv, tag=0)
+    else:
+        if rank.rank % 2 == 0:
+            yield rank.send(dest=nxt, tag=0)
+            yield rank.recv(source=prv, tag=0)
+        else:
+            yield rank.recv(source=prv, tag=0)
+            yield rank.send(dest=nxt, tag=0)
+    yield rank.finalize()
+'''
+
+# Rank 0 always expects a message from the last rank, but the last
+# rank only sends when it is odd — i.e. when the size is even. Odd
+# sizes leave the receive unmatched: a p-dependent channel whose
+# residue class predicts the counterexample before the sweep runs.
+LAST_ODD = '''
+def last_odd_sender(rank):
+    if rank.rank == 0:
+        yield rank.recv(source=rank.size - 1, tag=0)
+    if rank.rank == rank.size - 1:
+        if rank.rank % 2 == 1:
+            yield rank.send(dest=0, tag=0)
+    yield rank.finalize()
+'''
+
+WILDCARD = '''
+from repro.mpi.constants import ANY_SOURCE
+
+
+def storm(rank):
+    yield rank.recv(source=ANY_SOURCE, tag=0)
+    yield rank.finalize()
+'''
+
+# The coefficient-2 peer expression leaves the uniform-affine
+# certificate fragment even though the guard keeps it dead code.
+NONUNIFORM = '''
+def nonuniform_guarded(rank):
+    if rank.rank == rank.size:
+        yield rank.send(dest=(2 * rank.rank) % rank.size, tag=0)
+    yield rank.allreduce(nbytes=8)
+    yield rank.finalize()
+'''
+
+
+def _prove_one(source, name="prog.py", metrics=None):
+    results = prove_source(source, name, metrics=metrics)
+    assert len(results) == 1
+    return results[0]
+
+
+def _materialize(source, name):
+    """The actual generator function, for witness replay."""
+    namespace = {}
+    exec(compile(source, name, "exec"), namespace)
+    fns = [v for v in namespace.values() if callable(v)]
+    assert len(fns) == 1
+    return fns[0]
+
+
+# ----------------------------------------------------------------------
+# PROVED-ALL-P
+# ----------------------------------------------------------------------
+
+def test_parity_exchange_is_proved_for_all_p():
+    result = _prove_one(PARITY)
+    assert result.verdict is ProveVerdict.PROVED_ALL_P
+    assert result.is_proved
+    assert result.min_p is None and result.witness is None
+    cert = result.certificate
+    assert cert is not None
+    # The rank % 2 split makes the period 2; the whole window was
+    # confirmed directly, not extrapolated.
+    assert cert.modulus_lcm == 2
+    assert result.sizes_checked == tuple(range(MIN_SIZE, cert.window_hi))
+    assert all(
+        ch.classification == ALWAYS_MATCHED
+        for ch in cert.channels.channels
+    )
+    # The classification carries the proof for downstream layers.
+    assert result.classification is not None
+    assert result.classification.proved_all_p
+
+
+def test_proved_json_has_the_certificate():
+    doc = _prove_one(PARITY).to_json_dict()
+    assert doc["verdict"] == "PROVED-ALL-P"
+    assert doc["min_p"] is None
+    cert = doc["certificate"]
+    assert cert["window"][0] == MIN_SIZE
+    assert cert["modulus_lcm"] == 2
+    assert all(
+        ch["classification"] == ALWAYS_MATCHED for ch in cert["channels"]
+    )
+
+
+# ----------------------------------------------------------------------
+# REFUTED: minimal p + replaying witness
+# ----------------------------------------------------------------------
+
+def test_refuted_reports_the_minimal_failing_p():
+    result = _prove_one(GUARDED_RING, "guarded.py")
+    assert result.verdict is ProveVerdict.REFUTED
+    assert result.min_p == 6
+    # Every smaller size was confirmed clean on the way up.
+    assert result.sizes_checked == (2, 3, 4, 5, 6)
+    assert result.deadlocked == (0, 1, 2, 3, 4, 5)
+    assert result.witness is not None
+    assert result.certificate is None
+
+
+def test_refuted_witness_replays_at_min_p():
+    result = _prove_one(GUARDED_RING, "guarded.py")
+    fn = _materialize(GUARDED_RING, "guarded.py")
+    outcome = replay_witness([fn] * result.min_p, result.witness)
+    assert outcome.confirmed
+    assert outcome.cycles_match
+
+
+def test_channel_residues_predict_the_counterexample():
+    result = _prove_one(LAST_ODD, "lastodd.py")
+    assert result.verdict is ProveVerdict.REFUTED
+    assert result.min_p == 3  # smallest odd size >= 2 with no sender
+    assert result.predicted  # the residue class called it first
+
+
+def test_ordering_deadlocks_are_not_channel_predicted():
+    # The guarded ring keeps every (src, dst) count balanced: the
+    # deadlock is an ordering problem the count-based channel solver
+    # cannot see. Only the sweep finds it — predicted stays False.
+    result = _prove_one(GUARDED_RING, "guarded.py")
+    assert result.verdict is ProveVerdict.REFUTED
+    assert not result.predicted
+
+
+# ----------------------------------------------------------------------
+# Soundness gates
+# ----------------------------------------------------------------------
+
+def test_wildcard_programs_are_never_proved():
+    result = _prove_one(WILDCARD, "storm.py")
+    assert result.verdict is ProveVerdict.UNDECIDABLE
+    assert not result.is_proved
+    # No falsification either: the linear matcher has no authority
+    # over wildcard programs, so the sweep never ran.
+    assert result.sizes_checked == ()
+    assert result.min_p is None
+
+
+def test_unadmitted_programs_fall_to_unknown_after_a_clean_sweep():
+    result = _prove_one(NONUNIFORM, "nonuni.py")
+    assert result.verdict is ProveVerdict.UNKNOWN
+    assert "non-uniform affine term" in result.reason
+    # "Falsify anywhere": the default window was still swept clean.
+    assert result.sizes_checked == tuple(
+        range(MIN_SIZE, DEFAULT_WINDOW_HI)
+    )
+    assert result.certificate is None
+
+
+# ----------------------------------------------------------------------
+# Admission + channel analysis internals
+# ----------------------------------------------------------------------
+
+def _summary(source, name="prog.py"):
+    summaries = summarize_source(source, name)
+    assert len(summaries) == 1
+    return summaries[0]
+
+
+def test_admission_accepts_the_uniform_affine_fragment():
+    admission = admit_terms(_summary(PARITY).terms)
+    assert admission.admitted
+    assert admission.modulus_lcm == 2
+    assert admission.sizes == tuple(range(MIN_SIZE, admission.window_hi))
+    assert admission.window_hi >= admission.threshold
+
+
+def test_admission_rejects_nonuniform_coefficients():
+    admission = admit_terms(_summary(NONUNIFORM).terms)
+    assert not admission.admitted
+    assert "non-uniform affine term" in admission.reason
+
+
+def test_channel_analysis_classifies_every_site():
+    summary = _summary(PARITY)
+    admission = admit_terms(summary.terms)
+    analysis = analyze_channels(summary.terms, admission)
+    assert analysis.channels
+    assert analysis.count(ALWAYS_MATCHED) == len(analysis.channels)
+    assert analysis.candidate_sizes == ()
+
+
+def test_p_dependent_channels_yield_candidate_sizes():
+    summary = _summary(LAST_ODD, "lastodd.py")
+    admission = admit_terms(summary.terms)
+    analysis = analyze_channels(summary.terms, admission)
+    candidates = analysis.candidate_sizes
+    assert candidates  # residues produced concrete suspect sizes
+    assert 3 in candidates  # including the true minimal one
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def test_prove_counters_flow_into_the_registry():
+    metrics = MetricsRegistry()
+    _prove_one(PARITY, metrics=metrics)
+    _prove_one(GUARDED_RING, "guarded.py", metrics=metrics)
+    _prove_one(WILDCARD, "storm.py", metrics=metrics)
+    counters = metrics.snapshot()["counters"]
+    assert counters["prove.runs"] == 3
+    assert counters["prove.proved"] == 1
+    assert counters["prove.refuted"] == 1
+    assert counters["prove.undecidable"] == 1
+    assert counters["prove.sizes_checked"] > 0
+    assert counters["prove.linear_ops"] > 0
+    assert counters["prove.channels.always"] > 0

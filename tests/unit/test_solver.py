@@ -1,0 +1,181 @@
+"""The affine size-set solver behind ``repro prove``.
+
+SizeSet is the prover's answer type: an eventually-periodic set of
+process counts. The tests pin the three things the soundness argument
+leans on: ``from_predicate`` builds *exact* sets (and refuses
+non-periodic input instead of extrapolating), the set algebra is closed
+under re-alignment, and System's quantified services agree with brute
+force over the sampled range.
+"""
+import pytest
+
+from repro.analysis.symbolic import sexpr
+from repro.analysis.symbolic.sexpr import Cond
+from repro.analysis.symbolic.solver import (
+    MIN_SIZE,
+    PeriodicityError,
+    SizeSet,
+    System,
+    suggest_bounds,
+)
+
+
+# ----------------------------------------------------------------------
+# SizeSet construction
+# ----------------------------------------------------------------------
+
+def test_empty_and_all():
+    assert SizeSet.empty().is_empty()
+    assert not SizeSet.empty().contains(7)
+    assert SizeSet.all_sizes().is_all()
+    assert 2 in SizeSet.all_sizes()
+    assert 1 not in SizeSet.all_sizes()  # sizes start at MIN_SIZE
+    assert SizeSet.empty().min_value() is None
+    assert SizeSet.all_sizes().min_value() == MIN_SIZE
+
+
+def test_from_predicate_is_exact_on_the_sampled_range():
+    even = SizeSet.from_predicate(lambda s: s % 2 == 0, 6, 2)
+    for s in range(MIN_SIZE, 40):
+        assert (s in even) == (s % 2 == 0)
+    assert even.min_value() == 2
+    assert even.sample(3) == [2, 4, 6]
+
+
+def test_from_predicate_eventually_periodic_with_irregular_prefix():
+    # True only at 3 below the threshold, then at odd sizes above it.
+    pred = lambda s: s == 3 if s < 10 else s % 2 == 1
+    got = SizeSet.from_predicate(pred, 10, 2)
+    assert got.explicit == frozenset({3})
+    for s in range(2, 30):
+        assert (s in got) == pred(s)
+
+
+def test_from_predicate_refuses_nonperiodic_input():
+    # Powers of two are not eventually periodic; the claimed period
+    # must fail verification rather than silently extrapolate.
+    with pytest.raises(PeriodicityError) as err:
+        SizeSet.from_predicate(
+            lambda s: (s & (s - 1)) == 0, 4, 2
+        )
+    assert err.value.size >= 4
+
+
+def test_threshold_and_period_floors():
+    got = SizeSet.from_predicate(lambda s: True, 0, 0)
+    assert got.threshold == MIN_SIZE
+    assert got.period == 1
+    assert got.is_all()
+
+
+# ----------------------------------------------------------------------
+# Set algebra
+# ----------------------------------------------------------------------
+
+def _brute(sizeset, hi=60):
+    return {s for s in range(MIN_SIZE, hi) if s in sizeset}
+
+
+def test_algebra_matches_brute_force_under_realignment():
+    even = SizeSet.from_predicate(lambda s: s % 2 == 0, 4, 2)
+    third = SizeSet.from_predicate(lambda s: s % 3 == 0, 8, 3)
+    assert _brute(even.union(third)) == _brute(even) | _brute(third)
+    assert _brute(even.intersect(third)) == _brute(even) & _brute(third)
+    assert _brute(even.difference(third)) == _brute(even) - _brute(third)
+    assert _brute(even.complement()) == (
+        set(range(MIN_SIZE, 60)) - _brute(even)
+    )
+
+
+def test_semantic_equality_ignores_representation():
+    a = SizeSet.from_predicate(lambda s: s % 2 == 0, 4, 2)
+    b = SizeSet.from_predicate(lambda s: s % 2 == 0, 10, 4)
+    assert a != b  # different frames
+    assert a.semantically_equal(b)
+    assert not a.semantically_equal(a.complement())
+
+
+def test_complement_involution():
+    odd = SizeSet.from_predicate(lambda s: s % 2 == 1, 6, 2)
+    assert odd.complement().complement().semantically_equal(odd)
+    assert odd.union(odd.complement()).is_all()
+    assert odd.intersect(odd.complement()).is_empty()
+
+
+def test_min_value_in_the_periodic_tail():
+    # No explicit members; the first member sits above the threshold.
+    tail = SizeSet(10, 4, frozenset(), frozenset({3}))
+    assert tail.min_value() == 11
+    assert 11 in tail and 15 in tail and 12 not in tail
+
+
+def test_render_is_human_readable():
+    assert SizeSet.empty().render() == "no p"
+    assert SizeSet.all_sizes().render() == "all p >= 2"
+    finite = SizeSet(6, 1, frozenset({2, 4}), frozenset())
+    assert finite.render() == "p in {2, 4}"
+    periodic = SizeSet(10, 2, frozenset(), frozenset({0}))
+    assert periodic.render() == "p % 2 in {0} for p >= 10"
+
+
+# ----------------------------------------------------------------------
+# System: satisfiability, projection, implication
+# ----------------------------------------------------------------------
+
+def _cond(lhs, op, rhs, lhs_mod=None):
+    return Cond(lhs=lhs, op=op, rhs=rhs, lhs_mod=lhs_mod)
+
+
+def test_project_sizes_existential_rank():
+    # "some rank is odd" — true exactly when size >= 2 (rank 1 exists).
+    system = System(
+        (_cond(sexpr.RANK, "==", sexpr.const(1), lhs_mod=2),)
+    )
+    got = system.project_sizes(6, 2)
+    assert got.is_all()
+    assert system.satisfiable(6, 2)
+
+
+def test_unsatisfiable_system():
+    # rank == size: ranks live in [0, size), so this never holds.
+    system = System((_cond(sexpr.RANK, "==", sexpr.SIZE),))
+    assert not system.satisfiable(6, 1)
+    assert system.project_sizes(6, 1).is_empty()
+
+
+def test_projection_yields_residue_classes():
+    # rank == size - 1 and rank odd: the last rank is odd iff size
+    # is even.
+    system = System(
+        (
+            _cond(sexpr.RANK, "==", sexpr.add(sexpr.SIZE, sexpr.const(-1))),
+            _cond(sexpr.RANK, "==", sexpr.const(1), lhs_mod=2),
+        )
+    )
+    got = system.project_sizes(8, 2)
+    for s in range(MIN_SIZE, 30):
+        assert (s in got) == (s % 2 == 0)
+
+
+def test_implication_universal():
+    # rank % 4 == 0  ⇒  rank % 2 == 0, at every size.
+    system = System(
+        (_cond(sexpr.RANK, "==", sexpr.const(0), lhs_mod=4),)
+    )
+    assert system.implies(
+        _cond(sexpr.RANK, "==", sexpr.const(0), lhs_mod=2), 8, 4
+    )
+    assert not system.implies(
+        _cond(sexpr.RANK, "==", sexpr.const(1), lhs_mod=2), 8, 4
+    )
+
+
+def test_suggest_bounds_covers_offsets_and_moduli():
+    affines = (sexpr.add(sexpr.RANK, sexpr.const(3)),)
+    threshold, period = suggest_bounds(affines, moduli=(2, 3))
+    assert threshold >= MIN_SIZE + 2 * 3
+    assert period == 6
+    # Defaults: no offsets, no moduli.
+    threshold, period = suggest_bounds(())
+    assert threshold >= MIN_SIZE
+    assert period == 1
