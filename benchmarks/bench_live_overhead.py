@@ -1,0 +1,164 @@
+"""Live health telemetry overhead at the tentpole's claim scale.
+
+``LiveMonitor`` hangs snapshot ticks off the engine's scheduler loop
+(every ``live_every_steps`` steps) and off the sharded coordinator's
+exchange round (every ``live_every_rounds`` rounds), grades each
+window through the health rules, and keeps the documents in memory.
+That whole path — sampling, health evaluation, snapshot assembly —
+must hold the observability layer's <5% bound *on top of what an
+observed run already costs*, at the claim scale p=256, s=8:
+
+* **base** — observability on, no live monitor: exactly the PR 5+7
+  observed configuration;
+* **live** — the same run with a ``LiveMonitor`` attached to both the
+  engine and the sharded backend (default cadences, in-memory feed).
+
+Scored on the per-run critical path: engine ``process_time`` around
+``run_programs`` (where the per-step tick check lives) plus the
+backend's **modeled latency** (``coordinator_busy + max(shard busy)``
+— robust to CI machines with fewer free cores than shards).
+
+Methodology matches ``bench_obs_sharded_overhead``: CI drift exceeds
+the effect under test, so each round runs base and live *adjacently*
+(order alternating) for a paired ratio, and the scored statistic is
+the smaller of the paired-ratio median and the quiet-floor min/min —
+a real regression moves both, noise moves one. GC parked throughout.
+"""
+import gc
+import statistics
+import time
+
+from repro.backend.sharded import ShardedBackend
+from repro.mpi.blocking import BlockingSemantics
+from repro.obs.live import LiveMonitor
+from repro.obs.observer import Observer
+from repro.runtime import run_programs
+from repro.workloads import stress_programs
+
+from _util import fmt_table, write_result
+
+#: The tentpole's claim scale: 256 processes across 8 shard workers.
+CLAIM_PROCS = 256
+CLAIM_SHARDS = 8
+#: Paired base/live rounds (each round is one adjacent pair).
+ROUNDS = 20
+#: The observability parity bound (fractional) the live-telemetry
+#: layer must hold over an observed-but-unmonitored run.
+PARITY_BOUND = 0.05
+#: Default snapshot cadences (mirror AnalysisConfig defaults).
+EVERY_STEPS = 2048
+EVERY_ROUNDS = 8
+
+
+def _run_once(live_on: bool):
+    observer = Observer()
+    monitor = (
+        LiveMonitor(
+            observer=observer,
+            every_steps=EVERY_STEPS,
+            every_rounds=EVERY_ROUNDS,
+        )
+        if live_on
+        else None
+    )
+    t0 = time.process_time()
+    res = run_programs(
+        stress_programs(CLAIM_PROCS, iterations=20),
+        semantics=BlockingSemantics.relaxed(),
+        seed=1,
+        observer=observer,
+        live=monitor,
+    )
+    engine_s = time.process_time() - t0
+    backend = ShardedBackend(shards=CLAIM_SHARDS)
+    outcome = backend.run(
+        res.matched, generate_outputs=False, observer=observer,
+        live=monitor,
+    )
+    assert not outcome.has_deadlock
+    if monitor is not None:
+        verdict = monitor.finalize(run=res, outcome=outcome)
+        assert verdict.state == "PROGRESSING"
+        assert monitor.snapshots  # the ticks actually fired
+    return engine_s + backend.last_timing["modeled_latency_seconds"]
+
+
+def main() -> int:
+    samples = {"base": [], "live": []}
+    ratios = []
+    _run_once(True)  # warm worker spawn + import paths off the clock
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(ROUNDS):
+            order = ["base", "live"] if i % 2 == 0 else ["live", "base"]
+            round_vals = {}
+            for name in order:
+                round_vals[name] = _run_once(name == "live")
+                samples[name].append(round_vals[name])
+            ratios.append(round_vals["live"] / round_vals["base"])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    medians = {
+        name: statistics.median(vals) for name, vals in samples.items()
+    }
+    ratio_pairs = statistics.median(ratios)
+    ratio_floor = min(samples["live"]) / min(samples["base"])
+    ratio = min(ratio_pairs, ratio_floor)
+    lines = fmt_table(
+        ["variant", "median score ms", "min score ms"],
+        [
+            [
+                name,
+                f"{medians[name] * 1e3:.3f}",
+                f"{min(samples[name]) * 1e3:.3f}",
+            ]
+            for name in samples
+        ],
+    )
+    lines.append("")
+    lines.append(
+        f"live-telemetry overhead at p={CLAIM_PROCS}, "
+        f"s={CLAIM_SHARDS} (every {EVERY_STEPS} steps / "
+        f"{EVERY_ROUNDS} rounds): {ratio:.3f}x "
+        f"(paired-median {ratio_pairs:.3f}x over {ROUNDS} adjacent "
+        f"pairs, quiet-floor {ratio_floor:.3f}x; bound: "
+        f"{1.0 + PARITY_BOUND:.2f}x on engine cpu + modeled latency)"
+    )
+    write_result(
+        "live_overhead",
+        lines,
+        data={
+            "workload": "stress",
+            "iterations": 20,
+            "rounds": ROUNDS,
+            "every_steps": EVERY_STEPS,
+            "every_rounds": EVERY_ROUNDS,
+            "parity_bound": PARITY_BOUND,
+            "median_score_s": medians,
+            "paired_ratios": ratios,
+            "ratio_pairs": ratio_pairs,
+            "ratio_floor": ratio_floor,
+            "claim": {
+                "p": CLAIM_PROCS,
+                "shards": CLAIM_SHARDS,
+                "base_s": medians["base"],
+                "live_s": medians["live"],
+                "ratio": ratio,
+            },
+        },
+    )
+    if ratio >= 1.0 + PARITY_BOUND:
+        print(
+            f"FAIL: live-telemetry overhead {ratio:.3f}x exceeds the "
+            f"{PARITY_BOUND:.0%} parity bound"
+        )
+        return 1
+    print(f"PASS: live-telemetry overhead {ratio:.3f}x < "
+          f"{1.0 + PARITY_BOUND:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

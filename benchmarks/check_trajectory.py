@@ -20,6 +20,9 @@ Gated claims:
   5% parity bound on every measured path;
 * **obs_sharded_overhead** — cross-shard tracing + the BSP round
   profiler stay within the same 5% bound at p=256, s=8;
+* **live_overhead** — the live health-telemetry layer (engine/backend
+  snapshot ticks + health grading) stays within the same 5% bound at
+  p=256, s=8;
 * **por_reduction** — partial-order reduction keeps >= 5x state-count
   reduction on the ping-pong-pairs cell;
 * **prove** — one ``PROVED-ALL-P`` certificate must stay >= 5x
@@ -111,6 +114,21 @@ def _check_obs_sharded_overhead(payload: dict) -> list:
     return []
 
 
+def _check_live_overhead(payload: dict) -> list:
+    claim = payload.get("claim", {})
+    ratio = float(claim.get("ratio", 0.0))
+    bound = 1.0 + OVERHEAD_PARITY_BOUND
+    if not ratio:
+        return ["live_overhead: payload has no claim ratio"]
+    if ratio >= bound:
+        return [
+            f"live_overhead: telemetry overhead {ratio:.3f}x at "
+            f"p={claim.get('p')}, s={claim.get('shards')} exceeds the "
+            f"{bound:.2f}x bound"
+        ]
+    return []
+
+
 def _check_por_reduction(payload: dict) -> list:
     claim = payload.get("claim", {})
     ratio = float(claim.get("ratio", 0.0))
@@ -142,6 +160,7 @@ CHECKS = {
     "classify_fastpath": _check_classify_fastpath,
     "flight_overhead": _check_flight_overhead,
     "obs_sharded_overhead": _check_obs_sharded_overhead,
+    "live_overhead": _check_live_overhead,
     "por_reduction": _check_por_reduction,
     "prove": _check_prove,
 }

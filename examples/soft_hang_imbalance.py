@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""A stalled-but-live run under the live health monitor.
+
+Eight ranks exchange with rank 7 each round, but rank 7 "computes"
+(a long iprobe loop) before servicing anyone — so for most of the run
+seven ranks sit parked in RECV on the same peer. Post-mortem this is
+indistinguishable from the opening of a deadlock; live triage is the
+point: ``repro watch examples/soft_hang_imbalance.py`` streams health
+windows that grade the run SOFT-HANG (suspects: the waiting ranks,
+each attributed to rank 7) and the final verdict — backed by the
+runtime wait-for graph — stays short of DEADLOCK-CONFIRMED, because
+there is no cycle. Exit code 0/1, never 2.
+
+Run:  python examples/soft_hang_imbalance.py
+      python -m repro watch examples/soft_hang_imbalance.py
+"""
+from repro import Session
+from repro.workloads import soft_hang_imbalance_programs
+
+LINT_PROGRAMS = soft_hang_imbalance_programs(8, rounds=3, straggler_ops=96)
+
+
+def main() -> None:
+    session = Session(live=True, live_every_steps=64)
+    session.record(LINT_PROGRAMS)
+    session.analyze()
+    verdict = session.finalize_live()
+    assert verdict is not None
+    soft_windows = sum(
+        1
+        for doc in session.live.snapshots
+        if doc["health"]["state"] == "SOFT-HANG"
+    )
+    print(
+        f"{len(session.live.snapshots)} windows, "
+        f"{soft_windows} graded SOFT-HANG"
+    )
+    print(f"final verdict: {verdict.state}")
+    for reason in verdict.reasons:
+        print(f"  {reason}")
+    assert verdict.state != "DEADLOCK-CONFIRMED"
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,8 @@ from repro.core.detector import DistributedOutcome
 from repro.mpi.blocking import BlockingSemantics
 from repro.mpi.trace import MatchedTrace
 from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
+from repro.obs.health import HealthVerdict
+from repro.obs.live import LiveMonitor
 from repro.obs.observer import Observer, make_observer
 from repro.runtime import RunResult, run_programs as _run_programs
 
@@ -49,7 +51,11 @@ class AnalysisConfig:
     ``jsonl_out`` / ``profile_out`` name export sinks (any implies
     ``observe``), ``trace_limit`` caps recorded events (None = tracer
     default; sharded workers inherit the cap), and ``flight`` keeps
-    the always-on flight recorder.
+    the always-on flight recorder. Live telemetry: ``live`` attaches a
+    :class:`~repro.obs.live.LiveMonitor` (implies ``observe``) with
+    snapshot cadences ``live_every_steps`` (engine) and
+    ``live_every_rounds`` (sharded BSP rounds); ``live_out`` streams
+    the ``repro-live/1`` JSONL feed to a file (implies ``live``).
     """
 
     semantics: Optional[BlockingSemantics] = None
@@ -68,15 +74,23 @@ class AnalysisConfig:
     profile_out: Optional[str] = None
     trace_limit: Optional[int] = None
     flight: bool = True
+    live: bool = False
+    live_every_steps: int = 2048
+    live_every_rounds: int = 8
+    live_out: Optional[str] = None
 
     def replace(self, **changes: Any) -> "AnalysisConfig":
         return dataclasses.replace(self, **changes)
 
     @property
+    def live_wanted(self) -> bool:
+        return bool(self.live or self.live_out)
+
+    @property
     def observability_wanted(self) -> bool:
         return bool(
             self.observe or self.trace_out or self.jsonl_out
-            or self.profile_out
+            or self.profile_out or self.live_wanted
         )
 
     def build_backend(self) -> AnalysisBackend:
@@ -98,6 +112,9 @@ class Session:
     def __init__(
         self, config: Optional[AnalysisConfig] = None, **overrides: Any
     ) -> None:
+        # on_snapshot is a callable, not config state: pulled out before
+        # the (frozen, comparable) config absorbs the overrides.
+        on_snapshot = overrides.pop("on_snapshot", None)
         config = config or AnalysisConfig()
         if overrides:
             config = config.replace(**overrides)
@@ -114,8 +131,20 @@ class Session:
         self.flight: FlightRecorder = (
             FlightRecorder() if config.flight else NULL_FLIGHT_RECORDER
         )
+        self.live: Optional[LiveMonitor] = (
+            LiveMonitor(
+                observer=self.observer,
+                every_steps=config.live_every_steps,
+                every_rounds=config.live_every_rounds,
+                feed_path=config.live_out,
+                on_snapshot=on_snapshot,
+            )
+            if config.live_wanted
+            else None
+        )
         self.last_run: Optional[RunResult] = None
         self.last_outcome: Optional[DistributedOutcome] = None
+        self.last_verdict: Optional[HealthVerdict] = None
         self._exported = False
 
     # -- pipeline stages -------------------------------------------------
@@ -131,6 +160,7 @@ class Session:
             max_steps=self.config.max_steps,
             observer=self.observer,
             flight=self.flight,
+            live=self.live,
         )
         self.last_run = result
         return result
@@ -159,6 +189,7 @@ class Session:
             flight=self.flight,
             detect_at=self.config.detect_at,
             detect_at_end=self.config.detect_at_end,
+            live=self.live,
         )
         self.last_outcome = outcome
         return outcome
@@ -215,11 +246,27 @@ class Session:
     def metrics_snapshot(self) -> dict:
         return self.observer.metrics.snapshot()
 
+    def finalize_live(self) -> Optional[HealthVerdict]:
+        """Close the live feed with the terminal health verdict.
+
+        ``DEADLOCK-CONFIRMED`` can only come out of here — it requires
+        the detector outcome's wait-for graph. Idempotent; returns None
+        when the session has no live monitor.
+        """
+        if self.live is None:
+            return None
+        verdict = self.live.finalize(
+            run=self.last_run, outcome=self.last_outcome
+        )
+        self.last_verdict = verdict
+        return verdict
+
     def export(self) -> None:
         """Write the configured observability sinks (idempotent)."""
         if self._exported or not self.observer.enabled:
             return
         self._exported = True
+        self.finalize_live()
         profile = getattr(self.backend, "last_profile", None)
         if self.config.trace_out:
             from repro.obs.exporters import write_chrome_trace

@@ -28,6 +28,7 @@ from repro.core.detector import (
 )
 from repro.mpi.trace import MatchedTrace
 from repro.obs.flight import FlightRecorder
+from repro.obs.live import LiveMonitor
 from repro.obs.observer import Observer
 from repro.tbon.network import LatencyModel
 
@@ -58,6 +59,7 @@ class AnalysisBackend:
         latency_model: Optional[LatencyModel] = None,
         detect_at: Sequence[float] = (),
         detect_at_end: bool = True,
+        live: Optional[LiveMonitor] = None,
     ) -> DistributedOutcome:
         raise NotImplementedError
 
@@ -83,6 +85,7 @@ class InlineBackend(AnalysisBackend):
         latency_model: Optional[LatencyModel] = None,
         detect_at: Sequence[float] = (),
         detect_at_end: bool = True,
+        live: Optional[LiveMonitor] = None,
     ) -> DistributedOutcome:
         detector = DistributedDeadlockDetector(
             matched,
@@ -94,7 +97,16 @@ class InlineBackend(AnalysisBackend):
             observer=observer,
             flight=flight,
         )
-        return detector.run(detect_at=detect_at, detect_at_end=detect_at_end)
+        outcome = detector.run(
+            detect_at=detect_at, detect_at_end=detect_at_end
+        )
+        if live is not None:
+            # The inline backend has no BSP rounds: one snapshot after
+            # the detector run keeps the feed's backend phase populated.
+            live.tick_backend(
+                {"round": 0, "shards": 1, "pending": [], "skew": None}
+            )
+        return outcome
 
 
 def make_backend(

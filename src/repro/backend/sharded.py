@@ -78,11 +78,13 @@ from repro.obs.dist import (
 )
 from repro.obs.events import PID_COORD
 from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
+from repro.obs.live import LiveMonitor
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.prof import (
     ShardRoundProfiler,
     build_profile,
     row_anchor,
+    row_busy_seconds,
     rows_to_records,
     spans_from_records,
 )
@@ -495,11 +497,17 @@ class _ShardedRun:
         flight: FlightRecorder,
         latency_model: Optional[LatencyModel],
         detect_at_end: bool,
+        live: Optional[LiveMonitor] = None,
     ) -> None:
         self.backend = backend
         self.matched = matched
         self.observer = observer
         self.flight = flight
+        self.live = live
+        #: Cumulative per-shard busy seconds folded from streamed
+        #: profiler rows (live skew attribution; empty when the
+        #: distributed tracer is off — skew then reports None).
+        self._live_busy: Dict[int, float] = {}
         self.detect_at_end = detect_at_end
         self.fan_in = fan_in
         self.window_limit = window_limit
@@ -670,6 +678,34 @@ class _ShardedRun:
                     "route_s": self._round_route_s,
                 }
             )
+        live = self.live
+        if live is not None and self.rounds % live.every_rounds == 0:
+            live.tick_backend(self._live_sample())
+
+    def _live_sample(self) -> Dict[str, Any]:
+        """Coordinator-side backend progress for one live window.
+
+        Skew is the slowest shard's cumulative busy time over the mean
+        (from the streamed profiler rows); ``pending`` is the batch
+        depth already routed toward each shard for the next round —
+        the backpressure signal."""
+        busy = self._live_busy
+        skew: Optional[float] = None
+        if busy:
+            values = list(busy.values())
+            mean = sum(values) / len(values)
+            if mean > 0.0:
+                skew = max(values) / mean
+        return {
+            "round": self.rounds,
+            "shards": self.num_shards,
+            "pending": [len(batch) for batch in self.pending],
+            "cross_shard": self.cross_shard,
+            "busy_by_shard": {
+                str(sid): seconds for sid, seconds in sorted(busy.items())
+            },
+            "skew": skew,
+        }
 
     def _absorb_obs(self, shard_id: int, frame: Dict[str, Any]) -> None:
         """Fold one worker obs frame: merger (events, clock anchors,
@@ -681,6 +717,10 @@ class _ShardedRun:
         rows = frame.get("rows") or ()
         if rows:
             self.round_rows.setdefault(shard_id, []).extend(rows)
+            if self.live is not None:
+                self._live_busy[shard_id] = self._live_busy.get(
+                    shard_id, 0.0
+                ) + sum(row_busy_seconds(row) for row in rows)
 
     def _route(self, batch: List[_WireEntry]) -> None:
         """Route one worker batch, preserving its (send) order.
@@ -867,6 +907,11 @@ class _ShardedRun:
             self.backend.last_profile = profile
         else:
             self.backend.last_profile = None
+        if self.live is not None:
+            # Terminal backend snapshot: the final round count and the
+            # settled (empty) pending depths reach the feed even when
+            # the run ends between cadence ticks.
+            self.live.tick_backend(self._live_sample())
         return DistributedOutcome(
             topology=self.topology,
             stable_state=tuple(state),
@@ -932,6 +977,7 @@ class ShardedBackend(AnalysisBackend):
         latency_model: Optional[LatencyModel] = None,
         detect_at: Sequence[float] = (),
         detect_at_end: bool = True,
+        live: Optional[LiveMonitor] = None,
     ) -> DistributedOutcome:
         if detect_at:
             raise ValueError(
@@ -949,5 +995,6 @@ class ShardedBackend(AnalysisBackend):
             flight=flight if flight is not None else FlightRecorder(),
             latency_model=latency_model,
             detect_at_end=detect_at_end,
+            live=live,
         )
         return run.execute()

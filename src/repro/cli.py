@@ -43,10 +43,19 @@ Commands
              with ``--obs-trace`` (per-shard round sections, critical-
              shard timeline, codec breakdown; ``--out`` writes the
              ``repro-profile/1`` JSON document);
+``watch``    follow a run's live health feed: a rank-program file or
+             named workload runs under the
+             :class:`~repro.obs.live.LiveMonitor`, streaming health
+             windows (PROGRESSING / SOFT-HANG with suspect ranks /
+             final DEADLOCK-CONFIRMED backed by the runtime WFG) as
+             they are evaluated; a recorded ``repro-live/1`` feed
+             replays as the health timeline; ``--openmetrics FILE``
+             writes the final metrics scrape in OpenMetrics text
+             format;
 ``figures``  print the Figure 9 / Figure 12 model tables.
 
 Named workloads: fig2a, fig2b, fig4, stress, wildcard, lammps,
-gapgeofem, halo2d, persistent-ring.
+gapgeofem, halo2d, persistent-ring, soft-hang, straggler.
 
 Unified output: every subcommand takes ``--out PATH`` and ``--format
 {json,jsonl,html,dot}`` for its primary artifact — the deadlock report
@@ -77,7 +86,9 @@ when root causes were found), an error-severity finding reported
 for ``verify``, no deadlock but at least one program without a
 definite verdict (`bound-exceeded` / skipped) — `bound-exceeded` is
 NOT `deadlock-free` — and, for ``prove``, no refutation but at least
-one program left `UNKNOWN`/`UNDECIDABLE`.
+one program left `UNKNOWN`/`UNDECIDABLE`. ``watch`` maps its final
+health verdict instead: 0 — PROGRESSING, 1 — SOFT-HANG, 2 —
+DEADLOCK-CONFIRMED (live, WFG-backed; usage errors also exit 2).
 """
 from __future__ import annotations
 
@@ -130,6 +141,8 @@ def _workloads() -> Dict[str, Callable[[int], list]]:
         gapgeofem_skeleton_programs,
         halo2d_programs,
         lammps_skeleton_programs,
+        soft_hang_imbalance_programs,
+        straggler_collective_programs,
         stress_programs,
         wildcard_deadlock_programs,
     )
@@ -146,6 +159,8 @@ def _workloads() -> Dict[str, Callable[[int], list]]:
             max(2, int(math.sqrt(p))), max(2, int(math.sqrt(p)))
         ),
         "persistent-ring": _persistent_ring_programs,
+        "soft-hang": soft_hang_imbalance_programs,
+        "straggler": straggler_collective_programs,
     }
 
 
@@ -164,6 +179,7 @@ _FORMATS: Dict[str, Tuple[str, ...]] = {
     "stats": ("json",),
     "blame": ("json",),
     "profile": ("json",),
+    "watch": ("json", "jsonl"),
     "figures": ("json",),
 }
 
@@ -825,9 +841,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.blame import load_events
+    from repro.obs.live import is_live_artifact
     from repro.obs.stats import render_timeline_table
     from repro.obs.timeline import UnifiedTimeline
 
+    if is_live_artifact(args.run):
+        # A repro-live/1 feed is a first-class stats input: render the
+        # health timeline instead of bouncing off the event loader.
+        return _stats_live_feed(args)
     try:
         events, meta = load_events(args.run)
     except (OSError, TraceError) as exc:
@@ -877,6 +898,127 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             },
         )
     return 1 if deadlocked else 0
+
+
+def _stats_live_feed(args: argparse.Namespace) -> int:
+    """``repro stats`` on a ``repro-live/1`` feed: the health timeline."""
+    from repro.obs.live import load_live_feed, render_health_timeline
+
+    try:
+        header, snapshots, final = load_live_feed(args.run)
+    except (OSError, TraceError) as exc:
+        print(f"cannot load run {args.run}: {exc}", file=sys.stderr)
+        return 2
+    ranks = header.get("ranks")
+    print(
+        f"run: repro-live/1 feed, {len(snapshots)} snapshot window(s)"
+        + (f", {ranks} ranks" if ranks else "")
+    )
+    for line in render_health_timeline(snapshots, final):
+        print(line)
+    verdict = (final or {}).get("verdict") or {}
+    out = _out_path(args, "json")
+    if out:
+        _write_json(
+            out,
+            {
+                "format": "repro-stats/1",
+                "live": True,
+                "windows": len(snapshots),
+                "verdict": verdict or None,
+            },
+        )
+    return 1 if verdict.get("state") == "DEADLOCK-CONFIRMED" else 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.api import Session
+    from repro.obs.live import (
+        EXIT_CODE_OF,
+        feed_exit_code,
+        load_live_feed,
+        render_health_table,
+        render_health_timeline,
+    )
+
+    target = args.target
+    if not target.endswith(".py") and target not in _workloads():
+        # Replay mode: a recorded repro-live/1 feed.
+        try:
+            header, snapshots, final = load_live_feed(target)
+        except (OSError, TraceError) as exc:
+            print(f"cannot load live feed {target}: {exc}", file=sys.stderr)
+            return 2
+        for line in render_health_timeline(snapshots, final):
+            print(line)
+        out = _out_path(args, "json")
+        if out:
+            _write_json(
+                out,
+                {
+                    "format": "repro-live/1",
+                    "kind": "summary",
+                    "target": target,
+                    "windows": len(snapshots),
+                    "verdict": (final or {}).get("verdict"),
+                },
+            )
+        return feed_exit_code(final)
+
+    if target.endswith(".py"):
+        from repro.obs.blame import load_programs
+
+        try:
+            programs = load_programs(target, args.ranks)
+        except TraceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        programs = _workloads()[target](args.ranks)
+
+    def on_snapshot(doc: dict) -> None:
+        for line in render_health_table(doc):
+            print(line)
+
+    session = Session(
+        backend=args.backend,
+        shards=args.shards,
+        seed=args.seed,
+        live=True,
+        live_every_steps=args.every,
+        live_every_rounds=args.every_rounds,
+        live_out=_out_path(args, "jsonl"),
+        on_snapshot=on_snapshot,
+    )
+    run = session.record(programs)
+    session.analyze(run)
+    verdict = session.finalize_live()
+    assert verdict is not None and session.live is not None
+    if args.openmetrics:
+        from repro.obs.exporters import write_openmetrics
+
+        write_openmetrics(
+            args.openmetrics,
+            session.metrics_snapshot(),
+            extra_gauges={
+                "health_state": float(verdict.code),
+                "health_windows": float(session.live.health.windows),
+            },
+        )
+        print(f"wrote {args.openmetrics}")
+    out = _out_path(args, "json")
+    if out:
+        _write_json(
+            out,
+            {
+                "format": "repro-live/1",
+                "kind": "summary",
+                "target": target,
+                "windows": len(session.live.snapshots),
+                "verdict": verdict.to_json(),
+            },
+        )
+    return EXIT_CODE_OF.get(verdict.state, 0)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1269,6 +1411,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_flags(blame, "blame")
     blame.set_defaults(func=_cmd_blame)
+
+    watch = sub.add_parser(
+        "watch",
+        help="follow a run's live health feed: PROGRESSING / SOFT-HANG "
+        "/ DEADLOCK-CONFIRMED triage (exit code = verdict)",
+    )
+    watch.add_argument(
+        "target",
+        help="a Python rank-program file (repro lint conventions), a "
+        "named workload, or a recorded repro-live/1 .jsonl feed to "
+        "replay",
+    )
+    watch.add_argument(
+        "-n", "--ranks", type=int, default=8,
+        help="virtual world size for rank-program/workload targets "
+        "(default 8; a module-level LINT_RANKS overrides it)",
+    )
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument(
+        "--every", type=int, default=256, metavar="STEPS",
+        help="engine steps between live snapshots (default 256)",
+    )
+    watch.add_argument(
+        "--every-rounds", type=int, default=8, metavar="N",
+        help="BSP rounds between backend snapshots for --backend "
+        "sharded (default 8)",
+    )
+    watch.add_argument(
+        "--openmetrics", metavar="FILE",
+        help="also write the final metrics snapshot in OpenMetrics "
+        "text exposition format (health verdict as a gauge)",
+    )
+    _add_common_flags(watch, "watch")
+    watch.set_defaults(func=_cmd_watch)
 
     figs = sub.add_parser("figures", help="print the overhead models")
     _add_common_flags(figs, "figures")

@@ -28,7 +28,12 @@ of the reproduction:
   per-shard clocks into one trace;
 * :mod:`repro.obs.prof` — the deterministic BSP round profiler behind
   ``repro profile`` (per-round/per-shard sections, critical-shard
-  attribution, codec accounting, the ``repro-profile/1`` document).
+  attribution, codec accounting, the ``repro-profile/1`` document);
+* :mod:`repro.obs.live` / :mod:`repro.obs.health` — live telemetry:
+  :class:`LiveMonitor` streams ``repro-live/1`` snapshot documents
+  while a run is in flight and :class:`HealthEngine` grades each
+  window PROGRESSING / SOFT-HANG / DEADLOCK-CONFIRMED (the last only
+  ever with the runtime wait-for graph's agreement).
 
 The default backend is :data:`NULL_OBSERVER`: a disabled observer with
 no-op tracer/metrics, so every instrumented hot path costs exactly one
@@ -64,9 +69,11 @@ from repro.obs.events import (
 from repro.obs.exporters import (
     chrome_trace_document,
     load_run,
+    openmetrics_text,
     read_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_openmetrics,
 )
 from repro.obs.flight import (
     NULL_FLIGHT_RECORDER,
@@ -80,12 +87,31 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.health import (
+    DEADLOCK_CONFIRMED,
+    PROGRESSING,
+    SOFT_HANG,
+    VERDICT_CODE,
+    VERDICT_STATES,
+    HealthEngine,
+    HealthVerdict,
+)
+from repro.obs.live import (
+    LIVE_FORMAT,
+    LiveMonitor,
+    feed_exit_code,
+    is_live_artifact,
+    load_live_feed,
+    render_health_table,
+    render_health_timeline,
+)
 from repro.obs.observer import NULL_OBSERVER, Observer, make_observer
 from repro.obs.prof import (
     PROFILE_FORMAT,
     ShardRoundProfiler,
     build_profile,
     render_profile,
+    row_busy_seconds,
 )
 from repro.obs.stats import (
     render_explore_table,
@@ -119,6 +145,21 @@ __all__ = [
     "ShardRoundProfiler",
     "build_profile",
     "render_profile",
+    "row_busy_seconds",
+    "LIVE_FORMAT",
+    "LiveMonitor",
+    "feed_exit_code",
+    "is_live_artifact",
+    "load_live_feed",
+    "render_health_table",
+    "render_health_timeline",
+    "PROGRESSING",
+    "SOFT_HANG",
+    "DEADLOCK_CONFIRMED",
+    "VERDICT_CODE",
+    "VERDICT_STATES",
+    "HealthEngine",
+    "HealthVerdict",
     "Tracer",
     "NullTracer",
     "Counter",
@@ -142,6 +183,8 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "load_run",
+    "openmetrics_text",
+    "write_openmetrics",
     "render_explore_table",
     "render_shard_table",
     "render_summary",

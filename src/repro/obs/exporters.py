@@ -1,4 +1,4 @@
-"""Exporters: JSONL event streams and Chrome ``trace_event`` files.
+"""Exporters: JSONL streams, Chrome ``trace_event`` files, OpenMetrics.
 
 The Chrome exporter writes the *object* form of the trace-event format
 (a top-level dict with ``traceEvents``), which both ``chrome://tracing``
@@ -6,11 +6,19 @@ and Perfetto load directly. Run metadata — workload name, verdict, and
 the full metrics snapshot — rides along under the top-level ``repro``
 key (the format explicitly allows extra keys), so one file is both the
 visual trace and the machine-readable input of ``repro stats``.
+
+:func:`openmetrics_text` renders a metrics snapshot in the OpenMetrics
+/ Prometheus text exposition format (dependency-free): counters get
+the ``_total`` suffix, gauges export value plus high-water mark,
+histogram summaries become OpenMetrics ``summary`` families with
+``quantile`` labels. ``repro watch --openmetrics FILE`` scrapes the
+live monitor through it.
 """
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import re
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.obs.events import (
     TraceEvent,
@@ -76,6 +84,90 @@ def read_jsonl(path: str) -> List[TraceEvent]:
                     f"{path}:{lineno}: malformed event record: {exc}"
                 ) from exc
     return events
+
+
+#: OpenMetrics metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+_OM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Summary quantiles exported from histogram summaries.
+_OM_QUANTILES = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+
+def _om_name(name: str, prefix: str) -> str:
+    """Sanitize a dotted instrument name into an OpenMetrics name."""
+    clean = _OM_INVALID.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return prefix + clean
+
+
+def _om_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def openmetrics_text(
+    snapshot: Mapping[str, Any],
+    *,
+    prefix: str = "repro_",
+    extra_gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """A :meth:`MetricsRegistry.snapshot` in OpenMetrics text format.
+
+    ``extra_gauges`` lets callers append computed gauges (the health
+    engine's verdict code, per-window dwell figures) to the scrape
+    without registering them as instruments.
+    """
+    lines: List[str] = []
+    for name, value in sorted(dict(snapshot.get("counters", {})).items()):
+        om = _om_name(name, prefix)
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {_om_value(value)}")
+    gauges: Dict[str, Any] = dict(snapshot.get("gauges", {}))
+    for name, g in sorted(gauges.items()):
+        om = _om_name(name, prefix)
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {_om_value(g['value'])}")
+        lines.append(f"# TYPE {om}_max gauge")
+        lines.append(f"{om}_max {_om_value(g['max'])}")
+    for name, summary in sorted(
+        dict(snapshot.get("histograms", {})).items()
+    ):
+        om = _om_name(name, prefix)
+        lines.append(f"# TYPE {om} summary")
+        for key, quantile in _OM_QUANTILES:
+            if key in summary:
+                lines.append(
+                    f'{om}{{quantile="{quantile}"}} '
+                    f"{_om_value(summary[key])}"
+                )
+        lines.append(f"{om}_count {_om_value(summary.get('count', 0))}")
+        lines.append(f"{om}_sum {_om_value(summary.get('sum', 0.0))}")
+    for name, value in sorted(dict(extra_gauges or {}).items()):
+        om = _om_name(name, prefix)
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {_om_value(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: str,
+    snapshot: Mapping[str, Any],
+    *,
+    prefix: str = "repro_",
+    extra_gauges: Optional[Mapping[str, float]] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            openmetrics_text(
+                snapshot, prefix=prefix, extra_gauges=extra_gauges
+            )
+        )
 
 
 def load_run(path: str) -> Dict[str, Any]:

@@ -1,0 +1,284 @@
+"""The health engine: rule evaluation over live telemetry snapshots.
+
+:class:`HealthEngine` consumes the snapshot stream a
+:class:`~repro.obs.live.LiveMonitor` produces and emits a three-valued
+verdict per evaluation window:
+
+* ``PROGRESSING`` — every rank made progress recently enough;
+* ``SOFT-HANG`` — at least one rank's dwell since last progress sits
+  above an adaptive percentile of its *own* history (with suspect
+  ranks and imbalance attribution: which peers the suspects wait on,
+  and — at finalization — the :mod:`repro.obs.causal` blame chain);
+* ``DEADLOCK-CONFIRMED`` — emitted by :meth:`finalize` **only** when
+  the runtime wait-for graph (the distributed detector's outcome)
+  reports a deadlock. Live windows never escalate past ``SOFT-HANG``
+  on their own, so a stalled-but-live run is never misreported as
+  deadlocked; the property suite in
+  ``tests/property/test_live_verdicts.py`` pins this lattice.
+
+Secondary rules attach alarm reasons without changing the state on
+their own: shard skew above a threshold, coordinator backpressure
+(pending batch depth), and tracer drop-rate alarms.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+
+#: The verdict lattice, in escalation order.
+PROGRESSING = "PROGRESSING"
+SOFT_HANG = "SOFT-HANG"
+DEADLOCK_CONFIRMED = "DEADLOCK-CONFIRMED"
+
+VERDICT_STATES = (PROGRESSING, SOFT_HANG, DEADLOCK_CONFIRMED)
+
+#: Numeric code per state (exported as an OpenMetrics gauge).
+VERDICT_CODE = {PROGRESSING: 0, SOFT_HANG: 1, DEADLOCK_CONFIRMED: 2}
+
+
+@dataclass
+class HealthVerdict:
+    """One evaluation window's (or the final) health verdict."""
+
+    state: str = PROGRESSING
+    #: Ranks suspected of stalling (SOFT-HANG) or deadlocked
+    #: (DEADLOCK-CONFIRMED: the runtime WFG's deadlocked set).
+    suspects: Tuple[int, ...] = ()
+    #: WFG root-cause ranks; only populated on DEADLOCK-CONFIRMED.
+    roots: Tuple[int, ...] = ()
+    #: Human-readable rule firings for this window.
+    reasons: Tuple[str, ...] = ()
+    #: suspect rank -> the peer it is waiting on (imbalance
+    #: attribution; None when the blocked op has no single peer).
+    waiting_on: Dict[int, Optional[int]] = field(default_factory=dict)
+    #: Blame chain lines (obs/causal.py), final verdicts only.
+    blame_chain: Tuple[str, ...] = ()
+
+    @property
+    def code(self) -> int:
+        return VERDICT_CODE[self.state]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "code": self.code,
+            "suspects": list(self.suspects),
+            "roots": list(self.roots),
+            "reasons": list(self.reasons),
+            "waiting_on": {
+                str(rank): peer for rank, peer in self.waiting_on.items()
+            },
+            "blame_chain": list(self.blame_chain),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "HealthVerdict":
+        return cls(
+            state=str(doc.get("state", PROGRESSING)),
+            suspects=tuple(doc.get("suspects", ())),
+            roots=tuple(doc.get("roots", ())),
+            reasons=tuple(doc.get("reasons", ())),
+            waiting_on={
+                int(rank): peer
+                for rank, peer in dict(doc.get("waiting_on", {})).items()
+            },
+            blame_chain=tuple(doc.get("blame_chain", ())),
+        )
+
+
+class HealthEngine:
+    """Stateful rule evaluation over the live snapshot stream.
+
+    Per-rank stall detection is adaptive: each rank's dwell (engine
+    steps since it last made progress) is judged against a percentile
+    of that rank's *own* dwell history, so a rank that always waits
+    long (a straggler's partner) needs a genuinely unusual wait to
+    become a suspect, while a normally-busy rank trips early. A hard
+    floor keeps tiny histories from alarming on noise.
+    """
+
+    def __init__(
+        self,
+        *,
+        stall_percentile: float = 95.0,
+        stall_factor: float = 4.0,
+        stall_floor_steps: int = 64,
+        min_history: int = 4,
+        skew_threshold: float = 4.0,
+        backpressure_depth: int = 4096,
+        drop_rate_threshold: float = 0.01,
+    ) -> None:
+        self.stall_percentile = stall_percentile
+        self.stall_factor = stall_factor
+        self.stall_floor_steps = stall_floor_steps
+        self.min_history = min_history
+        self.skew_threshold = skew_threshold
+        self.backpressure_depth = backpressure_depth
+        self.drop_rate_threshold = drop_rate_threshold
+        #: Per-rank dwell history (every window's dwell, 0 when the
+        #: rank was runnable/done). Uses the cached-sort histogram so
+        #: the per-tick percentile query stays cheap.
+        self._dwell: Dict[int, Histogram] = {}
+        self._last_dropped = 0
+        self._last_events = 0
+        self.windows = 0
+        self.last_verdict = HealthVerdict()
+
+    # -- per-window evaluation -------------------------------------------
+
+    def evaluate(self, snapshot: Mapping[str, Any]) -> HealthVerdict:
+        """Evaluate one snapshot window. Never returns DEADLOCK —
+        live windows escalate at most to SOFT-HANG; only
+        :meth:`finalize` may confirm a deadlock (with the WFG)."""
+        self.windows += 1
+        reasons: List[str] = []
+        suspects: List[int] = []
+        waiting_on: Dict[int, Optional[int]] = {}
+
+        engine = snapshot.get("engine") or {}
+        dwell_steps: Mapping[Any, Any] = engine.get("dwell_steps") or {}
+        blocked: Mapping[Any, Any] = engine.get("blocked") or {}
+        num_ranks = engine.get("ranks")
+        if num_ranks:
+            dwell_by_rank = {
+                int(rank): float(steps)
+                for rank, steps in dwell_steps.items()
+            }
+            for rank in range(int(num_ranks)):
+                dwell = dwell_by_rank.get(rank, 0.0)
+                hist = self._dwell.get(rank)
+                if hist is None:
+                    hist = self._dwell[rank] = Histogram()
+                threshold = float(self.stall_floor_steps)
+                if hist.count >= self.min_history:
+                    adaptive = (
+                        hist.percentile(self.stall_percentile)
+                        * self.stall_factor
+                    )
+                    threshold = max(threshold, adaptive)
+                if dwell > threshold:
+                    suspects.append(rank)
+                    info = blocked.get(rank) or blocked.get(str(rank)) or {}
+                    waiting_on[rank] = info.get("peer")
+                    reasons.append(
+                        f"rank {rank} stalled {int(dwell)} steps in "
+                        f"{info.get('op', '?')} "
+                        f"(adaptive threshold {threshold:.0f})"
+                    )
+                # Judge first, then observe: a stall must not inflate
+                # its own threshold within the same window.
+                hist.observe(dwell)
+
+        backend = snapshot.get("backend") or {}
+        skew = backend.get("skew")
+        if skew is not None and skew > self.skew_threshold:
+            reasons.append(
+                f"shard skew {skew:.2f}x exceeds "
+                f"{self.skew_threshold:.1f}x (imbalanced shards)"
+            )
+        pending = backend.get("pending") or ()
+        worst = max(pending, default=0)
+        if worst > self.backpressure_depth:
+            reasons.append(
+                f"backpressure: {worst} pending wire messages to one "
+                f"shard (threshold {self.backpressure_depth})"
+            )
+
+        tracer = snapshot.get("tracer") or {}
+        dropped = int(tracer.get("dropped", 0))
+        events = int(tracer.get("events", 0))
+        d_dropped = dropped - self._last_dropped
+        d_events = (events + dropped) - self._last_events
+        if d_dropped > 0 and d_events > 0:
+            rate = d_dropped / d_events
+            if rate > self.drop_rate_threshold:
+                reasons.append(
+                    f"tracer dropping {rate * 100.0:.1f}% of events "
+                    "(raise trace_limit)"
+                )
+        self._last_dropped = dropped
+        self._last_events = events + dropped
+
+        verdict = HealthVerdict(
+            state=SOFT_HANG if suspects else PROGRESSING,
+            suspects=tuple(suspects),
+            reasons=tuple(reasons),
+            waiting_on=waiting_on,
+        )
+        self.last_verdict = verdict
+        return verdict
+
+    # -- finalization -----------------------------------------------------
+
+    def finalize(
+        self,
+        *,
+        run: Optional[Any] = None,
+        outcome: Optional[Any] = None,
+        events: Optional[Sequence[Any]] = None,
+        num_ranks: Optional[int] = None,
+    ) -> HealthVerdict:
+        """The terminal verdict, cross-checked against the runtime WFG.
+
+        ``DEADLOCK-CONFIRMED`` requires ``outcome`` (the distributed
+        detector's :class:`DistributedOutcome`) to report a deadlock —
+        the runtime wait-for graph IS the confirmation. A manifestly
+        hung run without a detector outcome stays ``SOFT-HANG`` with
+        an "awaiting WFG confirmation" reason. ``events`` (wait-state
+        trace events) add the blame chain when available.
+        """
+        if outcome is not None and getattr(outcome, "has_deadlock", False):
+            roots = tuple(outcome.deadlocked)
+            reasons = [
+                "runtime WFG confirms a deadlock cycle rooted at ranks "
+                f"{roots}"
+            ]
+            chain: Tuple[str, ...] = ()
+            if events:
+                from repro.obs.causal import analyze_events
+
+                report = analyze_events(
+                    list(events), num_ranks=num_ranks
+                )
+                chain = tuple(report.chain)
+                if set(report.root_causes) != set(roots) and (
+                    report.root_causes
+                ):
+                    reasons.append(
+                        "note: blame reconstruction roots "
+                        f"{tuple(report.root_causes)} differ"
+                    )
+            verdict = HealthVerdict(
+                state=DEADLOCK_CONFIRMED,
+                suspects=roots,
+                roots=roots,
+                reasons=tuple(reasons),
+                blame_chain=chain,
+            )
+        elif run is not None and getattr(run, "deadlocked", False):
+            hung = getattr(run, "hung", {}) or {}
+            verdict = HealthVerdict(
+                state=SOFT_HANG,
+                suspects=tuple(sorted(hung)),
+                reasons=(
+                    "runtime hung but no detector outcome — awaiting "
+                    "WFG confirmation",
+                ),
+            )
+        elif self.last_verdict.state == SOFT_HANG:
+            verdict = HealthVerdict(
+                state=SOFT_HANG,
+                suspects=self.last_verdict.suspects,
+                reasons=self.last_verdict.reasons
+                + ("run ended with stall suspects outstanding",),
+                waiting_on=dict(self.last_verdict.waiting_on),
+            )
+        else:
+            verdict = HealthVerdict(
+                state=PROGRESSING,
+                reasons=(f"{self.windows} window(s), no rule fired",),
+            )
+        self.last_verdict = verdict
+        return verdict

@@ -44,17 +44,29 @@ class Gauge:
 
 
 class Histogram:
-    """Stores raw observations; percentiles use linear interpolation."""
+    """Stores raw observations; percentiles use linear interpolation.
 
-    __slots__ = ("_values", "_sorted")
+    ``_values`` keeps insertion order (``dump_state`` ships it
+    verbatim); percentile queries read a cached sorted copy that is
+    maintained incrementally for in-order streams and invalidated by
+    an out-of-order ``observe`` — the live snapshot loop calls
+    ``percentile``/``summary`` every tick, so repeated queries must
+    not re-sort the sample set each time.
+    """
+
+    __slots__ = ("_values", "_cache")
 
     def __init__(self) -> None:
         self._values: List[float] = []
-        self._sorted = True
+        self._cache: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
-        if self._values and value < self._values[-1]:
-            self._sorted = False
+        cache = self._cache
+        if cache is not None:
+            if not cache or value >= cache[-1]:
+                cache.append(value)
+            else:
+                self._cache = None
         self._values.append(value)
 
     @property
@@ -66,10 +78,10 @@ class Histogram:
         return sum(self._values)
 
     def _ordered(self) -> List[float]:
-        if not self._sorted:
-            self._values.sort()
-            self._sorted = True
-        return self._values
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = sorted(self._values)
+        return cache
 
     def percentile(self, p: float) -> float:
         """The p-th percentile (0 <= p <= 100), linearly interpolated.

@@ -206,6 +206,17 @@ def row_anchor(row: Sequence[Any]) -> Tuple[int, float]:
     return (row[_R_ROUND], row[_R_START])
 
 
+def row_busy_seconds(row: Sequence[Any]) -> float:
+    """Total busy seconds of one profiler row (all timed sections).
+
+    The live monitor folds streamed rows into per-shard busy totals on
+    the coordinator without materializing the dict records."""
+    return (
+        row[_R_RECV] + row[_R_DECODE] + row[_R_STEP]
+        + row[_R_ENCODE] + row[_R_FLUSH]
+    )
+
+
 def spans_from_records(
     shard_id: int,
     records: Sequence[Mapping[str, Any]],

@@ -33,6 +33,7 @@ from repro.mpi.ops import Operation, OpRef
 from repro.mpi.trace import CollectiveMatch, MatchedTrace, PendingCollective, Trace
 from repro.obs.events import PID_ENGINE
 from repro.obs.flight import FlightRecorder
+from repro.obs.live import LiveMonitor
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.runtime.matchstate import CollectiveWave, MatchState, PendingSend
 from repro.runtime.program import Call, Rank, Status
@@ -83,6 +84,8 @@ class _RankState:
     #: The call the rank is currently blocked in (when parked).
     blocked_call: Optional[Call] = None
     blocked_ref: Optional[OpRef] = None
+    #: Engine step at which the rank parked (live dwell accounting).
+    blocked_at_step: int = 0
 
 
 @dataclass
@@ -127,10 +130,14 @@ class Engine:
         scheduler: Scheduler | None = None,
         wildcard_pinnings: Dict[OpRef, int] | None = None,
         flight: FlightRecorder | None = None,
+        live: LiveMonitor | None = None,
     ) -> None:
         if not programs:
             raise ValueError("need at least one rank program")
         self.obs = observer if observer is not None else NULL_OBSERVER
+        self.live = live
+        if live is not None:
+            live.attach_engine(len(programs))
         # The flight recorder is ON by default: a bounded per-rank ring
         # whose append is O(1); logical step counts serve as timestamps.
         self.flight = flight if flight is not None else FlightRecorder()
@@ -182,6 +189,8 @@ class Engine:
         self._finalize_arrived: Dict[int, OpRef] = {}
         self._finalize_waiters: List[int] = []
         self._runnable: List[int] = list(range(len(programs)))
+        #: canAdvance flips: how often a parked rank became runnable.
+        self._resume_count = 0
 
     # ------------------------------------------------------------------
     # main loop
@@ -190,6 +199,8 @@ class Engine:
     def run(self) -> RunResult:
         steps = 0
         obs = self.obs
+        live = self.live
+        live_every = live.every_steps if live is not None else 0
         run_start = obs.tracer.now_us() if obs.enabled else 0.0
         while self._runnable:
             steps += 1
@@ -202,6 +213,12 @@ class Engine:
                 obs.metrics.gauge("engine.runnable").set(len(self._runnable))
             rank = self.scheduler.pick(self._runnable)
             self._step(rank)
+            if live_every and steps % live_every == 0:
+                live.tick_engine(self._live_sample(steps))
+        if live is not None:
+            # One terminal engine snapshot so short runs (and the final
+            # parked set of a hung one) always reach the feed.
+            live.tick_engine(self._live_sample(steps))
         if obs.enabled:
             obs.metrics.inc("engine.steps", steps)
             obs.tracer.complete(
@@ -249,6 +266,34 @@ class Engine:
             flight=self.flight,
         )
 
+    def _live_sample(self, steps: int) -> Dict[str, object]:
+        """Engine progress for one live snapshot window.
+
+        Dwell is measured in scheduler steps since the rank parked —
+        a logical clock, so the sample is deterministic and cheap (no
+        wall-clock reads on the engine loop)."""
+        dwell_steps: Dict[int, int] = {}
+        blocked: Dict[int, Dict[str, object]] = {}
+        done = 0
+        for rs in self._ranks:
+            if rs.status == _DONE:
+                done += 1
+            elif rs.status == _PARKED and rs.blocked_ref is not None:
+                ref = rs.blocked_ref
+                op = self._seqs[ref[0]][ref[1]]
+                dwell_steps[rs.rank] = steps - rs.blocked_at_step
+                blocked[rs.rank] = {"op": op.kind.name, "peer": op.peer}
+        return {
+            "steps": steps,
+            "ranks": len(self._ranks),
+            "runnable": len(self._runnable),
+            "done": done,
+            "ops_issued": sum(len(s) for s in self._seqs),
+            "resumes": self._resume_count,
+            "dwell_steps": dwell_steps,
+            "blocked": blocked,
+        }
+
     def _step(self, rank: int) -> None:
         rs = self._ranks[rank]
         assert rs.status == _RUNNABLE
@@ -288,6 +333,7 @@ class Engine:
         rs.blocked_call = None
         rs.blocked_ref = None
         rs.status = _RUNNABLE
+        self._resume_count += 1
         self._runnable.append(rank)
 
     def _park(self, rank: int, call: Call, ref: OpRef) -> None:
@@ -295,6 +341,7 @@ class Engine:
         rs.status = _PARKED
         rs.blocked_call = call
         rs.blocked_ref = ref
+        rs.blocked_at_step = self._step_count
         bufs = self._flight_bufs
         if bufs is not None:
             buf = bufs[rank]
@@ -899,6 +946,7 @@ def run_programs(
     scheduler: Scheduler | None = None,
     wildcard_pinnings: Dict[OpRef, int] | None = None,
     flight: FlightRecorder | None = None,
+    live: LiveMonitor | None = None,
 ) -> RunResult:
     """Execute ``programs`` on the virtual runtime and return the result."""
     engine = Engine(
@@ -912,5 +960,6 @@ def run_programs(
         scheduler=scheduler,
         wildcard_pinnings=wildcard_pinnings,
         flight=flight,
+        live=live,
     )
     return engine.run()

@@ -162,6 +162,10 @@ class Network:
             mtype = type(msg).__name__
             self.obs.metrics.inc(f"tbon.sent.{mtype}")
             self.obs.metrics.inc(f"tbon.sent_bytes.{mtype}", size)
+            # Untyped total: the live monitor derives its channel
+            # backlog (sent - delivered) from this pair without
+            # enumerating per-type counters every tick.
+            self.obs.metrics.inc("tbon.sent_total")
 
     def call_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at an absolute simulated time."""
@@ -212,6 +216,7 @@ class Network:
             if self.obs.enabled:
                 mtype = type(event.msg).__name__
                 self.obs.metrics.inc(f"tbon.recv.{mtype}")
+                self.obs.metrics.inc("tbon.delivered_total")
                 self.obs.metrics.gauge("tbon.queue_depth").set(
                     len(self._queue)
                 )

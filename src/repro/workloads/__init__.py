@@ -20,6 +20,10 @@ from repro.workloads.randomgen import (
     mutate_program_set,
     safe_program_set,
 )
+from repro.workloads.softhang import (
+    soft_hang_imbalance_programs,
+    straggler_collective_programs,
+)
 from repro.workloads.specmpi import (
     EXCLUDED_FROM_AVERAGE,
     SPEC_PROFILES,
@@ -66,6 +70,8 @@ __all__ = [
     "head_to_head_sendrecv_programs",
     "lammps_skeleton_programs",
     "lu_skeleton_programs",
+    "soft_hang_imbalance_programs",
+    "straggler_collective_programs",
     "stress_programs",
     "unsafe_blocking_ring_programs",
     "waitall_deadlock_programs",

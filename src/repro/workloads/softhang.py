@@ -1,0 +1,75 @@
+"""Soft-hang workloads: deadlock-free programs that *look* stuck.
+
+The live health engine's job is triage — telling a stalled-but-live
+run (one straggling rank, everyone else parked waiting for it) apart
+from a true deadlock. These workloads are the true-negative material:
+every one of them terminates, so any run that grades them
+``DEADLOCK-CONFIRMED`` is a health-engine bug (pinned in
+``tests/property/test_live_verdicts.py``).
+
+The straggler's "computation" is a loop of IPROBE no-ops: each iprobe
+is one engine step that blocks nobody, so the scheduler keeps picking
+the straggler while its partners sit parked in their receives — dwell
+grows on the waiting ranks exactly the way an imbalanced real
+application produces wait states without a cycle.
+"""
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.runtime.engine import RankProgram
+from repro.runtime.program import Call, Rank
+
+
+def soft_hang_imbalance_programs(
+    p: int, rounds: int = 3, straggler_ops: int = 64
+) -> List[RankProgram]:
+    """All-to-one exchange with one heavily-delayed straggler.
+
+    Each round, every rank sends to and receives from the last rank
+    (``p - 1``); that rank burns ``straggler_ops`` iprobe steps before
+    servicing its peers. Deadlock-free for any parameters — the other
+    ranks just dwell long in ``RECV`` while the straggler computes.
+    """
+    if p < 2:
+        raise ValueError("need at least two ranks")
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        straggler = rank.size - 1
+        for r in range(rounds):
+            if rank.rank == straggler:
+                for _ in range(straggler_ops):
+                    yield rank.iprobe()
+                for peer in range(rank.size - 1):
+                    yield rank.recv(source=peer, tag=r)
+                    yield rank.send(dest=peer, tag=r)
+            else:
+                yield rank.send(dest=straggler, tag=r)
+                yield rank.recv(source=straggler, tag=r)
+        yield rank.finalize()
+
+    return [worker] * p
+
+
+def straggler_collective_programs(
+    p: int, iterations: int = 4, delay_ops: int = 48
+) -> List[RankProgram]:
+    """Iterated allreduce with rank 0 arriving late every time.
+
+    Rank 0 burns ``delay_ops`` iprobe steps before each collective, so
+    every other rank parks in ``ALLREDUCE`` waiting on the same
+    straggler — the collective flavour of a soft hang. Deadlock-free:
+    all ranks reach every wave.
+    """
+    if p < 2:
+        raise ValueError("need at least two ranks")
+
+    def worker(rank: Rank) -> Iterator[Call]:
+        for _ in range(iterations):
+            if rank.rank == 0:
+                for _ in range(delay_ops):
+                    yield rank.iprobe()
+            yield rank.allreduce()
+        yield rank.finalize()
+
+    return [worker] * p

@@ -1,0 +1,142 @@
+"""``repro watch`` end to end: live runs, feed replay, stats integration."""
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs import LIVE_FORMAT, load_live_feed
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_watch_soft_hang_workload_exits_zero(capsys):
+    code = main(["watch", "soft-hang", "-n", "8", "--every", "64"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SOFT-HANG" in out  # mid-run windows flag the straggler
+    assert "final verdict: PROGRESSING" in out
+
+
+def test_watch_straggler_collective_never_deadlock(capsys):
+    code = main(["watch", "straggler", "-n", "8", "--every", "64"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    assert "DEADLOCK-CONFIRMED" not in out
+
+
+def test_watch_deadlock_workload_exits_two(capsys):
+    code = main(["watch", "fig2a", "-n", "2"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "final verdict: DEADLOCK-CONFIRMED" in out
+    assert "roots" in out
+
+
+def test_watch_python_file_target(capsys):
+    code = main([
+        "watch", str(EXAMPLES / "soft_hang_imbalance.py"), "--every", "64",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "final verdict: PROGRESSING" in out
+
+
+def test_watch_writes_feed_and_openmetrics(tmp_path, capsys):
+    feed = tmp_path / "feed.jsonl"
+    om = tmp_path / "metrics.prom"
+    code = main([
+        "watch", "fig2a", "-n", "2",
+        "--out", str(feed), "--format", "jsonl",
+        "--openmetrics", str(om),
+    ])
+    capsys.readouterr()
+    assert code == 2
+    header, snapshots, final = load_live_feed(str(feed))
+    assert header["format"] == LIVE_FORMAT
+    assert snapshots  # at least the terminal engine tick
+    assert final["verdict"]["state"] == "DEADLOCK-CONFIRMED"
+    text = om.read_text()
+    assert "repro_health_state 2" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_watch_json_summary(tmp_path, capsys):
+    out = tmp_path / "summary.json"
+    code = main([
+        "watch", "soft-hang", "-n", "8", "--every", "64",
+        "--out", str(out), "--format", "json",
+    ])
+    capsys.readouterr()
+    assert code == 0
+    doc = json.loads(out.read_text())
+    assert doc["format"] == LIVE_FORMAT
+    assert doc["kind"] == "summary"
+    assert doc["verdict"]["state"] == "PROGRESSING"
+    assert doc["windows"] > 0
+
+
+def test_watch_replays_a_recorded_feed(tmp_path, capsys):
+    feed = tmp_path / "feed.jsonl"
+    assert main([
+        "watch", "fig2a", "-n", "2",
+        "--out", str(feed), "--format", "jsonl",
+    ]) == 2
+    capsys.readouterr()
+    code = main(["watch", str(feed)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "health timeline" in out
+    assert "DEADLOCK-CONFIRMED" in out
+
+
+def test_watch_sharded_backend_emits_backend_windows(tmp_path, capsys):
+    feed = tmp_path / "feed.jsonl"
+    code = main([
+        "watch", "stress", "-n", "16",
+        "--backend", "sharded", "--shards", "4",
+        "--every-rounds", "1",
+        "--out", str(feed), "--format", "jsonl",
+    ])
+    capsys.readouterr()
+    assert code == 0
+    _, snapshots, final = load_live_feed(str(feed))
+    phases = {doc["phase"] for doc in snapshots}
+    assert "backend" in phases
+    assert final["verdict"]["state"] == "PROGRESSING"
+
+
+def test_watch_usage_errors_exit_two(capsys):
+    assert main(["watch", "no-such-workload"]) == 2
+    assert main(["watch", str(EXAMPLES / "missing.py")]) == 2
+    capsys.readouterr()
+
+
+def test_stats_renders_live_feed_timeline(tmp_path, capsys):
+    feed = tmp_path / "feed.jsonl"
+    assert main([
+        "watch", "soft-hang", "-n", "8", "--every", "64",
+        "--out", str(feed), "--format", "jsonl",
+    ]) == 0
+    capsys.readouterr()
+    code = main(["stats", str(feed)])
+    out = capsys.readouterr().out
+    assert code == 0  # PROGRESSING feed: no deadlock finding
+    assert "repro-live/1 feed" in out
+    assert "health timeline" in out
+
+
+def test_stats_live_feed_json_artifact(tmp_path, capsys):
+    feed = tmp_path / "feed.jsonl"
+    assert main([
+        "watch", "fig2a", "-n", "2",
+        "--out", str(feed), "--format", "jsonl",
+    ]) == 2
+    capsys.readouterr()
+    artifact = tmp_path / "stats.json"
+    code = main([
+        "stats", str(feed), "--out", str(artifact), "--format", "json",
+    ])
+    capsys.readouterr()
+    assert code == 1  # deadlock feed surfaces as a finding
+    doc = json.loads(artifact.read_text())
+    assert doc["live"] is True
+    assert doc["verdict"]["state"] == "DEADLOCK-CONFIRMED"

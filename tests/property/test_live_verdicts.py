@@ -1,0 +1,84 @@
+"""Property: the live health verdict agrees with the runtime WFG.
+
+``DEADLOCK-CONFIRMED`` is only ever emitted when the detector's
+wait-for graph actually contains a deadlock — the health engine cannot
+confirm one on its own, no matter how long a rank stalls. Conversely a
+confirmed deadlock is never softened. And deadlock-free-but-imbalanced
+programs (the soft-hang workloads) end PROGRESSING or SOFT-HANG,
+never DEADLOCK-CONFIRMED.
+"""
+import pytest
+
+from repro import Session
+from repro.obs import DEADLOCK_CONFIRMED, PROGRESSING, SOFT_HANG
+from repro.util.errors import MpiUsageError
+from repro.workloads import (
+    mutate_program_set,
+    safe_program_set,
+    soft_hang_imbalance_programs,
+    straggler_collective_programs,
+)
+
+SEEDS = range(0, 24)
+
+
+def _verdict_for(programs, seed):
+    session = Session(live=True, live_every_steps=32)
+    try:
+        session.record(programs, seed=seed)
+    except MpiUsageError:
+        return None, None
+    outcome = session.analyze()
+    verdict = session.finalize_live()
+    return verdict, outcome
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_confirmed_iff_wfg_agrees(seed):
+    gen = safe_program_set(
+        p=4, events=8, seed=seed, allow_wildcards=True,
+        allow_collectives=True,
+    )
+    if seed % 3 == 0:
+        gen = mutate_program_set(gen, seed=seed + 999, mutations=1)
+    verdict, outcome = _verdict_for(gen.programs(), seed)
+    if verdict is None:
+        pytest.skip("mutation produced an MPI usage error")
+    assert (verdict.state == DEADLOCK_CONFIRMED) == outcome.has_deadlock
+    if outcome.has_deadlock:
+        assert verdict.roots == tuple(sorted(outcome.deadlocked))
+        assert verdict.code == 2
+    else:
+        assert verdict.state in (PROGRESSING, SOFT_HANG)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_safe_sets_never_confirm(seed):
+    gen = safe_program_set(p=3, events=10, seed=seed + 100)
+    verdict, outcome = _verdict_for(gen.programs(), seed)
+    assert not outcome.has_deadlock  # safe by construction
+    assert verdict.state in (PROGRESSING, SOFT_HANG)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [soft_hang_imbalance_programs, straggler_collective_programs],
+    ids=["imbalance", "straggler"],
+)
+@pytest.mark.parametrize("p", [4, 8])
+def test_imbalanced_but_live_never_deadlock(factory, p):
+    verdict, outcome = _verdict_for(factory(p), seed=p)
+    assert not outcome.has_deadlock
+    assert verdict.state in (PROGRESSING, SOFT_HANG)
+    assert verdict.code in (0, 1)
+
+
+def test_windows_grade_soft_but_final_recovers():
+    """Mid-run SOFT-HANG windows must not stick to the final verdict."""
+    session = Session(live=True, live_every_steps=32)
+    session.record(soft_hang_imbalance_programs(8, straggler_ops=96))
+    session.analyze()
+    verdict = session.finalize_live()
+    states = {doc["health"]["state"] for doc in session.live.snapshots}
+    assert SOFT_HANG in states  # the straggler was visible live...
+    assert verdict.state == PROGRESSING  # ...but the run completed

@@ -1,0 +1,261 @@
+"""Unit tests for live telemetry: LiveMonitor, HealthEngine, exporters."""
+import json
+
+import pytest
+
+from repro.obs import (
+    DEADLOCK_CONFIRMED,
+    LIVE_FORMAT,
+    PROGRESSING,
+    SOFT_HANG,
+    HealthEngine,
+    HealthVerdict,
+    LiveMonitor,
+    feed_exit_code,
+    is_live_artifact,
+    load_live_feed,
+    make_observer,
+    openmetrics_text,
+    render_health_table,
+    render_health_timeline,
+)
+from repro.util.errors import TraceError
+
+
+def _engine_snapshot(dwell, blocked=None, ranks=4):
+    return {
+        "engine": {
+            "steps": 100,
+            "ranks": ranks,
+            "dwell_steps": dwell,
+            "blocked": blocked or {},
+        },
+        "tracer": {"events": 0, "dropped": 0},
+    }
+
+
+class TestHealthEngine:
+    def test_progressing_when_no_dwell(self):
+        health = HealthEngine()
+        verdict = health.evaluate(_engine_snapshot({}))
+        assert verdict.state == PROGRESSING
+        assert verdict.code == 0
+
+    def test_floor_suppresses_short_waits(self):
+        health = HealthEngine(stall_floor_steps=64)
+        verdict = health.evaluate(_engine_snapshot({0: 63, 1: 10}))
+        assert verdict.state == PROGRESSING
+
+    def test_stall_over_floor_is_soft_hang_with_attribution(self):
+        health = HealthEngine(stall_floor_steps=64)
+        verdict = health.evaluate(
+            _engine_snapshot(
+                {2: 500}, blocked={2: {"op": "RECV", "peer": 7}}
+            )
+        )
+        assert verdict.state == SOFT_HANG
+        assert verdict.suspects == (2,)
+        assert verdict.waiting_on == {2: 7}
+        assert any("rank 2" in r for r in verdict.reasons)
+
+    def test_adaptive_threshold_tracks_own_history(self):
+        # A rank that always dwells ~100 steps must not alarm at 100,
+        # but a 10x departure from its own history must.
+        health = HealthEngine(
+            stall_floor_steps=8, min_history=4, stall_factor=4.0
+        )
+        for _ in range(6):
+            verdict = health.evaluate(_engine_snapshot({0: 100}))
+        assert verdict.state == PROGRESSING  # 100 < 100 * 4
+        verdict = health.evaluate(_engine_snapshot({0: 1000}))
+        assert verdict.state == SOFT_HANG
+
+    def test_evaluate_never_confirms_deadlock(self):
+        health = HealthEngine(stall_floor_steps=1)
+        for _ in range(20):
+            verdict = health.evaluate(_engine_snapshot({0: 10_000}))
+            assert verdict.state in (PROGRESSING, SOFT_HANG)
+
+    def test_skew_and_backpressure_reasons(self):
+        health = HealthEngine(skew_threshold=4.0, backpressure_depth=10)
+        verdict = health.evaluate(
+            {
+                "backend": {"skew": 9.5, "pending": [0, 50]},
+                "tracer": {"events": 0, "dropped": 0},
+            }
+        )
+        assert verdict.state == PROGRESSING  # alarms, not suspects
+        text = " ".join(verdict.reasons)
+        assert "skew" in text and "backpressure" in text
+
+    def test_drop_rate_alarm_uses_window_delta(self):
+        health = HealthEngine(drop_rate_threshold=0.01)
+        health.evaluate({"tracer": {"events": 1000, "dropped": 0}})
+        verdict = health.evaluate(
+            {"tracer": {"events": 1500, "dropped": 100}}
+        )
+        assert any("dropping" in r for r in verdict.reasons)
+        # No new drops in the next window: the alarm clears.
+        verdict = health.evaluate(
+            {"tracer": {"events": 2000, "dropped": 100}}
+        )
+        assert not any("dropping" in r for r in verdict.reasons)
+
+    def test_finalize_confirms_only_with_outcome(self):
+        class Outcome:
+            has_deadlock = True
+            deadlocked = (1, 3)
+
+        health = HealthEngine()
+        verdict = health.finalize(outcome=Outcome())
+        assert verdict.state == DEADLOCK_CONFIRMED
+        assert verdict.roots == (1, 3)
+        assert verdict.code == 2
+
+    def test_finalize_hung_run_without_outcome_stays_soft(self):
+        class Run:
+            deadlocked = True
+            hung = {2: None, 0: None}
+
+        verdict = HealthEngine().finalize(run=Run())
+        assert verdict.state == SOFT_HANG
+        assert verdict.suspects == (0, 2)
+        assert any("awaiting WFG" in r for r in verdict.reasons)
+
+    def test_finalize_clean_run(self):
+        health = HealthEngine()
+        health.evaluate(_engine_snapshot({}))
+        verdict = health.finalize()
+        assert verdict.state == PROGRESSING
+
+    def test_verdict_json_round_trip(self):
+        verdict = HealthVerdict(
+            state=SOFT_HANG,
+            suspects=(1,),
+            reasons=("r",),
+            waiting_on={1: 2},
+        )
+        assert HealthVerdict.from_json(
+            json.loads(json.dumps(verdict.to_json()))
+        ) == verdict
+
+
+class TestLiveMonitor:
+    def test_ticks_stream_snapshots_and_callbacks(self):
+        docs = []
+        monitor = LiveMonitor(
+            observer=make_observer(True), on_snapshot=docs.append
+        )
+        monitor.attach_engine(4)
+        monitor.tick_engine(
+            {"steps": 10, "ranks": 4, "dwell_steps": {}, "blocked": {}}
+        )
+        monitor.tick_backend({"round": 1, "shards": 2, "pending": [0, 0]})
+        assert [d["phase"] for d in docs] == ["engine", "backend"]
+        assert all(d["format"] == LIVE_FORMAT for d in docs)
+        assert docs[0]["seq"] == 0 and docs[1]["seq"] == 1
+        assert "health" in docs[0] and "metrics" in docs[0]
+
+    def test_feed_file_round_trip(self, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        monitor = LiveMonitor(
+            observer=make_observer(True), feed_path=str(feed)
+        )
+        monitor.attach_engine(2)
+        monitor.tick_engine(
+            {"steps": 5, "ranks": 2, "dwell_steps": {}, "blocked": {}}
+        )
+        verdict = monitor.finalize()
+        assert verdict.state == PROGRESSING
+        assert is_live_artifact(str(feed))
+        header, snapshots, final = load_live_feed(str(feed))
+        assert header["ranks"] == 2
+        assert len(snapshots) == 1
+        assert final["verdict"]["state"] == PROGRESSING
+        assert feed_exit_code(final) == 0
+
+    def test_finalize_idempotent_and_exit_codes(self):
+        class Outcome:
+            has_deadlock = True
+            deadlocked = (0,)
+
+        monitor = LiveMonitor(observer=make_observer(True))
+        verdict = monitor.finalize(outcome=Outcome())
+        assert verdict.state == DEADLOCK_CONFIRMED
+        assert monitor.exit_code() == 2
+        assert monitor.finalize() is verdict
+
+    def test_rate_limit_skips_fast_ticks(self):
+        monitor = LiveMonitor(
+            observer=make_observer(True), min_interval_us=60e6
+        )
+        sample = {"steps": 1, "ranks": 1, "dwell_steps": {}, "blocked": {}}
+        monitor.tick_engine(sample)
+        monitor.tick_engine(sample)
+        assert len(monitor.snapshots) == 1
+
+    def test_load_live_feed_diagnoses_malformed(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            json.dumps({"format": LIVE_FORMAT, "kind": "header"})
+            + "\n{{{\n"
+        )
+        with pytest.raises(TraceError, match="bad.jsonl:2"):
+            load_live_feed(str(bad))
+        other = tmp_path / "other.jsonl"
+        other.write_text('{"format": "repro-stats/1"}\n')
+        assert not is_live_artifact(str(other))
+        with pytest.raises(TraceError):
+            load_live_feed(str(other))
+        assert not is_live_artifact(str(tmp_path / "missing.jsonl"))
+
+    def test_render_helpers_produce_lines(self):
+        docs = []
+        monitor = LiveMonitor(
+            observer=make_observer(True), on_snapshot=docs.append
+        )
+        monitor.tick_engine(
+            {
+                "steps": 100,
+                "ranks": 2,
+                "dwell_steps": {0: 90},
+                "blocked": {0: {"op": "RECV", "peer": 1}},
+            }
+        )
+        table = "\n".join(render_health_table(docs[0]))
+        assert "SOFT-HANG" in table and "suspects: 0" in table
+        timeline = "\n".join(render_health_timeline(monitor.snapshots))
+        assert "health timeline" in timeline and "step 100" in timeline
+
+
+class TestOpenMetrics:
+    def test_counter_gauge_histogram_families(self):
+        observer = make_observer(True)
+        observer.metrics.inc("tbon.sent_total", 5)
+        observer.metrics.set_gauge("tbon.queue_depth", 3.0)
+        observer.metrics.observe("detection.phase.sync", 0.25)
+        text = openmetrics_text(observer.metrics.snapshot())
+        assert "# TYPE repro_tbon_sent_total counter" in text
+        assert "repro_tbon_sent_total_total 5" in text
+        assert "repro_tbon_queue_depth 3" in text
+        assert "repro_tbon_queue_depth_max 3" in text
+        assert 'quantile="0.5"' in text
+        assert "repro_detection_phase_sync_count 1" in text
+        assert text.endswith("# EOF\n")
+
+    def test_extra_gauges_and_name_sanitization(self):
+        text = openmetrics_text(
+            {"counters": {"1bad.name!": 2}},
+            extra_gauges={"health_state": 1.0},
+        )
+        assert "repro__1bad_name__total 2" in text
+        assert "repro_health_state 1" in text
+
+    def test_every_line_matches_exposition_grammar(self):
+        observer = make_observer(True)
+        observer.metrics.inc("a.b", 1)
+        observer.metrics.observe("c", 2.0)
+        for line in openmetrics_text(
+            observer.metrics.snapshot()
+        ).splitlines():
+            assert line.startswith("#") or " " in line

@@ -168,6 +168,41 @@ class TestHistogram:
     def test_empty_summary(self):
         assert Histogram().summary() == {"count": 0, "sum": 0.0}
 
+    def test_sorted_cache_survives_in_order_appends(self):
+        # A query materializes the sorted cache; later in-order
+        # observes must extend it rather than stale-serve old data.
+        h = Histogram()
+        for v in [1.0, 5.0, 3.0]:
+            h.observe(v)
+        assert h.percentile(100) == 5.0
+        h.observe(7.0)  # >= cache max: appended in place
+        h.observe(7.0)  # equal to cache max: still in order
+        assert h.percentile(100) == 7.0
+        assert h.summary()["max"] == 7.0
+
+    def test_sorted_cache_invalidated_by_out_of_order_observe(self):
+        h = Histogram()
+        for v in [10.0, 20.0]:
+            h.observe(v)
+        assert h.percentile(50) == 15.0
+        h.observe(1.0)  # < cache max: cache must be rebuilt
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 10.0
+
+    def test_dump_preserves_insertion_order_after_queries(self):
+        # dump_state ships raw observations in insertion order; the
+        # percentile cache must never reorder the backing list.
+        h = Histogram()
+        values = [4.0, 1.0, 3.0, 2.0]
+        for v in values:
+            h.observe(v)
+        h.percentile(50)
+        h.observe(0.5)
+        h.percentile(50)
+        reg = MetricsRegistry()
+        reg._histograms["h"] = h
+        assert reg.dump_state()["histograms"]["h"] == values + [0.5]
+
 
 class TestMetricsRegistry:
     def test_counters_gauges_histograms(self):
@@ -204,6 +239,63 @@ class TestMetricsRegistry:
         reg.inc("a")
         reg.observe("b", 2.0)
         json.dumps(reg.snapshot())
+
+    def test_merge_state_round_trip(self):
+        src = MetricsRegistry()
+        src.inc("msgs", 3)
+        src.set_gauge("depth", 4.0)
+        src.observe("lat", 1.0)
+        dst = MetricsRegistry()
+        dst.inc("msgs", 2)
+        dst.merge_state(src.dump_state())
+        snap = dst.snapshot()
+        assert snap["counters"]["msgs"] == 5
+        assert snap["gauges"]["depth"]["max"] == 4.0
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_merge_state_empty_and_partial(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs")
+        reg.merge_state({})
+        reg.merge_state({"counters": {}})
+        assert reg.snapshot()["counters"]["msgs"] == 1
+
+    def test_merge_state_ignores_unknown_kinds(self):
+        # A newer worker may ship instrument kinds this coordinator
+        # doesn't know; they must be skipped, not crash the join.
+        reg = MetricsRegistry()
+        reg.merge_state(
+            {"counters": {"a": 1}, "summaries": {"x": [1, 2, 3]}}
+        )
+        snap = reg.snapshot()
+        assert snap["counters"]["a"] == 1
+        assert "summaries" not in snap
+
+    def test_merge_state_counter_gauge_name_collision(self):
+        # The same dotted name can be a counter locally and a gauge in
+        # a shard's dump: the kinds live in separate namespaces and
+        # must merge independently.
+        reg = MetricsRegistry()
+        reg.inc("backend.shard0.busy", 2)
+        reg.merge_state(
+            {
+                "counters": {"backend.shard0.busy": 3},
+                "gauges": {"backend.shard0.busy": (1.5, 2.5)},
+            }
+        )
+        snap = reg.snapshot()
+        assert snap["counters"]["backend.shard0.busy"] == 5
+        assert snap["gauges"]["backend.shard0.busy"] == {
+            "value": 1.5, "max": 2.5,
+        }
+
+    def test_merge_state_gauge_high_water(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 9.0)
+        reg.merge_state({"gauges": {"depth": (3.0, 5.0)}})
+        gauge = reg.snapshot()["gauges"]["depth"]
+        # Value keeps the later write; high-water takes the max.
+        assert gauge == {"value": 3.0, "max": 9.0}
 
 
 class TestExporters:
