@@ -10,12 +10,9 @@ into a deadlocking program, and the tool pinpoints the wait-for chain.
 
 Run:  python examples/custom_application.py
 """
-from repro import (
-    ANY_SOURCE,
-    analyze_trace,
-    detect_deadlocks_distributed,
-    run_programs,
-)
+from repro import ANY_SOURCE
+from repro.core import analyze_trace, detect_deadlocks_distributed
+from repro.runtime import run_programs
 
 P = 8
 

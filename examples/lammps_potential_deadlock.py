@@ -17,7 +17,9 @@ Artifacts: lammps_report.html, lammps_wfg.dot (current directory).
 """
 from pathlib import Path
 
-from repro import BlockingSemantics, detect_deadlocks_distributed, run_programs
+from repro import BlockingSemantics
+from repro.core import detect_deadlocks_distributed
+from repro.runtime import run_programs
 
 #: World size ``repro lint`` uses when extracting this program.
 LINT_RANKS = 12

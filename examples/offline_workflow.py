@@ -16,7 +16,8 @@ Run:  python examples/offline_workflow.py
 import tempfile
 from pathlib import Path
 
-from repro import BlockingSemantics, run_programs
+from repro import BlockingSemantics
+from repro.runtime import run_programs
 from repro.checks import Severity, run_all_checks
 from repro.core.adaptation import analyze_with_adaptation
 from repro.mpi.serialize import load_trace, save_trace

@@ -12,12 +12,9 @@ distributed tool:
 
 Run:  python examples/quickstart.py
 """
-from repro import (
-    BlockingSemantics,
-    analyze_trace,
-    detect_deadlocks_distributed,
-    run_programs,
-)
+from repro import BlockingSemantics
+from repro.core import analyze_trace, detect_deadlocks_distributed
+from repro.runtime import run_programs
 from repro.workloads import fig2a_programs, fig2b_programs
 
 

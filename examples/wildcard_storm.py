@@ -18,7 +18,7 @@ Run:  python examples/wildcard_storm.py [p]
 import sys
 import time
 
-from repro import detect_deadlocks_distributed
+from repro.core import detect_deadlocks_distributed
 from repro.mpi.constants import ANY_SOURCE
 from repro.wfg.simplify import render_aggregated_dot, simplify
 from repro.workloads import build_wildcard_trace

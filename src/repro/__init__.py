@@ -25,14 +25,16 @@ Quickstart::
 
 The :class:`Session` facade (with :class:`AnalysisConfig`) is the
 stable entry point; ``Session(backend="sharded", shards=4)`` runs the
-analysis across worker processes. The older free functions
-(:func:`run_programs`, :func:`analyze_trace`,
-:func:`detect_deadlocks_distributed`) remain importable here as
-deprecation shims for one release.
+analysis across worker processes. The pre-1.1 free functions
+(``run_programs``, ``analyze_trace``,
+``detect_deadlocks_distributed``) completed their one-release
+deprecation window in 1.1 and are no longer importable from this
+package — importing them raises :class:`AttributeError` naming the
+:class:`Session` replacement. The originals remain available from
+their home modules (``repro.runtime.run_programs``,
+``repro.core.analyze_trace``,
+``repro.core.detect_deadlocks_distributed``) for internal use.
 """
-import functools as _functools
-import warnings as _warnings
-
 from repro.api import AnalysisConfig, Session
 from repro.backend import (
     AnalysisBackend,
@@ -48,8 +50,6 @@ from repro.core import (
     DistributedDeadlockDetector,
     DistributedOutcome,
     TransitionSystem,
-    analyze_trace as _analyze_trace,
-    detect_deadlocks_distributed as _detect_deadlocks_distributed,
 )
 from repro.mpi import (
     ANY_SOURCE,
@@ -60,41 +60,36 @@ from repro.mpi import (
     OpKind,
     Trace,
 )
-from repro.runtime import Rank, RunResult, run_programs as _run_programs
+from repro.runtime import Rank, RunResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Legacy names removed after their one-release deprecation window
+#: (shims in 1.1), mapped to the v1 replacement the error names.
+_REMOVED_LEGACY = {
+    "run_programs": (
+        "repro.Session(...).record(programs) "
+        "(the original stays at repro.runtime.run_programs)"
+    ),
+    "analyze_trace": (
+        "repro.Session(...).analyze(trace) "
+        "(the original stays at repro.core.analyze_trace)"
+    ),
+    "detect_deadlocks_distributed": (
+        "repro.Session(...).analyze(trace) "
+        "(the original stays at repro.core.detect_deadlocks_distributed)"
+    ),
+}
 
 
-def _deprecated_shim(func, replacement: str):
-    """Wrap a legacy free function with a DeprecationWarning.
-
-    The shims keep the exact signature and behaviour of the originals
-    (which stay importable, warning-free, from their home modules) for
-    one release — see README "Backends & the Session API".
-    """
-
-    @_functools.wraps(func)
-    def shim(*args, **kwargs):
-        _warnings.warn(
-            f"repro.{func.__name__} is deprecated; use {replacement}. "
-            "The shim will be removed one release after 1.1.",
-            DeprecationWarning,
-            stacklevel=2,
+def __getattr__(name: str):
+    if name in _REMOVED_LEGACY:
+        raise AttributeError(
+            f"repro.{name} was removed in 1.2 (deprecated since 1.1); "
+            f"use {_REMOVED_LEGACY[name]}"
         )
-        return func(*args, **kwargs)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
-    return shim
-
-
-run_programs = _deprecated_shim(
-    _run_programs, "repro.Session(...).record(programs)"
-)
-analyze_trace = _deprecated_shim(
-    _analyze_trace, "repro.Session(...).analyze(trace) (inline backend)"
-)
-detect_deadlocks_distributed = _deprecated_shim(
-    _detect_deadlocks_distributed, "repro.Session(...).analyze(trace)"
-)
 
 __all__ = [
     "ANY_SOURCE",
@@ -118,9 +113,6 @@ __all__ = [
     "ShardedBackend",
     "Trace",
     "TransitionSystem",
-    "analyze_trace",
-    "detect_deadlocks_distributed",
     "make_backend",
-    "run_programs",
     "__version__",
 ]

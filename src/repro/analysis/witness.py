@@ -32,8 +32,10 @@ from repro.runtime.scheduler import ScriptedScheduler
 from repro.util.errors import ReproError
 from repro.wfg.compare import cycles_equivalent, deadlock_sets_agree
 
-#: Format tag written into every serialized witness.
-WITNESS_FORMAT = "repro-witness/1"
+from repro.docs import format_tag, validate_doc
+
+#: Format tag written into every serialized witness (registry-owned).
+WITNESS_FORMAT = format_tag("witness")
 
 
 @dataclass
@@ -76,9 +78,7 @@ class WitnessSchedule:
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "WitnessSchedule":
-        fmt = data.get("format")
-        if fmt != WITNESS_FORMAT:
-            raise ReproError(f"unsupported witness format {fmt!r}")
+        validate_doc(data, "witness", check_keys=True)
         return cls(
             num_ranks=int(data["num_ranks"]),  # type: ignore[arg-type]
             schedule=[int(r) for r in data["schedule"]],  # type: ignore[union-attr]

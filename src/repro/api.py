@@ -17,9 +17,12 @@ them::
 The session owns the observer (one metrics registry + tracer across
 record, analyze, and verify calls) and exports the configured
 observability sinks once, on :meth:`Session.export` (or on leaving the
-``with`` block). The free functions remain importable from ``repro``
-as deprecation shims for one release — see the README's "Backends &
-the Session API" section.
+``with`` block). Sessions are reusable: starting a new record/analyze
+cycle resets the per-run observability state (fresh tracer, metrics,
+and flight-recorder rings) so back-to-back jobs — the ``repro serve``
+worker pool runs many jobs through one session per worker — never see
+each other's events. :meth:`Session.close` releases backend resources
+on teardown.
 """
 from __future__ import annotations
 
@@ -120,39 +123,90 @@ class Session:
             config = config.replace(**overrides)
         self.config = config
         self.backend = config.build_backend()
+        self._on_snapshot = on_snapshot
+        self.observer: Observer
+        self.flight: FlightRecorder
+        self.live: Optional[LiveMonitor]
+        self._build_observability()
+        self.last_run: Optional[RunResult] = None
+        self.last_outcome: Optional[DistributedOutcome] = None
+        self.last_verdict: Optional[HealthVerdict] = None
+        self._exported = False
+
+    def _build_observability(self) -> None:
+        """(Re)create the per-run observer, flight recorder, and live
+        monitor from the session config."""
+        config = self.config
         if config.observability_wanted and config.trace_limit is not None:
             from repro.obs.tracer import Tracer
 
-            self.observer: Observer = Observer(
-                tracer=Tracer(limit=config.trace_limit)
-            )
+            self.observer = Observer(tracer=Tracer(limit=config.trace_limit))
         else:
             self.observer = make_observer(config.observability_wanted)
-        self.flight: FlightRecorder = (
+        self.flight = (
             FlightRecorder() if config.flight else NULL_FLIGHT_RECORDER
         )
-        self.live: Optional[LiveMonitor] = (
+        self.live = (
             LiveMonitor(
                 observer=self.observer,
                 every_steps=config.live_every_steps,
                 every_rounds=config.live_every_rounds,
                 feed_path=config.live_out,
-                on_snapshot=on_snapshot,
+                on_snapshot=self._on_snapshot,
             )
             if config.live_wanted
             else None
         )
-        self.last_run: Optional[RunResult] = None
-        self.last_outcome: Optional[DistributedOutcome] = None
-        self.last_verdict: Optional[HealthVerdict] = None
+
+    def reset(self) -> "Session":
+        """Drop per-run state so the session can take a fresh job.
+
+        A fresh tracer, metrics registry, and flight-recorder rings
+        replace the previous run's (pin counters return to zero);
+        ``last_run``/``last_outcome``/``last_verdict`` clear and
+        :meth:`export` re-arms. A configured ``live_out`` feed is
+        closed and restarts on the next run. Called automatically when
+        :meth:`record` (or :meth:`analyze` on an unrelated trace)
+        starts a new cycle; the ``repro serve`` worker pool calls it
+        between jobs.
+        """
+        if self.live is not None:
+            self.live.close()
+        self._build_observability()
+        self.last_run = None
+        self.last_outcome = None
+        self.last_verdict = None
         self._exported = False
+        return self
+
+    def _starts_new_cycle(
+        self, trace: Union[MatchedTrace, RunResult, None]
+    ) -> bool:
+        """Does analyzing ``trace`` begin a new job on a used session?
+
+        Re-analysis of the session's own current run (``trace is None``,
+        the last :class:`RunResult`, or its matched trace) continues the
+        current cycle and keeps its observability state.
+        """
+        if self.last_outcome is None or trace is None:
+            return False
+        if trace is self.last_run:
+            return False
+        return self.last_run is None or trace is not self.last_run.matched
 
     # -- pipeline stages -------------------------------------------------
 
     def record(
         self, programs: Sequence[Any], *, seed: Optional[int] = None
     ) -> RunResult:
-        """Execute rank programs on the virtual runtime."""
+        """Execute rank programs on the virtual runtime.
+
+        On a session that already holds a run, this starts a new cycle:
+        :meth:`reset` runs first so the previous job's events never
+        bleed into this one's artifacts.
+        """
+        if self.last_run is not None or self.last_outcome is not None:
+            self.reset()
         result = _run_programs(
             programs,
             semantics=self.config.semantics,
@@ -172,8 +226,13 @@ class Session:
 
         Accepts a :class:`MatchedTrace`, a :class:`RunResult` (its
         matched trace is used), or nothing (the most recent
-        :meth:`record` result).
+        :meth:`record` result). Handing a trace unrelated to the
+        session's current run to a session that already produced an
+        outcome starts a new cycle (see :meth:`reset`); re-analyzing
+        the current run keeps its observability state.
         """
+        if self._starts_new_cycle(trace):
+            self.reset()
         if trace is None:
             if self.last_run is None:
                 raise ValueError("nothing to analyze: record a run first")
@@ -295,9 +354,23 @@ class Session:
                 json.dump(profile, fh, indent=2, sort_keys=True)
                 fh.write("\n")
 
+    def close(self) -> None:
+        """Export the configured sinks and release backend resources.
+
+        Idempotent; after closing, the session can still be reused
+        (:meth:`record` rebuilds its per-run state) because both
+        built-in backends start their workers per run.
+        """
+        self.export()
+        if self.live is not None:
+            self.live.close()
+        self.backend.close()
+
     def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
-            self.export()
+            self.close()
+        else:
+            self.backend.close()

@@ -66,6 +66,17 @@ class AnalysisBackend:
     def describe(self) -> str:
         return self.name
 
+    def close(self) -> None:
+        """Release resources held across runs (idempotent).
+
+        Both built-in backends start and join their workers inside
+        :meth:`run`, so this is a no-op for them; long-lived holders
+        (the ``repro serve`` worker pool, ``Session.close``) still
+        call it on teardown so backends with persistent state get a
+        shutdown point.
+        """
+        return None
+
 
 class InlineBackend(AnalysisBackend):
     """The single-process simulated-network backend (default)."""

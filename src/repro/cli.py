@@ -72,9 +72,9 @@ Observability: ``--obs`` instruments the run (engine + TBON + the
 distributed protocol) and prints a stats summary; ``--obs-trace FILE``
 additionally writes a Chrome ``trace_event`` file (open it in
 ``chrome://tracing`` or Perfetto) embedding the metrics snapshot.
-The pre-1.1 spellings ``--obs-out``, ``--obs-jsonl``, and
-``--json-out`` still work as hidden aliases and print a deprecation
-notice on stderr.
+The pre-1.1 spellings were removed in 1.2 after their one-release
+deprecation window: passing one is a hard usage error (exit 2) whose
+message names the ``--out``/``--format``/``--obs-trace`` replacement.
 
 Exit codes: 0 — clean; 1 — a deadlock was detected (``analyze``,
 ``demo``, and ``stats`` when the analyzed run recorded one, ``blame``
@@ -100,6 +100,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 from repro.backend import DEFAULT_SHARDS, make_backend
 from repro.core.adaptation import analyze_with_adaptation
 from repro.core.waitstate import analyze_trace
+from repro.docs import REGISTRY, doc_header, sniff_path, supported_line
 from repro.mpi.blocking import BlockingSemantics
 from repro.mpi.serialize import load_trace, save_trace
 from repro.mpi.trace import MatchedTrace
@@ -168,6 +169,9 @@ def _workloads() -> Dict[str, Callable[[int], list]]:
 #: primary machine-readable artifact everywhere; ``jsonl`` selects the
 #: raw observability event stream where a run happens; ``html``/``dot``
 #: are the rendered deadlock reports of ``analyze``/``demo``.
+#: Default TCP port of the ``repro serve`` daemon.
+DEFAULT_SERVE_PORT = 7587
+
 _FORMATS: Dict[str, Tuple[str, ...]] = {
     "record": ("json", "jsonl"),
     "analyze": ("json", "jsonl", "html", "dot"),
@@ -181,6 +185,8 @@ _FORMATS: Dict[str, Tuple[str, ...]] = {
     "profile": ("json",),
     "watch": ("json", "jsonl"),
     "figures": ("json",),
+    "submit": ("json",),
+    "jobs": ("json",),
 }
 
 
@@ -210,23 +216,37 @@ def _add_common_flags(
     )
 
 
+#: CLI spellings removed in 1.2 (deprecated aliases since 1.1) and the
+#: v1 replacement the hard error names. Checked against raw argv
+#: before parsing so the diagnosis beats argparse's generic
+#: "unrecognized arguments".
+REMOVED_CLI_FLAGS = {
+    "--json-out": "--out FILE --format json",
+    "--obs-out": "--obs-trace FILE",
+    "--obs-jsonl": "--out FILE --format jsonl",
+}
+
+
+def _reject_removed_flags(argv: Sequence[str]) -> Optional[int]:
+    """Exit 2 with the replacement spelling for removed aliases."""
+    for token in argv:
+        flag = token.split("=", 1)[0]
+        replacement = REMOVED_CLI_FLAGS.get(flag)
+        if replacement is not None:
+            print(
+                f"error: {flag} was removed in 1.2 (deprecated since "
+                f"1.1); use {replacement}",
+                file=sys.stderr,
+            )
+            return 2
+    return None
+
+
 def _normalize_args(args: argparse.Namespace) -> Optional[int]:
-    """Resolve deprecated aliases and route ``--out``/``--format``.
+    """Route ``--out``/``--format`` onto the writer attributes.
 
     Returns an exit code for usage errors, None to proceed.
     """
-
-    def notice(old: str, new: str) -> None:
-        print(f"note: {old} is deprecated; use {new}", file=sys.stderr)
-
-    if getattr(args, "obs_out", None):
-        notice("--obs-out", "--obs-trace")
-        if not getattr(args, "obs_trace", None):
-            args.obs_trace = args.obs_out
-    if getattr(args, "obs_jsonl", None):
-        notice("--obs-jsonl", "--out FILE --format jsonl")
-    if getattr(args, "json_out", None):
-        notice("--json-out", "--out FILE --format json")
     out = getattr(args, "out", None)
     if out:
         fmt = getattr(args, "format", "json")
@@ -516,7 +536,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         any_errors = any_errors or report.has_errors
     out = _out_path(args, "json")
     if out:
-        _write_json(out, {"format": "repro-lint/1", "findings": doc})
+        _write_json(out, {**doc_header("lint"), "findings": doc})
     return 1 if any_errors else 0
 
 
@@ -616,7 +636,7 @@ def _cmd_prove(args: argparse.Namespace) -> int:
             doc[path].append(result.to_json_dict())
     out = _out_path(args, "json")
     if out:
-        _write_json(out, {"format": "repro-prove/1", "results": doc})
+        _write_json(out, {**doc_header("prove"), "results": doc})
     _finish_obs(observer, args, workload=None, deadlocked=any_refuted)
     if any_refuted:
         return 1
@@ -702,7 +722,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     out = _out_path(args, "json")
     if out:
         _write_json(
-            out, {"format": "repro-classify/1", "programs": doc}
+            out, {**doc_header("classify"), "programs": doc}
         )
     return worst
 
@@ -820,7 +840,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             any_inconclusive = True
 
     if args.json_out:
-        payload = {"format": "repro-verify/1", "results": doc}
+        payload = {**doc_header("verify"), "results": doc}
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -845,6 +865,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.stats import render_timeline_table
     from repro.obs.timeline import UnifiedTimeline
 
+    sniffed = sniff_path(args.run)
+    if sniffed is not None:
+        # The input announces a repro-*/N format: route or diagnose it
+        # here, before a shape-blind loader misparses the feed.
+        name, version, lineno = sniffed
+        family = REGISTRY.get(name)
+        if family is None:
+            print(
+                f"{args.run}:{lineno}: unknown document family "
+                f"repro-{name}/{version} (known: "
+                f"{', '.join(sorted(REGISTRY))})",
+                file=sys.stderr,
+            )
+            return 2
+        if version not in family.versions:
+            print(
+                f"{args.run}:{lineno}: unsupported repro-{name}/"
+                f"{version} version ({supported_line(name)})",
+                file=sys.stderr,
+            )
+            return 2
     if is_live_artifact(args.run):
         # A repro-live/1 feed is a first-class stats input: render the
         # health timeline instead of bouncing off the event loader.
@@ -867,7 +908,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if out:
             _write_json(
                 out,
-                {"format": "repro-stats/1", "events": len(events)},
+                {**doc_header("stats"), "events": len(events)},
             )
         return 0
     workload = meta.get("workload")
@@ -890,7 +931,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         _write_json(
             out,
             {
-                "format": "repro-stats/1",
+                **doc_header("stats"),
                 "workload": workload,
                 "deadlocked": deadlocked,
                 "events": len(events),
@@ -922,7 +963,7 @@ def _stats_live_feed(args: argparse.Namespace) -> int:
         _write_json(
             out,
             {
-                "format": "repro-stats/1",
+                **doc_header("stats"),
                 "live": True,
                 "windows": len(snapshots),
                 "verdict": verdict or None,
@@ -956,7 +997,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             _write_json(
                 out,
                 {
-                    "format": "repro-live/1",
+                    **doc_header("live"),
                     "kind": "summary",
                     "target": target,
                     "windows": len(snapshots),
@@ -1011,7 +1052,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         _write_json(
             out,
             {
-                "format": "repro-live/1",
+                **doc_header("live"),
                 "kind": "summary",
                 "target": target,
                 "windows": len(session.live.snapshots),
@@ -1145,7 +1186,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         _write_json(
             out,
             {
-                "format": "repro-figures/1",
+                **doc_header("figures"),
                 "figure9": {"p": ps, **{k: data[k] for k in keys}},
                 "figure12": {
                     name: {
@@ -1159,6 +1200,169 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             },
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeSettings
+    from repro.serve.service import serve_forever
+
+    if args.port is None and args.unix is None:
+        print("serve needs --port and/or --unix", file=sys.stderr)
+        return 2
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        quota=args.quota,
+        backend=args.backend or "inline",
+        shards=args.shards or 2,
+    )
+    try:
+        asyncio.run(serve_forever(settings))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _connect_serve(args: argparse.Namespace):
+    from repro.serve import ServeClient
+
+    try:
+        return ServeClient(args.server, timeout=args.timeout)
+    except (OSError, ValueError) as exc:
+        print(
+            f"error: cannot connect to {args.server}: {exc}",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _describe_serve_error(exc) -> str:
+    message = f"error: {exc.code}: {exc}"
+    if exc.retryable:
+        hint = (
+            f" (retryable; retry after {exc.retry_after:.1f}s)"
+            if exc.retry_after is not None
+            else " (retryable)"
+        )
+        message += hint
+    return message
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeError
+
+    client = _connect_serve(args)
+    if client is None:
+        return 2
+    with client:
+        try:
+            if args.target.endswith(".py"):
+                with open(args.target, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                job_id = client.submit(
+                    tenant=args.tenant,
+                    source=source,
+                    op=args.analysis,
+                    ranks=args.ranks,
+                )
+            elif args.target.endswith(".json"):
+                with open(args.target, "r", encoding="utf-8") as handle:
+                    trace = json.load(handle)
+                job_id = client.submit(tenant=args.tenant, trace=trace)
+            else:
+                job_id = client.submit(
+                    tenant=args.tenant,
+                    workload=args.target,
+                    ranks=args.ranks,
+                )
+        except ServeError as exc:
+            print(_describe_serve_error(exc), file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read {args.target}: {exc}", file=sys.stderr)
+            return 2
+        print(f"submitted {job_id} (tenant {args.tenant})")
+        if args.no_wait:
+            return 0
+        if args.watch:
+            final = None
+            for item in client.watch(job_id):
+                if "final" in item:
+                    final = item["final"]
+                    break
+                print(json.dumps(item, sort_keys=True))
+            result = (final or {}).get("result", {})
+        else:
+            try:
+                doc = client.result(
+                    job_id, wait=True, timeout=args.timeout
+                )
+            except ServeError as exc:
+                print(_describe_serve_error(exc), file=sys.stderr)
+                return 1 if exc.code == "job-failed" else 2
+            result = doc.get("result", {})
+        verdict = result.get("verdict", "unknown")
+        print(f"{job_id}: {verdict}")
+        if result.get("deadlocked"):
+            ranks = ", ".join(map(str, result["deadlocked"]))
+            print(f"  deadlocked ranks: {ranks}")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.json_out}")
+        return int(result.get("exit_code", 0))
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve import ServeError
+
+    client = _connect_serve(args)
+    if client is None:
+        return 2
+    with client:
+        try:
+            if args.metrics:
+                print(client.metrics(), end="")
+                return 0
+            stats = client.stats()
+            doc = client.jobs(tenant=args.tenant)
+        except ServeError as exc:
+            print(_describe_serve_error(exc), file=sys.stderr)
+            return 2
+        print(
+            f"queue depth {stats['queue_depth']}, "
+            f"running {stats['running']}/{stats['workers']} workers, "
+            f"quota {stats['quota']}/tenant"
+            + (" (draining)" if stats["draining"] else "")
+        )
+        for job in doc["jobs"]:
+            line = (
+                f"  {job['job']}  {job['state']:<9}  "
+                f"{job['tenant']:<10}  {job['spec']}"
+            )
+            if job.get("error"):
+                line += f"  ({job['error']})"
+            print(line)
+        counts = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(doc["counts"].items())
+            if count
+        )
+        if counts:
+            print(f"  totals: {counts}")
+        if args.json_out:
+            payload = {"stats": stats, **doc}
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.json_out}")
+        return 0
 
 
 def _add_analysis_flags(
@@ -1178,9 +1382,6 @@ def _add_analysis_flags(
                         help="write the aggregated (simplified) DOT")
     parser.add_argument("--checks", action="store_true",
                         help="also run the non-deadlock correctness checks")
-    # Deprecated alias for --out FILE --format json.
-    parser.add_argument("--json-out", metavar="FILE",
-                        help=argparse.SUPPRESS)
     parser.add_argument("--seed", type=int, default=0)
     _add_common_flags(parser, command)
     _add_obs_flags(parser)
@@ -1196,14 +1397,10 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="write a Chrome trace_event file (Perfetto-compatible) "
         "with the metrics snapshot embedded; implies --obs",
     )
-    # Deprecated aliases (pre-1.1 spellings): --obs-out FILE is
-    # --obs-trace FILE; --obs-jsonl FILE is --out FILE --format jsonl.
-    parser.add_argument(
-        "--obs-out", metavar="FILE", help=argparse.SUPPRESS,
-    )
-    parser.add_argument(
-        "--obs-jsonl", metavar="FILE", help=argparse.SUPPRESS,
-    )
+    # Internal routing attributes: --out FILE --format jsonl lands on
+    # obs_jsonl, --out FILE --format json on json_out (the pre-1.1
+    # option spellings were removed in 1.2 — see REMOVED_CLI_FLAGS).
+    parser.set_defaults(obs_jsonl=None, json_out=None)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1350,18 +1547,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the parameterized prover on each file; a "
         "REFUTED program counts as a deadlock (exit 1)",
     )
-    # Deprecated alias for --out FILE --format json.
-    verify.add_argument(
-        "--json-out", metavar="FILE", help=argparse.SUPPRESS,
-    )
     _add_common_flags(verify, "verify")
     _add_obs_flags(verify)
     verify.set_defaults(func=_cmd_verify)
 
     stats = sub.add_parser(
         "stats",
-        help="summarize an observability run recorded with --obs-out "
-        "or --obs-jsonl",
+        help="summarize an observability run recorded with "
+        "--obs-trace, a raw jsonl event stream, or a repro-live/1 "
+        "feed",
     )
     stats.add_argument(
         "run",
@@ -1405,10 +1599,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fan-in", type=int, default=4,
         help="TBON fan-in for live mode (default 4)",
     )
-    # Deprecated alias for --out FILE --format json.
-    blame.add_argument(
-        "--json-out", metavar="FILE", help=argparse.SUPPRESS,
-    )
+    blame.set_defaults(json_out=None)
     _add_common_flags(blame, "blame")
     blame.set_defaults(func=_cmd_blame)
 
@@ -1446,6 +1637,98 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flags(watch, "watch")
     watch.set_defaults(func=_cmd_watch)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent analysis daemon (NDJSON over TCP/Unix)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_SERVE_PORT,
+        help=f"TCP listen port (default {DEFAULT_SERVE_PORT}; 0 = "
+        "ephemeral; use --no-tcp to disable)",
+    )
+    serve.add_argument(
+        "--no-tcp", dest="port", action="store_const", const=None,
+        help="no TCP listener (serve only on --unix)",
+    )
+    serve.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="also (or only) listen on this Unix socket path",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="analysis worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="max queued jobs before queue-full rejections (default 32)",
+    )
+    serve.add_argument(
+        "--quota", type=int, default=4,
+        help="max in-flight jobs per tenant (default 4)",
+    )
+    serve.add_argument(
+        "--backend", choices=("inline", "sharded"), default="inline",
+        help="analysis backend the workers use (default inline)",
+    )
+    serve.add_argument("--shards", type=int, default=2)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one job to a running repro serve daemon",
+    )
+    submit.add_argument(
+        "target",
+        help="a workload name, a rank-program .py file, or a matched "
+        "trace .json file",
+    )
+    submit.add_argument(
+        "--server", default=f"127.0.0.1:{DEFAULT_SERVE_PORT}",
+        help="daemon address: host:port or a Unix socket path "
+        f"(default 127.0.0.1:{DEFAULT_SERVE_PORT})",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("-n", "--ranks", type=int, default=4)
+    submit.add_argument(
+        "--analysis", choices=("analyze", "verify", "blame"),
+        default="analyze",
+        help="analysis for .py submissions (default analyze)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return after submission without waiting for the verdict",
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's repro-live/1 windows while waiting",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="connect/wait timeout in seconds (default 300)",
+    )
+    _add_common_flags(submit, "submit")
+    submit.set_defaults(func=_cmd_submit, json_out=None)
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list jobs and stats of a running repro serve daemon",
+    )
+    jobs.add_argument(
+        "--server", default=f"127.0.0.1:{DEFAULT_SERVE_PORT}",
+        help="daemon address: host:port or a Unix socket path",
+    )
+    jobs.add_argument(
+        "--tenant", default=None, help="only this tenant's jobs"
+    )
+    jobs.add_argument(
+        "--metrics", action="store_true",
+        help="print the daemon's OpenMetrics scrape and exit",
+    )
+    jobs.add_argument("--timeout", type=float, default=30.0)
+    _add_common_flags(jobs, "jobs")
+    jobs.set_defaults(func=_cmd_jobs, json_out=None)
+
     figs = sub.add_parser("figures", help="print the overhead models")
     _add_common_flags(figs, "figures")
     figs.set_defaults(func=_cmd_figures)
@@ -1454,6 +1737,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    code = _reject_removed_flags(argv)
+    if code is not None:
+        return code
     args = build_parser().parse_args(argv)
     code = _normalize_args(args)
     if code is not None:

@@ -2,8 +2,8 @@
 
 Two input modes feed :func:`repro.obs.causal.analyze_events`:
 
-* **artifact mode** — a Chrome trace file written by ``--obs-out`` (or
-  a raw ``--obs-jsonl`` stream): the wait-state events are parsed back
+* **artifact mode** — a Chrome trace file written by ``--obs-trace`` (or
+  a raw ``--out FILE --format jsonl`` stream): the wait-state events are parsed back
   out of the artifact; malformed input raises
   :class:`~repro.util.errors.TraceError` so the CLI can exit 2.
 * **live mode** — a Python rank-program file (the `repro lint`
@@ -27,7 +27,9 @@ from repro.obs.observer import Observer, make_observer
 from repro.obs.stats import render_timeline_table
 from repro.util.errors import TraceError
 
-BLAME_FORMAT = "repro-blame/1"
+from repro.docs import format_tag
+
+BLAME_FORMAT = format_tag("blame")
 
 
 # ---------------------------------------------------------------------------
@@ -231,7 +233,7 @@ def render_blame(report: BlameReport) -> List[str]:
 def blame_document(
     report: BlameReport, *, source: Optional[str] = None
 ) -> Dict[str, Any]:
-    """Machine-readable blame summary (``--json-out``)."""
+    """Machine-readable blame summary (``--out FILE --format json``)."""
     doc: Dict[str, Any] = {
         "format": BLAME_FORMAT,
         "source": source,

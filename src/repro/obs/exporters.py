@@ -171,7 +171,7 @@ def write_openmetrics(
 
 
 def load_run(path: str) -> Dict[str, Any]:
-    """Load a ``--obs-out`` trace file, validating the ``repro`` block."""
+    """Load a ``--obs-trace`` artifact, validating the ``repro`` block."""
     with open(path, "r", encoding="utf-8") as handle:
         try:
             doc = json.load(handle)
@@ -182,6 +182,6 @@ def load_run(path: str) -> Dict[str, Any]:
     meta = doc.get("repro")
     if not isinstance(meta, dict) or "metrics" not in meta:
         raise TraceError(
-            "no 'repro' run metadata (was this written by --obs-out?)"
+            "no 'repro' run metadata (was this written by --obs-trace?)"
         )
     return doc

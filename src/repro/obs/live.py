@@ -35,6 +35,7 @@ import json
 import time
 from typing import Any, Callable, Dict, IO, List, Mapping, Optional, Sequence, Tuple
 
+from repro.docs import format_tag, parse_format, validate_doc
 from repro.obs.health import (
     DEADLOCK_CONFIRMED,
     PROGRESSING,
@@ -45,8 +46,8 @@ from repro.obs.health import (
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.util.errors import TraceError
 
-#: Version tag of the live feed documents.
-LIVE_FORMAT = "repro-live/1"
+#: Version tag of the live feed documents (registry-owned).
+LIVE_FORMAT = format_tag("live")
 
 #: Default engine-step cadence between snapshots.
 DEFAULT_EVERY_STEPS = 2048
@@ -252,7 +253,14 @@ class LiveMonitor:
 
 
 def is_live_artifact(path: str) -> bool:
-    """Does ``path`` look like a ``repro-live/1`` JSONL feed?"""
+    """Does ``path`` claim to be a ``repro-live/*`` JSONL feed?
+
+    Any version claim counts — including versions this loader does not
+    support — so dispatchers route the file here and
+    :func:`load_live_feed` diagnoses the unsupported version with a
+    ``file:line`` message (exit 2) instead of misparsing the feed as
+    some other artifact kind.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
@@ -260,10 +268,10 @@ def is_live_artifact(path: str) -> bool:
                 if not line:
                     continue
                 doc = json.loads(line)
-                return (
-                    isinstance(doc, dict)
-                    and doc.get("format") == LIVE_FORMAT
-                )
+                if not isinstance(doc, dict):
+                    return False
+                parsed = parse_format(doc.get("format"))
+                return parsed is not None and parsed[0] == "live"
     except (OSError, ValueError):
         return False
     return False
@@ -294,10 +302,9 @@ def load_live_feed(
                 raise TraceError(
                     f"{path}:{lineno}: malformed feed line: {exc}"
                 ) from exc
-            if not isinstance(doc, dict) or doc.get("format") != LIVE_FORMAT:
-                raise TraceError(
-                    f"{path}:{lineno}: not a {LIVE_FORMAT} document"
-                )
+            # Family + version check with a file:line diagnosis
+            # (DocError is a TraceError; unknown versions exit 2).
+            validate_doc(doc, "live", path=path, lineno=lineno)
             kind = doc.get("kind")
             if kind == "header":
                 header = doc

@@ -23,14 +23,15 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.docs import format_tag
 from repro.obs.events import TraceEvent, pid_of_shard
 from repro.obs.observer import Observer
 
 #: Timed sections of one BSP round, in execution order.
 ROUND_SECTIONS = ("recv", "decode", "step", "encode", "flush")
 
-#: Version tag of the profile document.
-PROFILE_FORMAT = "repro-profile/1"
+#: Version tag of the profile document (registry-owned).
+PROFILE_FORMAT = format_tag("profile")
 
 
 # Row layout of one in-flight round (see ShardRoundProfiler). A flat

@@ -1,0 +1,89 @@
+"""Per-tenant admission control for the analysis service.
+
+Each tenant may hold at most ``limit`` jobs in flight (queued or
+running). :meth:`TenantQuotas.acquire` admits or raises
+:class:`QuotaExceeded` with a ``retry_after`` hint sized to the
+service's recent job latency — the 429-style backpressure contract of
+the wire protocol (``over-quota``, ``retryable: true``).
+"""
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.util.errors import ReproError
+
+#: Fallback retry hint before any job has completed.
+DEFAULT_RETRY_AFTER = 1.0
+
+
+class QuotaExceeded(ReproError):
+    """Tenant has ``limit`` jobs in flight; try again later."""
+
+    def __init__(self, tenant: str, limit: int, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} already has {limit} jobs in flight"
+        )
+        self.tenant = tenant
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class TenantQuotas:
+    """Thread-safe in-flight counters with cumulative statistics."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("per-tenant quota must be positive")
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._in_flight: Dict[str, int] = {}
+        self._submitted: Dict[str, int] = {}
+        self._completed: Dict[str, int] = {}
+        self._rejected: Dict[str, int] = {}
+        self._retry_after = DEFAULT_RETRY_AFTER
+
+    def acquire(self, tenant: str) -> None:
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if held >= self.limit:
+                self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+                raise QuotaExceeded(tenant, self.limit, self._retry_after)
+            self._in_flight[tenant] = held + 1
+            self._submitted[tenant] = self._submitted.get(tenant, 0) + 1
+
+    def release(self, tenant: str, *, latency: float = 0.0) -> None:
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if held <= 0:
+                raise ReproError(
+                    f"quota release without acquire for tenant {tenant!r}"
+                )
+            self._in_flight[tenant] = held - 1
+            self._completed[tenant] = self._completed.get(tenant, 0) + 1
+            if latency > 0:
+                # Retry hints track a smoothed recent job latency: a
+                # rejected tenant retrying after one average job has a
+                # real chance of finding a free slot.
+                self._retry_after = 0.5 * self._retry_after + 0.5 * latency
+
+    def in_flight(self, tenant: str) -> int:
+        with self._lock:
+            return self._in_flight.get(tenant, 0)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            tenants = (
+                set(self._in_flight)
+                | set(self._submitted)
+                | set(self._rejected)
+            )
+            return {
+                tenant: {
+                    "in_flight": self._in_flight.get(tenant, 0),
+                    "submitted": self._submitted.get(tenant, 0),
+                    "completed": self._completed.get(tenant, 0),
+                    "rejected": self._rejected.get(tenant, 0),
+                }
+                for tenant in sorted(tenants)
+            }

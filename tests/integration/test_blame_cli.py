@@ -8,7 +8,7 @@ LAMMPS = "examples/lammps_potential_deadlock.py"
 
 def test_blame_live_lammps_agrees_with_runtime_wfg(tmp_path, capsys):
     out_json = tmp_path / "blame.json"
-    code = main(["blame", LAMMPS, "--json-out", str(out_json)])
+    code = main(["blame", LAMMPS, "--out", str(out_json), "--format", "json"])
     out = capsys.readouterr().out
     assert code == 1
     assert "blame verdict: deadlock rooted at ranks" in out
@@ -39,13 +39,13 @@ def test_blame_live_lammps_agrees_with_runtime_wfg(tmp_path, capsys):
 def test_blame_artifact_chrome_trace_roundtrip(tmp_path, capsys):
     trace = tmp_path / "run.trace.json"
     code = main([
-        "demo", "lammps", "-n", "12", "--obs-out", str(trace),
+        "demo", "lammps", "-n", "12", "--obs-trace", str(trace),
     ])
     capsys.readouterr()
     assert code == 1
 
     out_json = tmp_path / "blame.json"
-    code = main(["blame", str(trace), "--json-out", str(out_json)])
+    code = main(["blame", str(trace), "--out", str(out_json), "--format", "json"])
     out = capsys.readouterr().out
     assert code == 1
     assert "deadlock rooted at ranks" in out
@@ -59,7 +59,7 @@ def test_blame_artifact_chrome_trace_roundtrip(tmp_path, capsys):
 def test_blame_artifact_jsonl_roundtrip(tmp_path, capsys):
     jsonl = tmp_path / "run.events.jsonl"
     code = main([
-        "demo", "lammps", "-n", "12", "--obs-jsonl", str(jsonl),
+        "demo", "lammps", "-n", "12", "--out", str(jsonl), "--format", "jsonl",
     ])
     capsys.readouterr()
     assert code == 1
@@ -71,7 +71,7 @@ def test_blame_artifact_jsonl_roundtrip(tmp_path, capsys):
 
 def test_blame_clean_run_exits_zero(tmp_path, capsys):
     trace = tmp_path / "run.trace.json"
-    code = main(["demo", "stress", "-n", "4", "--obs-out", str(trace)])
+    code = main(["demo", "stress", "-n", "4", "--obs-trace", str(trace)])
     capsys.readouterr()
     assert code == 0
     code = main(["blame", str(trace)])
@@ -83,7 +83,7 @@ def test_blame_clean_run_exits_zero(tmp_path, capsys):
 def test_deadlock_report_json_embeds_flight_tails(tmp_path, capsys):
     report_json = tmp_path / "report.json"
     code = main([
-        "demo", "lammps", "-n", "12", "--json-out", str(report_json),
+        "demo", "lammps", "-n", "12", "--out", str(report_json), "--format", "json",
     ])
     capsys.readouterr()
     assert code == 1

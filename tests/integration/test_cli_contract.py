@@ -3,8 +3,9 @@
 * every subcommand accepts the unified ``--out/--format/--backend/
   --shards`` quartet (``--format`` choices vary per command);
 * the pre-1.1 spellings (``--json-out``, ``--obs-out``, ``--obs-jsonl``)
-  keep working as hidden aliases and print a deprecation notice on
-  stderr;
+  were removed in 1.2 after their one-release alias window: passing
+  one is a hard usage error (exit 2) whose message names the
+  replacement, and nothing is written;
 * the exit-code contract is unchanged: 0 clean, 1 deadlock/error
   finding, 2 usage error.
 """
@@ -135,35 +136,78 @@ class TestShardedBackendFlag:
         assert "rooted at ranks" in capsys.readouterr().out
 
 
-class TestDeprecatedAliases:
-    def test_json_out_still_writes_and_warns(self, tmp_path, capsys):
-        out = tmp_path / "old.json"
-        code = main(["demo", "fig2a", "--json-out", str(out)])
-        assert code == FIG2A
-        assert json.loads(out.read_text())["deadlocked"] == [0, 1]
+class TestRemovedAliases:
+    """The pre-1.1 alias spellings are hard errors since 1.2."""
+
+    REPLACEMENTS = {
+        "--json-out": "--out FILE --format json",
+        "--obs-out": "--obs-trace FILE",
+        "--obs-jsonl": "--out FILE --format jsonl",
+    }
+
+    @pytest.mark.parametrize("flag", sorted(REPLACEMENTS))
+    def test_removed_flag_is_exit_2_and_writes_nothing(
+        self, flag, tmp_path, capsys
+    ):
+        out = tmp_path / "old-artifact"
+        code = main(["demo", "fig2a", flag, str(out)])
+        assert code == 2
+        assert not out.exists()
         err = capsys.readouterr().err
-        assert "--json-out is deprecated" in err
-        assert "--out FILE --format json" in err
+        assert f"{flag} was removed" in err
+        assert self.REPLACEMENTS[flag] in err
 
-    def test_obs_out_still_writes_and_warns(self, tmp_path, capsys):
-        trace = tmp_path / "old.trace.json"
-        code = main(["demo", "fig2a", "--obs-out", str(trace)])
-        assert code == FIG2A
-        assert json.loads(trace.read_text())["traceEvents"]
-        assert "--obs-out is deprecated" in capsys.readouterr().err
+    def test_equals_form_is_also_rejected(self, tmp_path, capsys):
+        code = main(["demo", "fig2a", f"--json-out={tmp_path / 'x'}"])
+        assert code == 2
+        assert "--json-out was removed" in capsys.readouterr().err
 
-    def test_obs_jsonl_still_writes_and_warns(self, tmp_path, capsys):
-        jsonl = tmp_path / "old.jsonl"
-        code = main(["demo", "fig2a", "--obs-jsonl", str(jsonl)])
-        assert code == FIG2A
-        assert jsonl.read_text().strip()
-        assert "--obs-jsonl is deprecated" in capsys.readouterr().err
-
-    def test_new_spellings_stay_silent(self, tmp_path, capsys):
+    def test_new_spellings_work_without_notices(self, tmp_path, capsys):
         trace = tmp_path / "new.trace.json"
         code = main(["demo", "fig2a", "--obs-trace", str(trace)])
         assert code == FIG2A
-        assert "deprecated" not in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert "deprecated" not in err and "removed" not in err
+
+
+class TestUnknownFeedVersions:
+    """``repro stats``/``repro watch`` diagnose a feed with an unknown
+    ``repro-*`` version as a file:line usage error (exit 2), never a
+    stack trace."""
+
+    def _feed(self, tmp_path, first_line):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(first_line + "\n")
+        return str(feed)
+
+    def test_stats_unsupported_version_is_exit_2(self, tmp_path, capsys):
+        feed = self._feed(
+            tmp_path, '{"format": "repro-live/99", "kind": "header"}'
+        )
+        assert main(["stats", feed]) == 2
+        err = capsys.readouterr().err
+        assert f"{feed}:1:" in err
+        assert "unsupported repro-live/99" in err
+        assert "repro-live/1" in err  # names the supported version
+
+    def test_stats_unknown_family_is_exit_2(self, tmp_path, capsys):
+        feed = self._feed(
+            tmp_path, '{"format": "repro-zorp/1", "kind": "header"}'
+        )
+        assert main(["stats", feed]) == 2
+        err = capsys.readouterr().err
+        assert f"{feed}:1:" in err
+        assert "unknown document family repro-zorp/1" in err
+
+    def test_watch_unsupported_version_is_exit_2(self, tmp_path, capsys):
+        feed = self._feed(
+            tmp_path, '{"format": "repro-live/99", "kind": "header"}'
+        )
+        assert main(["watch", feed]) == 2
+        err = capsys.readouterr().err
+        assert f"{feed}:1:" in err
+        assert "unsupported repro-live/99" in err
 
 
 class TestExitCodeContract:

@@ -39,12 +39,12 @@ def test_demo_obs_deadlock_counters_and_phases(capsys):
         assert phase in out
 
 
-def test_demo_obs_out_writes_loadable_chrome_trace(tmp_path, capsys):
+def test_demo_obs_trace_writes_loadable_chrome_trace(tmp_path, capsys):
     trace = tmp_path / "run.trace.json"
     jsonl = tmp_path / "run.events.jsonl"
     code = main([
         "demo", "lammps", "-n", "8",
-        "--obs-out", str(trace), "--obs-jsonl", str(jsonl),
+        "--obs-trace", str(trace), "--out", str(jsonl), "--format", "jsonl",
     ])
     capsys.readouterr()
     assert code == 1
@@ -67,7 +67,7 @@ def test_demo_obs_out_writes_loadable_chrome_trace(tmp_path, capsys):
 
 def test_stats_deadlock_run_exit_one(tmp_path, capsys):
     trace = tmp_path / "run.trace.json"
-    assert main(["demo", "lammps", "-n", "8", "--obs-out", str(trace)]) == 1
+    assert main(["demo", "lammps", "-n", "8", "--obs-trace", str(trace)]) == 1
     capsys.readouterr()
 
     code = main(["stats", str(trace)])
@@ -82,7 +82,7 @@ def test_stats_deadlock_run_exit_one(tmp_path, capsys):
 
 def test_stats_clean_run_exit_zero(tmp_path, capsys):
     trace = tmp_path / "clean.trace.json"
-    assert main(["demo", "stress", "-n", "4", "--obs-out", str(trace)]) == 0
+    assert main(["demo", "stress", "-n", "4", "--obs-trace", str(trace)]) == 0
     capsys.readouterr()
 
     code = main(["stats", str(trace)])
@@ -113,13 +113,13 @@ def test_stats_malformed_file_exit_two(tmp_path, capsys):
 
 def test_record_obs_flags(tmp_path, capsys):
     trace = tmp_path / "trace.json"
-    obs_out = tmp_path / "record.trace.json"
+    obs_trace = tmp_path / "record.trace.json"
     code = main([
-        "record", "fig2b", "-o", str(trace), "--obs-out", str(obs_out),
+        "record", "fig2b", "-o", str(trace), "--obs-trace", str(obs_trace),
     ])
     capsys.readouterr()
     assert code == 0
-    doc = json.loads(obs_out.read_text())
+    doc = json.loads(obs_trace.read_text())
     # Recording runs only the engine: engine events, no TBON traffic.
     assert doc["repro"]["metrics"]["counters"]["engine.steps"] > 0
     assert not any(

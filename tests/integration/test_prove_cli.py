@@ -189,7 +189,7 @@ def test_verify_prove_appends_parameterized_verdicts(tmp_path, capsys):
     # At p=4 the guarded ring is clean; only the prover sees p=6.
     code = main(
         ["verify", str(path), "-n", "4", "--prove",
-         "--json-out", str(out_json)]
+         "--out", str(out_json), "--format", "json"]
     )
     out = capsys.readouterr().out
     assert code == 1  # the refutation folds into the exit code

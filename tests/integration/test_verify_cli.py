@@ -92,7 +92,7 @@ def test_examples_match_the_golden_verdicts(tmp_path, capsys, monkeypatch):
     out_json = tmp_path / "verify.json"
     code = main(
         ["verify", *EXAMPLES, "--replay", "--max-states", "50000",
-         "--json-out", str(out_json)]
+         "--out", str(out_json), "--format", "json"]
     )
     # The examples include known deadlocks, so the run reports them.
     assert code == 1

@@ -1,7 +1,6 @@
-"""The ``repro.api`` facade: AnalysisConfig, Session, and the
-one-release deprecation shims for the legacy free functions."""
+"""The ``repro.api`` facade: AnalysisConfig, Session, and the v1
+removal of the legacy free-function names."""
 import json
-import warnings
 
 import pytest
 
@@ -93,32 +92,45 @@ class TestSession:
         assert stamp
 
 
-class TestDeprecationShims:
-    def test_run_programs_warns_and_works(self):
-        with pytest.warns(DeprecationWarning, match="Session"):
-            result = repro.run_programs(fig2a_programs())
+class TestRemovedLegacyNames:
+    """The 1.1 deprecation shims are gone: importing the legacy free
+    functions from ``repro`` raises AttributeError naming the Session
+    replacement (pinned by the v1 API consolidation)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["run_programs", "analyze_trace", "detect_deadlocks_distributed"],
+    )
+    def test_legacy_name_raises_attribute_error(self, name):
+        with pytest.raises(AttributeError, match="Session"):
+            getattr(repro, name)
+        with pytest.raises(AttributeError, match="removed in 1.2"):
+            getattr(repro, name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["run_programs", "analyze_trace", "detect_deadlocks_distributed"],
+    )
+    def test_legacy_import_raises(self, name):
+        with pytest.raises(ImportError):
+            exec(f"from repro import {name}")
+
+    def test_legacy_names_left_all(self):
+        assert "run_programs" not in repro.__all__
+        assert "analyze_trace" not in repro.__all__
+        assert "detect_deadlocks_distributed" not in repro.__all__
+
+    def test_other_unknown_attributes_still_raise_plainly(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_name
+
+    def test_home_modules_keep_the_originals(self):
+        from repro.core import analyze_trace, detect_deadlocks_distributed
+        from repro.runtime import run_programs
+
+        result = run_programs(fig2a_programs())
         assert result.deadlocked
-
-    def test_analyze_trace_warns(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            run = repro.run_programs(fig2a_programs())
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            analysis = repro.analyze_trace(run.matched)
-        assert analysis.deadlocked == (0, 1)
-
-    def test_detect_deadlocks_distributed_warns(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            run = repro.run_programs(fig2a_programs())
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            outcome = repro.detect_deadlocks_distributed(run.matched)
-        assert outcome.deadlocked == (0, 1)
-
-    def test_home_modules_stay_warning_free(self):
-        from repro.runtime import run_programs as original
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            result = original(fig2a_programs())
-        assert result.deadlocked
+        assert analyze_trace(result.matched).deadlocked == (0, 1)
+        assert detect_deadlocks_distributed(
+            result.matched
+        ).deadlocked == (0, 1)

@@ -1,0 +1,150 @@
+"""The versioned-document registry (``repro.docs``)."""
+import json
+
+import pytest
+
+from repro.docs import (
+    REGISTRY,
+    DocError,
+    doc_header,
+    format_tag,
+    parse_format,
+    sniff_path,
+    supported_line,
+    validate_doc,
+)
+
+#: Every pre-serve document family must be registered (the satellite's
+#: consolidation target list), plus the serve envelope itself.
+EXPECTED_FAMILIES = {
+    "witness", "blame", "classify", "prove", "profile", "live",
+    "lint", "verify", "stats", "figures", "serve",
+}
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        assert EXPECTED_FAMILIES <= set(REGISTRY)
+
+    def test_tags_are_well_formed(self):
+        for name, family in REGISTRY.items():
+            assert parse_format(family.tag) == (name, family.current)
+
+    def test_doc_header_round_trips_through_validate(self):
+        for name in REGISTRY:
+            doc = {**doc_header(name)}
+            assert validate_doc(doc, name) == (name, REGISTRY[name].current)
+
+    def test_format_tag_matches_legacy_constants(self):
+        # The registry owns the strings the subsystems used to define.
+        from repro.analysis.witness import WITNESS_FORMAT
+        from repro.obs.blame import BLAME_FORMAT
+        from repro.obs.live import LIVE_FORMAT
+        from repro.obs.prof import PROFILE_FORMAT
+
+        assert WITNESS_FORMAT == "repro-witness/1" == format_tag("witness")
+        assert BLAME_FORMAT == "repro-blame/1" == format_tag("blame")
+        assert LIVE_FORMAT == "repro-live/1" == format_tag("live")
+        assert PROFILE_FORMAT == "repro-profile/1" == format_tag("profile")
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "tag,expected",
+        [
+            ("repro-live/1", ("live", 1)),
+            ("repro-serve/12", ("serve", 12)),
+            ("repro-a-b/3", ("a-b", 3)),
+            ("repro-live", None),
+            ("live/1", None),
+            ("repro-live/x", None),
+            ("", None),
+            (None, None),
+            (7, None),
+        ],
+    )
+    def test_parsing(self, tag, expected):
+        assert parse_format(tag) == expected
+
+
+class TestValidateDoc:
+    def test_missing_format_tag(self):
+        with pytest.raises(DocError, match="no 'format' tag"):
+            validate_doc({"kind": "snapshot"}, "live")
+
+    def test_non_object(self):
+        with pytest.raises(DocError, match="not a JSON object"):
+            validate_doc([1, 2], "live")
+
+    def test_unknown_family(self):
+        with pytest.raises(DocError, match="unknown document family"):
+            validate_doc({"format": "repro-nope/1"})
+
+    def test_unknown_version_names_the_supported_one(self):
+        with pytest.raises(
+            DocError,
+            match=r"unsupported repro-live/9 version "
+            r"\(supported: repro-live/1\)",
+        ):
+            validate_doc({"format": "repro-live/9"}, "live")
+
+    def test_wrong_family_for_expectation(self):
+        with pytest.raises(DocError, match="expected a repro-live/1"):
+            validate_doc({"format": "repro-blame/1"}, "live")
+
+    def test_location_prefix(self):
+        with pytest.raises(DocError, match=r"^feed\.jsonl:3: "):
+            validate_doc(
+                {"format": "repro-live/9"},
+                "live",
+                path="feed.jsonl",
+                lineno=3,
+            )
+
+    def test_check_keys(self):
+        with pytest.raises(DocError, match="missing key"):
+            validate_doc(
+                {"format": "repro-witness/1"}, "witness", check_keys=True
+            )
+        validate_doc(
+            {"format": "repro-witness/1", "num_ranks": 2, "schedule": []},
+            "witness",
+            check_keys=True,
+        )
+
+    def test_supported_line(self):
+        assert supported_line("live") == "supported: repro-live/1"
+
+
+class TestSniffPath:
+    def test_jsonl_feed(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text(
+            '\n{"format": "repro-live/1", "kind": "header"}\n'
+            '{"format": "repro-live/1", "kind": "snapshot"}\n'
+        )
+        assert sniff_path(str(path)) == ("live", 1, 2)
+
+    def test_unknown_version_still_sniffs(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"format": "repro-live/9"}\n')
+        assert sniff_path(str(path)) == ("live", 9, 1)
+
+    def test_whole_document(self, tmp_path):
+        path = tmp_path / "blame.json"
+        path.write_text(
+            json.dumps({"format": "repro-blame/1", "root_causes": []}, indent=2)
+        )
+        assert sniff_path(str(path)) == ("blame", 1, 1)
+
+    def test_untagged_inputs_return_none(self, tmp_path):
+        chrome = tmp_path / "run.trace.json"
+        chrome.write_text(json.dumps({"traceEvents": [], "repro": {}}))
+        assert sniff_path(str(chrome)) is None
+        raw = tmp_path / "events.jsonl"
+        raw.write_text('{"ph": "i", "name": "x"}\n')
+        assert sniff_path(str(raw)) is None
+        assert sniff_path(str(tmp_path / "missing.json")) is None
+        junk = tmp_path / "junk.txt"
+        junk.write_text("not json at all")
+        assert sniff_path(str(junk)) is None

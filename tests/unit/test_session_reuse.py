@@ -1,0 +1,168 @@
+"""Session reuse: back-to-back jobs on one Session must not leak
+observability state, and concurrent Sessions must be independent.
+
+This is the contract the ``repro serve`` worker pool relies on — each
+worker keeps one Session alive and runs many jobs through it.
+"""
+import threading
+
+import pytest
+
+from repro.api import Session
+from repro.workloads import fig2a_programs, stress_programs
+
+
+class TestSequentialReuse:
+    def test_second_run_gets_a_fresh_flight_recorder(self):
+        session = Session()
+        session.run(fig2a_programs())
+        first_flight = session.flight
+        assert first_flight.count(0) > 0
+        session.run(stress_programs(4, iterations=2))
+        assert session.flight is not first_flight
+
+    def test_pin_counters_reset_between_runs(self):
+        session = Session()
+        session.run(fig2a_programs())
+        session.run(stress_programs(4, iterations=2))
+        reused_counts = {
+            rank: session.flight.count(rank)
+            for rank in session.flight.ranks()
+        }
+        fresh = Session()
+        fresh.run(stress_programs(4, iterations=2))
+        fresh_counts = {
+            rank: fresh.flight.count(rank) for rank in fresh.flight.ranks()
+        }
+        assert reused_counts == fresh_counts
+
+    def test_second_run_gets_a_fresh_tracer_and_metrics(self):
+        session = Session(observe=True)
+        session.run(fig2a_programs())
+        first_observer = session.observer
+        first_events = len(first_observer.tracer.events)
+        assert first_events > 0
+        session.run(fig2a_programs())
+        assert session.observer is not first_observer
+        assert len(session.observer.tracer.events) == first_events
+
+    def test_verdicts_survive_reuse(self):
+        session = Session()
+        assert session.run(fig2a_programs()).deadlocked == (0, 1)
+        assert not session.run(stress_programs(4, iterations=2)).has_deadlock
+        assert session.run(fig2a_programs()).deadlocked == (0, 1)
+
+    def test_reanalysis_of_the_same_run_keeps_state(self):
+        session = Session()
+        run = session.record(fig2a_programs())
+        session.analyze()
+        flight = session.flight
+        session.analyze()  # re-analyze last_run
+        assert session.flight is flight
+        session.analyze(run)  # same RunResult, explicitly
+        assert session.flight is flight
+        session.analyze(run.matched)  # its matched trace, explicitly
+        assert session.flight is flight
+
+    def test_analyzing_an_unrelated_trace_starts_a_new_cycle(self):
+        other = Session().record(stress_programs(4, iterations=2))
+        session = Session()
+        session.run(fig2a_programs())
+        flight = session.flight
+        outcome = session.analyze(other.matched)
+        assert session.flight is not flight
+        assert not outcome.has_deadlock
+
+    def test_explicit_reset_clears_results(self):
+        session = Session()
+        session.run(fig2a_programs())
+        assert session.reset() is session
+        assert session.last_run is None
+        assert session.last_outcome is None
+        assert session.last_verdict is None
+        with pytest.raises(ValueError, match="record a run first"):
+            session.analyze()
+
+    def test_export_rearms_on_reuse(self, tmp_path):
+        trace = tmp_path / "reuse.trace.json"
+        session = Session(trace_out=str(trace))
+        session.run(fig2a_programs())
+        session.export()
+        assert trace.exists()
+        trace.unlink()
+        session.export()  # still idempotent within one cycle
+        assert not trace.exists()
+        session.run(stress_programs(4, iterations=2))
+        session.export()
+        assert trace.exists()
+
+    def test_sharded_session_reuse(self):
+        session = Session(backend="sharded", shards=2)
+        assert session.run(fig2a_programs()).deadlocked == (0, 1)
+        assert not session.run(stress_programs(4, iterations=2)).has_deadlock
+
+
+class TestBackendLifecycle:
+    def test_close_is_idempotent(self):
+        session = Session()
+        session.run(fig2a_programs())
+        session.close()
+        session.close()
+
+    def test_session_is_reusable_after_close(self):
+        session = Session()
+        session.run(fig2a_programs())
+        session.close()
+        assert session.run(fig2a_programs()).deadlocked == (0, 1)
+
+    def test_context_exit_closes_the_backend(self):
+        closed = []
+        with Session() as session:
+            original = session.backend.close
+            session.backend.close = lambda: (closed.append(True), original())
+            session.run(fig2a_programs())
+        assert closed == [True]
+
+
+class TestConcurrentSessions:
+    def test_threaded_sessions_are_independent(self):
+        results = {}
+        errors = []
+
+        def job(name, programs, expect_deadlock):
+            try:
+                session = Session()
+                outcome = session.run(programs)
+                results[name] = (
+                    outcome.has_deadlock,
+                    {
+                        rank: session.flight.count(rank)
+                        for rank in session.flight.ranks()
+                    },
+                )
+                assert outcome.has_deadlock is expect_deadlock
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(
+                target=job, args=(f"dl-{i}", fig2a_programs(), True)
+            )
+            for i in range(3)
+        ] + [
+            threading.Thread(
+                target=job,
+                args=(f"ok-{i}", stress_programs(4, iterations=2), False),
+            )
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 6
+        # every deadlock job saw the same flight profile, independent of
+        # the clean jobs running beside it
+        dl_counts = {results[f"dl-{i}"][1][0] for i in range(3)}
+        assert len(dl_counts) == 1

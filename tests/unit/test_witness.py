@@ -53,7 +53,15 @@ class TestSerialization:
         witness = _master_worker_witness()
         data = witness.to_json_dict()
         data["format"] = "repro-witness/99"
-        with pytest.raises(ReproError, match="unsupported witness format"):
+        with pytest.raises(
+            ReproError, match=r"unsupported repro-witness/99 version"
+        ):
+            WitnessSchedule.from_json_dict(data)
+
+    def test_wrong_family_is_rejected(self):
+        data = _master_worker_witness().to_json_dict()
+        data["format"] = "repro-blame/1"
+        with pytest.raises(ReproError, match="expected a repro-witness/1"):
             WitnessSchedule.from_json_dict(data)
 
 
